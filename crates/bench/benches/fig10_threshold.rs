@@ -1,0 +1,27 @@
+//! Figure 10: sensitivity of PixelBox to the pixelization threshold T.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sccg::pixelbox::gpu::GpuPixelBox;
+use sccg::pixelbox::PixelBoxConfig;
+use sccg_bench::representative_pairs;
+use sccg_gpu_sim::{Device, DeviceConfig};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let gpu = GpuPixelBox::new(Arc::new(Device::new(DeviceConfig::gtx580())));
+    let pairs = representative_pairs(120, 4);
+    let mut group = c.benchmark_group("fig10_threshold_sensitivity");
+    group.sample_size(10);
+    for threshold in [64u32, 512, 2048, 8192] {
+        let config = PixelBoxConfig::paper_default().with_threshold(threshold);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &pairs,
+            |bench, pairs| bench.iter(|| gpu.compute_batch(pairs, &config)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

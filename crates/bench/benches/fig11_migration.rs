@@ -1,0 +1,29 @@
+//! Figure 11: dynamic task migration benefit on Config-I/II/III (modelled).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sccg::pipeline::model::{PipelineModel, PlatformConfig, Scheme};
+use sccg_bench::{dataset_tile_stats, system_dataset};
+
+fn bench(c: &mut Criterion) {
+    let tiles = dataset_tile_stats(&system_dataset());
+    let mut group = c.benchmark_group("fig11_migration_model");
+    group.sample_size(20);
+    for (name, platform) in [
+        ("config_i", PlatformConfig::config_i()),
+        ("config_ii", PlatformConfig::config_ii()),
+        ("config_iii", PlatformConfig::config_iii()),
+    ] {
+        let model = PipelineModel::new(platform);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &tiles, |bench, tiles| {
+            bench.iter(|| {
+                let without = model.simulate(Scheme::Pipelined, tiles, false);
+                let with = model.simulate(Scheme::Pipelined, tiles, true);
+                (without, with)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

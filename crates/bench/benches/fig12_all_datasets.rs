@@ -1,0 +1,46 @@
+//! Figure 12: SCCG vs PostGIS-M over the 18-data-set study (modelled per
+//! data set; this bench measures the functional cross-comparison of one
+//! catalog data set end to end plus the model evaluation over the catalog).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sccg::pipeline::model::{PipelineModel, PlatformConfig, Scheme, TileStats};
+use sccg::prelude::*;
+use sccg_datagen::{catalog, generate_dataset};
+
+fn bench(c: &mut Criterion) {
+    let dataset = generate_dataset(&catalog()[0]);
+    let engine = CrossComparison::new(EngineConfig::default());
+    let mut group = c.benchmark_group("fig12_datasets");
+    group.sample_size(10);
+    group.bench_function("cross_compare_dataset_1_functional", |bench| {
+        bench.iter(|| {
+            dataset
+                .tiles
+                .iter()
+                .map(|tile| engine.compare_records(&tile.first, &tile.second).similarity)
+                .sum::<f64>()
+        })
+    });
+    let stats: Vec<Vec<TileStats>> = catalog()
+        .iter()
+        .take(6)
+        .map(|spec| TileStats::from_dataset(&generate_dataset(spec)))
+        .collect();
+    group.bench_function("speedup_model_first_6_datasets", |bench| {
+        bench.iter(|| {
+            let sccg_model = PipelineModel::new(PlatformConfig::config_i());
+            let postgis_model = PipelineModel::new(PlatformConfig::postgis_m_platform());
+            stats
+                .iter()
+                .map(|tiles| {
+                    postgis_model.sdbms_parallel(tiles)
+                        / sccg_model.simulate(Scheme::Pipelined, tiles, true)
+                })
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

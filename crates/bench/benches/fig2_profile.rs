@@ -1,0 +1,26 @@
+//! Figure 2: SDBMS cross-comparing query, unoptimized vs optimized plan.
+//!
+//! Regenerates the per-operator decomposition via `reproduce -- fig2`; this
+//! bench measures the end-to-end single-core query time of both plans.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sccg_bench::representative_tile;
+use sccg_sdbms::{execute_cross_comparison, PolygonTable, QueryPlan};
+
+fn bench(c: &mut Criterion) {
+    let tile = representative_tile(250);
+    let a = PolygonTable::new("first", tile.first.clone());
+    let b = PolygonTable::new("second", tile.second.clone());
+    let mut group = c.benchmark_group("fig2_sdbms_query");
+    group.sample_size(10);
+    group.bench_function("unoptimized_fig1a", |bench| {
+        bench.iter(|| execute_cross_comparison(&a, &b, QueryPlan::Unoptimized))
+    });
+    group.bench_function("optimized_fig1b", |bench| {
+        bench.iter(|| execute_cross_comparison(&a, &b, QueryPlan::Optimized))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

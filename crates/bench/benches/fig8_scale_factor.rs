@@ -1,0 +1,38 @@
+//! Figure 8: PixelOnly vs PixelBox-NoSep vs PixelBox across scale factors.
+//!
+//! Criterion measures host-side execution of the simulated kernel; the
+//! simulated GPU seconds per variant are printed by `reproduce -- fig8`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sccg::pixelbox::gpu::GpuPixelBox;
+use sccg::pixelbox::{PixelBoxConfig, Variant};
+use sccg_bench::representative_pairs;
+use sccg_gpu_sim::{Device, DeviceConfig};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let gpu = GpuPixelBox::new(Arc::new(Device::new(DeviceConfig::gtx580())));
+    let base = PixelBoxConfig::paper_default();
+    let mut group = c.benchmark_group("fig8_variants_vs_scale");
+    group.sample_size(10);
+    for scale in [1, 3, 5] {
+        let pairs = representative_pairs(120, scale);
+        for (name, variant) in [
+            ("pixel_only", Variant::PixelOnly),
+            ("pixelbox_nosep", Variant::NoSep),
+            ("pixelbox", Variant::Full),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, scale),
+                &pairs,
+                |bench, pairs| {
+                    bench.iter(|| gpu.compute_batch(pairs, &base.with_variant(variant)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

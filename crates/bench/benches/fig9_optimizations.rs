@@ -1,0 +1,46 @@
+//! Figure 9: implementation optimizations (bank conflicts, unrolling, shared
+//! memory) on the simulated GPU.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sccg::pixelbox::gpu::GpuPixelBox;
+use sccg::pixelbox::{OptimizationFlags, PixelBoxConfig};
+use sccg_bench::representative_pairs;
+use sccg_gpu_sim::{Device, DeviceConfig};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let gpu = GpuPixelBox::new(Arc::new(Device::new(DeviceConfig::gtx580())));
+    let base = PixelBoxConfig::paper_default();
+    let pairs = representative_pairs(120, 3);
+    let variants: [(&str, OptimizationFlags); 4] = [
+        ("noopt", OptimizationFlags::none()),
+        (
+            "nbc",
+            OptimizationFlags {
+                avoid_bank_conflicts: true,
+                unroll_loops: false,
+                shared_memory_vertices: false,
+            },
+        ),
+        (
+            "nbc_ur",
+            OptimizationFlags {
+                avoid_bank_conflicts: true,
+                unroll_loops: true,
+                shared_memory_vertices: false,
+            },
+        ),
+        ("nbc_ur_sm", OptimizationFlags::all()),
+    ];
+    let mut group = c.benchmark_group("fig9_optimizations");
+    group.sample_size(10);
+    for (name, opts) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &pairs, |bench, pairs| {
+            bench.iter(|| gpu.compute_batch(pairs, &base.with_opts(opts)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

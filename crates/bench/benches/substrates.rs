@@ -1,0 +1,43 @@
+//! Ablation micro-benchmarks of the substrates: Hilbert R-tree join vs naive
+//! join, exact overlay vs Monte-Carlo estimation, text parsing throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sccg_bench::representative_tile;
+use sccg_clip::{monte_carlo_areas, pair_areas};
+use sccg_geometry::text::{parse_polygon_file, write_polygon_file};
+use sccg_geometry::Rect;
+use sccg_rtree::{mbr_join, naive_mbr_join};
+
+fn bench(c: &mut Criterion) {
+    let tile = representative_tile(300);
+    let left: Vec<Rect> = tile.first.iter().map(|r| r.polygon.mbr()).collect();
+    let right: Vec<Rect> = tile.second.iter().map(|r| r.polygon.mbr()).collect();
+    let text = write_polygon_file(&tile.first);
+    let p = &tile.first[0].polygon;
+    let q = &tile.second[0].polygon;
+
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(20);
+    group.bench_function("mbr_join_hilbert_rtree", |bench| {
+        bench.iter(|| mbr_join(&left, &right))
+    });
+    group.bench_function("mbr_join_naive", |bench| {
+        bench.iter(|| naive_mbr_join(&left, &right))
+    });
+    group.bench_function("exact_overlay_pair", |bench| bench.iter(|| pair_areas(p, q)));
+    group.bench_function("monte_carlo_pair_10k_samples", |bench| {
+        bench.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            monte_carlo_areas(p, q, 10_000, &mut rng)
+        })
+    });
+    group.bench_function("parse_polygon_file", |bench| {
+        bench.iter(|| parse_polygon_file(&text).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Table 1: execution schemes (PostGIS-S / NoPipe-S / NoPipe-M / Pipelined).
+//!
+//! The scheme makespans are produced by the deterministic performance model
+//! (`reproduce -- table1`); this bench measures the *functional* pipelined
+//! framework end to end (parse → build → filter → aggregate on the simulated
+//! GPU), with and without migration threads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sccg::pipeline::{ParseTask, Pipeline, PipelineConfig};
+use sccg_bench::system_dataset;
+
+fn bench(c: &mut Criterion) {
+    let dataset = system_dataset();
+    let tasks: Vec<ParseTask> = dataset.tiles.iter().map(ParseTask::from_tile_pair).collect();
+    let mut group = c.benchmark_group("table1_pipeline_functional");
+    group.sample_size(10);
+    group.bench_function("pipelined_no_migration", |bench| {
+        bench.iter(|| {
+            Pipeline::new(PipelineConfig {
+                enable_migration: false,
+                ..PipelineConfig::default()
+            })
+            .run(tasks.clone())
+        })
+    });
+    group.bench_function("pipelined_with_migration", |bench| {
+        bench.iter(|| {
+            Pipeline::new(PipelineConfig {
+                enable_migration: true,
+                ..PipelineConfig::default()
+            })
+            .run(tasks.clone())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

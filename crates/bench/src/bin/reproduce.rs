@@ -1,0 +1,297 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run -p sccg-bench --release --bin reproduce -- all
+//! cargo run -p sccg-bench --release --bin reproduce -- fig8 fig10 table1
+//! ```
+//!
+//! Each experiment prints the same rows/series the paper reports. Absolute
+//! numbers differ from the paper (the GPU is simulated and the data sets are
+//! synthetic); the *shapes* — who wins, by roughly what factor, where the
+//! crossovers fall — are the reproduction target (see EXPERIMENTS.md).
+
+use sccg::pipeline::model::{PipelineModel, PlatformConfig, Scheme};
+use sccg::pixelbox::cpu::compute_batch_cpu;
+use sccg::pixelbox::gpu::GpuPixelBox;
+use sccg::pixelbox::{OptimizationFlags, PixelBoxConfig, Variant};
+use sccg_bench::{dataset_tile_stats, representative_pairs, study_datasets, system_dataset};
+use sccg_clip::pair_areas;
+use sccg_datagen::generate_tile_pair;
+use sccg_gpu_sim::{Device, DeviceConfig};
+use sccg_sdbms::{execute_cross_comparison, PolygonTable, QueryPlan};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty() || args.iter().any(|a| a == "all");
+    let want = |name: &str| all || args.iter().any(|a| a == name);
+
+    println!("SCCG reproduction — regenerating paper tables and figures");
+    println!("==========================================================");
+
+    if want("fig2") {
+        figure2();
+    }
+    if want("fig7") {
+        figure7();
+    }
+    if want("fig8") {
+        figure8();
+    }
+    if want("fig9") {
+        figure9();
+    }
+    if want("fig10") {
+        figure10();
+    }
+    if want("table1") {
+        table1();
+    }
+    if want("fig11") {
+        figure11();
+    }
+    if want("fig12") {
+        figure12();
+    }
+}
+
+fn gpu_engine() -> GpuPixelBox {
+    GpuPixelBox::new(Arc::new(Device::new(DeviceConfig::gtx580())))
+}
+
+/// Figure 2: execution-time decomposition of the cross-comparing queries in
+/// the SDBMS on a single core.
+fn figure2() {
+    println!("\n[Figure 2] SDBMS query time decomposition (single core)");
+    let tile = generate_tile_pair(&sccg_datagen::TileSpec {
+        target_polygons: 400,
+        width: 2048,
+        height: 2048,
+        seed: 2,
+        ..Default::default()
+    });
+    let a = PolygonTable::new("oligoastroiii_1_1", tile.first);
+    let b = PolygonTable::new("oligoastroiii_1_2", tile.second);
+    let labels = [
+        "Index Build",
+        "Index Search",
+        "ST_Intersects",
+        "Area_Of_Intersection",
+        "Area_Of_Union",
+        "ST_Area",
+        "Other",
+    ];
+    for (name, plan) in [
+        ("unoptimized (Fig 1a)", QueryPlan::Unoptimized),
+        ("optimized   (Fig 1b)", QueryPlan::Optimized),
+    ] {
+        let result = execute_cross_comparison(&a, &b, plan);
+        println!(
+            "  {name}: total {:.3} s, {} candidate pairs, similarity {:.4}",
+            result.profile.total(),
+            result.candidate_pairs,
+            result.similarity
+        );
+        for (label, pct) in labels.iter().zip(result.profile.percentages()) {
+            println!("    {label:<22} {pct:5.1} %");
+        }
+    }
+}
+
+/// Figure 7: GEOS vs PixelBox-CPU-S vs PixelBox.
+fn figure7() {
+    println!("\n[Figure 7] GEOS vs PixelBox-CPU-S vs PixelBox (simulated GPU)");
+    let pairs = representative_pairs(1500, 1);
+    println!("  workload: {} MBR-intersecting polygon pairs", pairs.len());
+    let config = PixelBoxConfig::paper_default();
+
+    let started = Instant::now();
+    let geos: Vec<_> = pairs.iter().map(|p| pair_areas(&p.p, &p.q)).collect();
+    let geos_seconds = started.elapsed().as_secs_f64();
+
+    let started = Instant::now();
+    let cpu = compute_batch_cpu(&pairs, &config, 1);
+    let cpu_seconds = started.elapsed().as_secs_f64();
+
+    let gpu = gpu_engine().compute_batch(&pairs, &config);
+    let gpu_seconds = gpu.total_seconds();
+    assert_eq!(
+        geos.iter().map(|a| a.intersection).sum::<i64>(),
+        cpu.iter().map(|a| a.intersection).sum::<i64>()
+    );
+    assert_eq!(cpu, gpu.areas, "PixelBox CPU and GPU must agree exactly");
+
+    println!("  GEOS (exact overlay, 1 core):   {geos_seconds:10.4} s   speedup 1.0x");
+    println!(
+        "  PixelBox-CPU-S (1 core):        {cpu_seconds:10.4} s   speedup {:.1}x",
+        geos_seconds / cpu_seconds
+    );
+    println!(
+        "  PixelBox (simulated GTX 580):   {gpu_seconds:10.4} s   speedup {:.1}x  (simulated time)",
+        geos_seconds / gpu_seconds
+    );
+}
+
+/// Figure 8: PixelOnly vs PixelBox-NoSep vs PixelBox across scale factors.
+fn figure8() {
+    println!("\n[Figure 8] Algorithm variants vs polygon scale factor (simulated GPU seconds)");
+    let engine = gpu_engine();
+    let base = PixelBoxConfig::paper_default();
+    println!("  SF   PixelOnly    PixelBox-NoSep    PixelBox");
+    for scale in 1..=5 {
+        let pairs = representative_pairs(250, scale);
+        let mut row = vec![format!("  {scale}  ")];
+        for variant in [Variant::PixelOnly, Variant::NoSep, Variant::Full] {
+            let result = engine.compute_batch(&pairs, &base.with_variant(variant));
+            row.push(format!("{:12.6}", result.launch.time_seconds));
+        }
+        println!("{}", row.join("  "));
+    }
+}
+
+/// Figure 9: effect of the implementation optimizations.
+fn figure9() {
+    println!("\n[Figure 9] Implementation optimizations (speedup over PixelBox-NoOpt)");
+    let engine = gpu_engine();
+    let base = PixelBoxConfig::paper_default();
+    let variants: [(&str, OptimizationFlags); 4] = [
+        ("PixelBox-NoOpt", OptimizationFlags::none()),
+        (
+            "PixelBox-NBC",
+            OptimizationFlags {
+                avoid_bank_conflicts: true,
+                unroll_loops: false,
+                shared_memory_vertices: false,
+            },
+        ),
+        (
+            "PixelBox-NBC-UR",
+            OptimizationFlags {
+                avoid_bank_conflicts: true,
+                unroll_loops: true,
+                shared_memory_vertices: false,
+            },
+        ),
+        ("PixelBox-NBC-UR-SM", OptimizationFlags::all()),
+    ];
+    println!("  scale factor:      SF1      SF3      SF5");
+    let mut rows = vec![vec![0.0f64; 3]; variants.len()];
+    for (col, scale) in [1, 3, 5].into_iter().enumerate() {
+        let pairs = representative_pairs(250, scale);
+        let mut baseline = 0.0;
+        for (row, (_, opts)) in variants.iter().enumerate() {
+            let result = engine.compute_batch(&pairs, &base.with_opts(*opts));
+            if row == 0 {
+                baseline = result.launch.time_seconds;
+            }
+            rows[row][col] = baseline / result.launch.time_seconds;
+        }
+    }
+    for ((name, _), row) in variants.iter().zip(rows) {
+        println!(
+            "  {name:<20} {:7.2}x {:7.2}x {:7.2}x",
+            row[0], row[1], row[2]
+        );
+    }
+}
+
+/// Figure 10: sensitivity to the pixelization threshold T.
+fn figure10() {
+    println!("\n[Figure 10] Pixelization threshold sensitivity (block size 64, simulated GPU seconds)");
+    let engine = gpu_engine();
+    let thresholds = [64u32, 128, 256, 512, 1024, 2048, 4096, 8192, 16384];
+    print!("  T:        ");
+    for t in thresholds {
+        print!("{t:>9}");
+    }
+    println!();
+    for scale in [1, 2, 3, 4, 5] {
+        let pairs = representative_pairs(250, scale);
+        print!("  SF{scale}      ");
+        for t in thresholds {
+            let config = PixelBoxConfig::paper_default().with_threshold(t);
+            let result = engine.compute_batch(&pairs, &config);
+            print!("{:9.5}", result.launch.time_seconds);
+        }
+        println!();
+    }
+    println!("  (the paper's best region is T in [n^2/8, n^2] = [512, 4096] for 64-thread blocks)");
+}
+
+fn scheme_rows(tiles: &[sccg::pipeline::model::TileStats]) -> Vec<(&'static str, f64)> {
+    let model = PipelineModel::new(PlatformConfig::config_i());
+    let postgis = model.sdbms_single_core(tiles);
+    vec![
+        ("PostGIS-S", postgis),
+        ("NoPipe-S", model.simulate(Scheme::NoPipeS, tiles, false)),
+        (
+            "NoPipe-M",
+            model.simulate(Scheme::NoPipeM { streams: 4 }, tiles, false),
+        ),
+        ("Pipelined", model.simulate(Scheme::Pipelined, tiles, false)),
+    ]
+}
+
+/// Table 1: speedups of the execution schemes over PostGIS-S.
+fn table1() {
+    println!("\n[Table 1] Execution schemes, speedup over PostGIS-S (modelled, Config-I)");
+    let dataset = system_dataset();
+    let tiles = dataset_tile_stats(&dataset);
+    let rows = scheme_rows(&tiles);
+    let baseline = rows[0].1;
+    for (name, seconds) in rows {
+        println!(
+            "  {name:<10} {:10.3} s   speedup {:7.2}x",
+            seconds,
+            baseline / seconds
+        );
+    }
+}
+
+/// Figure 11: throughput benefit of dynamic task migration.
+fn figure11() {
+    println!("\n[Figure 11] Dynamic task migration: normalized throughput (modelled)");
+    let dataset = system_dataset();
+    let tiles = dataset_tile_stats(&dataset);
+    for platform in [
+        PlatformConfig::config_i(),
+        PlatformConfig::config_ii(),
+        PlatformConfig::config_iii(),
+    ] {
+        let model = PipelineModel::new(platform);
+        let without = model.pipelined_throughput(&tiles, false);
+        let with = model.pipelined_throughput(&tiles, true);
+        println!(
+            "  {:<45} {:5.2}x",
+            platform.name,
+            with / without
+        );
+    }
+}
+
+/// Figure 12: SCCG vs PostGIS-M over the 18 data sets.
+fn figure12() {
+    println!("\n[Figure 12] SCCG (Config-I, migration on) vs PostGIS-M speedup per data set (modelled)");
+    let sccg_model = PipelineModel::new(PlatformConfig::config_i());
+    let postgis_model = PipelineModel::new(PlatformConfig::postgis_m_platform());
+    let mut log_sum = 0.0f64;
+    let datasets = study_datasets();
+    for dataset in &datasets {
+        let tiles = dataset_tile_stats(dataset);
+        let sccg_seconds = sccg_model.simulate(Scheme::Pipelined, &tiles, true);
+        let postgis_seconds = postgis_model.sdbms_parallel(&tiles);
+        let speedup = postgis_seconds / sccg_seconds;
+        log_sum += speedup.ln();
+        println!(
+            "  {:<20} polygons {:>7}  SCCG {:8.3} s  PostGIS-M {:9.3} s  speedup {:6.1}x",
+            dataset.spec.name,
+            dataset.first_polygon_count() + dataset.second_polygon_count(),
+            sccg_seconds,
+            postgis_seconds,
+            speedup
+        );
+    }
+    let geo_mean = (log_sum / datasets.len() as f64).exp();
+    println!("  geometric mean speedup: {geo_mean:.1}x (paper reports >18x)");
+}

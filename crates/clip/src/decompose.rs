@@ -1,0 +1,160 @@
+//! Plane-sweep slab decomposition of rectilinear polygons.
+
+use sccg_geometry::{Rect, RectilinearPolygon};
+
+/// Decomposes a simple rectilinear polygon into a set of disjoint,
+/// axis-aligned rectangles whose union is exactly the polygon's interior.
+///
+/// The decomposition sweeps the x axis: between two consecutive distinct
+/// vertex x-coordinates the polygon's vertical cross-section is constant, so
+/// the slab's interior is described by the sorted y-coordinates of the
+/// horizontal edges spanning the slab, paired up by the even–odd rule.
+///
+/// The output rectangles are emitted in increasing x order (and increasing y
+/// within a slab), which downstream overlay code exploits.
+pub fn decompose_into_rects(poly: &RectilinearPolygon) -> Vec<Rect> {
+    // Collect distinct vertex x coordinates (slab boundaries).
+    let mut xs: Vec<i32> = poly.vertices().iter().map(|v| v.x).collect();
+    xs.sort_unstable();
+    xs.dedup();
+
+    // Collect horizontal edges as (y, xmin, xmax).
+    let mut hedges: Vec<(i32, i32, i32)> = Vec::new();
+    for e in poly.edges() {
+        if e.a.y == e.b.y {
+            hedges.push((e.a.y, e.a.x.min(e.b.x), e.a.x.max(e.b.x)));
+        }
+    }
+
+    let mut rects = Vec::new();
+    let mut ys: Vec<i32> = Vec::new();
+    for w in xs.windows(2) {
+        let (x0, x1) = (w[0], w[1]);
+        ys.clear();
+        for &(y, exmin, exmax) in &hedges {
+            // The edge spans the whole slab because slab boundaries are
+            // exactly the vertex x coordinates.
+            if exmin <= x0 && exmax >= x1 {
+                ys.push(y);
+            }
+        }
+        ys.sort_unstable();
+        debug_assert!(ys.len() % 2 == 0, "odd number of crossings in slab");
+        for pair in ys.chunks_exact(2) {
+            rects.push(Rect::new(x0, pair[0], x1, pair[1]));
+        }
+    }
+    rects
+}
+
+/// Total area of a rectangle decomposition (sanity helper used in tests and
+/// by the overlay profiler).
+pub fn decomposition_area(rects: &[Rect]) -> i64 {
+    rects.iter().map(Rect::pixel_count).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sccg_geometry::{raster, Point};
+
+    fn l_shape() -> RectilinearPolygon {
+        RectilinearPolygon::new(vec![
+            Point::new(0, 0),
+            Point::new(4, 0),
+            Point::new(4, 2),
+            Point::new(2, 2),
+            Point::new(2, 4),
+            Point::new(0, 4),
+        ])
+        .unwrap()
+    }
+
+    /// A plus/cross shaped polygon exercising slabs with two disjoint
+    /// intervals.
+    fn u_shape() -> RectilinearPolygon {
+        RectilinearPolygon::new(vec![
+            Point::new(0, 0),
+            Point::new(6, 0),
+            Point::new(6, 5),
+            Point::new(4, 5),
+            Point::new(4, 2),
+            Point::new(2, 2),
+            Point::new(2, 5),
+            Point::new(0, 5),
+        ])
+        .unwrap()
+    }
+
+    fn assert_exact_cover(poly: &RectilinearPolygon) {
+        let rects = decompose_into_rects(poly);
+        // Total area matches.
+        assert_eq!(decomposition_area(&rects), poly.area());
+        // Rectangles are pairwise disjoint.
+        for (i, a) in rects.iter().enumerate() {
+            for b in &rects[i + 1..] {
+                assert!(!a.intersects(b), "{a:?} overlaps {b:?}");
+            }
+        }
+        // Every pixel of every rectangle is inside the polygon and every
+        // interior pixel is covered.
+        let mbr = poly.mbr();
+        for (x, y) in mbr.pixels() {
+            let inside = poly.contains_pixel(x, y);
+            let covered = rects.iter().any(|r| r.contains_pixel(x, y));
+            assert_eq!(inside, covered, "pixel ({x},{y}) mismatch");
+        }
+    }
+
+    #[test]
+    fn rectangle_decomposes_to_itself() {
+        let poly = RectilinearPolygon::rectangle(Rect::new(3, 4, 9, 11)).unwrap();
+        let rects = decompose_into_rects(&poly);
+        assert_eq!(rects, vec![Rect::new(3, 4, 9, 11)]);
+    }
+
+    #[test]
+    fn l_shape_exact_cover() {
+        assert_exact_cover(&l_shape());
+    }
+
+    #[test]
+    fn u_shape_exact_cover_with_split_slabs() {
+        let poly = u_shape();
+        assert_exact_cover(&poly);
+        let rects = decompose_into_rects(&poly);
+        // The middle slab (x in [2,4)) must contribute exactly one rectangle
+        // (the bottom bar), while the outer slabs contribute full columns.
+        assert!(rects.iter().any(|r| r.min_x == 2 && r.max_x == 4));
+    }
+
+    #[test]
+    fn decomposition_matches_raster_area_for_staircases() {
+        let poly = RectilinearPolygon::new(vec![
+            Point::new(0, 0),
+            Point::new(7, 0),
+            Point::new(7, 1),
+            Point::new(5, 1),
+            Point::new(5, 4),
+            Point::new(3, 4),
+            Point::new(3, 6),
+            Point::new(1, 6),
+            Point::new(1, 7),
+            Point::new(0, 7),
+        ])
+        .unwrap();
+        assert_exact_cover(&poly);
+        assert_eq!(
+            decomposition_area(&decompose_into_rects(&poly)),
+            raster::polygon_area(&poly)
+        );
+    }
+
+    #[test]
+    fn rects_are_sorted_by_x() {
+        let rects = decompose_into_rects(&u_shape());
+        for w in rects.windows(2) {
+            assert!(w[0].min_x <= w[1].min_x);
+        }
+    }
+}

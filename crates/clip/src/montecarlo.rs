@@ -1,0 +1,122 @@
+//! Monte-Carlo area estimation baseline.
+//!
+//! The related-work section of the paper (§6) notes that Monte-Carlo
+//! sampling can estimate the areas of intersection and union on GPUs but is
+//! far more compute-intensive than PixelBox, because every estimate needs
+//! repeated casting of random sample points. This module provides that
+//! baseline so benchmarks can quantify the comparison.
+
+use rand::Rng;
+use sccg_geometry::RectilinearPolygon;
+
+/// Result of a Monte-Carlo estimation run for a single polygon pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloEstimate {
+    /// Estimated `‖p ∩ q‖` in pixels.
+    pub intersection: f64,
+    /// Estimated `‖p ∪ q‖` in pixels.
+    pub union: f64,
+    /// Number of sample points cast.
+    pub samples: u32,
+}
+
+/// Estimates the intersection and union areas of a polygon pair by sampling
+/// `samples` uniform points over the joint MBR and classifying each against
+/// both polygons.
+pub fn monte_carlo_areas<R: Rng>(
+    p: &RectilinearPolygon,
+    q: &RectilinearPolygon,
+    samples: u32,
+    rng: &mut R,
+) -> MonteCarloEstimate {
+    let joint = p.mbr().union(&q.mbr());
+    let total = joint.pixel_count() as f64;
+    if samples == 0 || joint.is_empty() {
+        return MonteCarloEstimate {
+            intersection: 0.0,
+            union: 0.0,
+            samples,
+        };
+    }
+    let mut hits_inter = 0u64;
+    let mut hits_union = 0u64;
+    for _ in 0..samples {
+        let x = rng.gen_range(joint.min_x..joint.max_x);
+        let y = rng.gen_range(joint.min_y..joint.max_y);
+        let in_p = p.contains_pixel(x, y);
+        let in_q = q.contains_pixel(x, y);
+        if in_p && in_q {
+            hits_inter += 1;
+        }
+        if in_p || in_q {
+            hits_union += 1;
+        }
+    }
+    MonteCarloEstimate {
+        intersection: total * hits_inter as f64 / f64::from(samples),
+        union: total * hits_union as f64 / f64::from(samples),
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sccg_geometry::Rect;
+
+    fn rect_poly(x0: i32, y0: i32, x1: i32, y1: i32) -> RectilinearPolygon {
+        RectilinearPolygon::rectangle(Rect::new(x0, y0, x1, y1)).unwrap()
+    }
+
+    #[test]
+    fn zero_samples_yield_zero_estimate() {
+        let p = rect_poly(0, 0, 10, 10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let est = monte_carlo_areas(&p, &p, 0, &mut rng);
+        assert_eq!(est.intersection, 0.0);
+        assert_eq!(est.union, 0.0);
+    }
+
+    #[test]
+    fn estimate_converges_to_exact_areas() {
+        let p = rect_poly(0, 0, 40, 40);
+        let q = rect_poly(20, 20, 60, 60);
+        let exact = crate::pair_areas(&p, &q);
+        let mut rng = StdRng::seed_from_u64(7);
+        let est = monte_carlo_areas(&p, &q, 200_000, &mut rng);
+        let rel_i = (est.intersection - exact.intersection as f64).abs()
+            / exact.intersection as f64;
+        let rel_u = (est.union - exact.union as f64).abs() / exact.union as f64;
+        assert!(rel_i < 0.05, "intersection relative error {rel_i}");
+        assert!(rel_u < 0.05, "union relative error {rel_u}");
+    }
+
+    #[test]
+    fn identical_polygons_estimate_equal_intersection_and_union() {
+        let p = rect_poly(3, 3, 23, 19);
+        let mut rng = StdRng::seed_from_u64(11);
+        let est = monte_carlo_areas(&p, &p, 50_000, &mut rng);
+        assert!((est.intersection - est.union).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_polygons_estimate_zero_intersection() {
+        let p = rect_poly(0, 0, 10, 10);
+        let q = rect_poly(50, 50, 60, 60);
+        let mut rng = StdRng::seed_from_u64(3);
+        let est = monte_carlo_areas(&p, &q, 20_000, &mut rng);
+        assert_eq!(est.intersection, 0.0);
+        assert!(est.union > 0.0);
+    }
+
+    #[test]
+    fn estimation_is_deterministic_for_a_fixed_seed() {
+        let p = rect_poly(0, 0, 30, 30);
+        let q = rect_poly(10, 10, 40, 40);
+        let a = monte_carlo_areas(&p, &q, 10_000, &mut StdRng::seed_from_u64(42));
+        let b = monte_carlo_areas(&p, &q, 10_000, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

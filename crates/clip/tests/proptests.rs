@@ -1,0 +1,77 @@
+//! Property tests: the exact overlay must agree with the brute-force pixel
+//! oracle on arbitrary rectilinear polygon pairs.
+
+use proptest::prelude::*;
+use sccg_clip::{
+    decompose_into_rects, intersection_area, pair_areas, union_area_direct, union_area_indirect,
+};
+use sccg_geometry::{raster, Point, RectilinearPolygon};
+
+/// Random staircase polygon (same construction as the geometry proptests,
+/// but offset so pairs frequently overlap partially).
+fn staircase_polygon(max_offset: i32) -> impl Strategy<Value = RectilinearPolygon> {
+    (2usize..7).prop_flat_map(move |steps| {
+        (
+            prop::collection::vec(1i32..5, steps),
+            prop::collection::vec(1i32..5, steps),
+            0..max_offset,
+            0..max_offset,
+        )
+            .prop_map(|(dxs, dys, ox, oy)| {
+                let total_h: i32 = dys.iter().sum();
+                let mut vertices = Vec::new();
+                vertices.push(Point::new(ox, oy));
+                vertices.push(Point::new(ox, oy + total_h));
+                let mut x = ox;
+                let mut y = oy + total_h;
+                for (dx, dy) in dxs.iter().zip(dys.iter()) {
+                    x += dx;
+                    vertices.push(Point::new(x, y));
+                    y -= dy;
+                    vertices.push(Point::new(x, y));
+                }
+                RectilinearPolygon::new(vertices).expect("staircase is valid")
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn decomposition_area_equals_polygon_area(poly in staircase_polygon(20)) {
+        let rects = decompose_into_rects(&poly);
+        let total: i64 = rects.iter().map(|r| r.pixel_count()).sum();
+        prop_assert_eq!(total, poly.area());
+        for (i, a) in rects.iter().enumerate() {
+            for b in &rects[i + 1..] {
+                prop_assert!(!a.intersects(b));
+            }
+        }
+    }
+
+    #[test]
+    fn exact_overlay_matches_raster_oracle(p in staircase_polygon(12), q in staircase_polygon(12)) {
+        let (ri, ru) = raster::intersection_union_area(&p, &q);
+        prop_assert_eq!(intersection_area(&p, &q), ri);
+        prop_assert_eq!(union_area_direct(&p, &q), ru);
+        prop_assert_eq!(union_area_indirect(&p, &q), ru);
+    }
+
+    #[test]
+    fn direct_and_indirect_union_always_agree(p in staircase_polygon(16), q in staircase_polygon(16)) {
+        prop_assert_eq!(union_area_direct(&p, &q), union_area_indirect(&p, &q));
+    }
+
+    #[test]
+    fn jaccard_ratio_is_within_unit_interval(p in staircase_polygon(10), q in staircase_polygon(10)) {
+        let areas = pair_areas(&p, &q);
+        if let Some(r) = areas.ratio() {
+            prop_assert!(r > 0.0 && r <= 1.0);
+        } else {
+            prop_assert_eq!(areas.intersection, 0);
+        }
+        prop_assert!(areas.intersection <= p.area().min(q.area()));
+        prop_assert!(areas.union >= p.area().max(q.area()));
+    }
+}

@@ -1,0 +1,229 @@
+//! High-level cross-comparison API.
+//!
+//! [`CrossComparison`] wires the substrates together for the common case of
+//! comparing two in-memory segmentation results for the same tile or image:
+//! build MBR lists, filter candidate pairs with the Hilbert R-tree join,
+//! compute exact areas with PixelBox (on the simulated GPU or on the CPU) and
+//! aggregate the `J'` similarity. The full streaming system with parsing,
+//! bounded buffers and task migration lives in [`crate::pipeline`]; this type
+//! is the "library entry point" a downstream user reaches for first.
+
+use crate::jaccard::{JaccardAccumulator, JaccardSummary};
+use crate::pixelbox::cpu::compute_batch_cpu;
+use crate::pixelbox::gpu::GpuPixelBox;
+use crate::pixelbox::{AggregationDevice, PairAreas, PixelBoxConfig, PolygonPair};
+use sccg_geometry::text::PolygonRecord;
+use sccg_geometry::Rect;
+use sccg_gpu_sim::{Device, DeviceConfig, LaunchStats};
+use sccg_rtree::mbr_join;
+use std::sync::Arc;
+
+/// Configuration of a [`CrossComparison`] engine.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// PixelBox parameters.
+    pub pixelbox: PixelBoxConfig,
+    /// Which device performs the area computations.
+    pub device: AggregationDevice,
+    /// Simulated GPU to use when `device` is [`AggregationDevice::Gpu`].
+    pub gpu: DeviceConfig,
+    /// CPU worker threads to use when `device` is [`AggregationDevice::Cpu`].
+    pub cpu_workers: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            pixelbox: PixelBoxConfig::paper_default(),
+            device: AggregationDevice::Gpu,
+            gpu: DeviceConfig::gtx580(),
+            cpu_workers: crate::parallel::default_workers(),
+        }
+    }
+}
+
+/// Result of cross-comparing two polygon sets.
+#[derive(Debug, Clone)]
+pub struct CrossComparisonReport {
+    /// The `J'` similarity of the two sets (Formula 1).
+    pub similarity: f64,
+    /// Full aggregation summary.
+    pub summary: JaccardSummary,
+    /// Number of candidate pairs produced by the MBR join.
+    pub candidate_pairs: usize,
+    /// Per-pair areas, in candidate-pair order.
+    pub pair_areas: Vec<PairAreas>,
+    /// Simulated GPU launch statistics, when the GPU executed the batch.
+    pub gpu_launch: Option<LaunchStats>,
+    /// Simulated GPU seconds (transfers + kernel), when the GPU was used.
+    pub gpu_seconds: Option<f64>,
+}
+
+/// Cross-comparison engine binding a device and a PixelBox configuration.
+#[derive(Debug, Clone)]
+pub struct CrossComparison {
+    config: EngineConfig,
+    gpu: Arc<Device>,
+}
+
+impl CrossComparison {
+    /// Creates an engine; the simulated GPU device is instantiated eagerly so
+    /// repeated comparisons share it (and its cumulative statistics).
+    pub fn new(config: EngineConfig) -> Self {
+        let gpu = Arc::new(Device::new(config.gpu.clone()));
+        CrossComparison { config, gpu }
+    }
+
+    /// Creates an engine sharing an existing simulated device.
+    pub fn with_device(config: EngineConfig, gpu: Arc<Device>) -> Self {
+        CrossComparison { config, gpu }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The simulated GPU device used by this engine.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.gpu
+    }
+
+    /// Filters candidate pairs of two record sets by MBR intersection,
+    /// returning the pairs in join order. Exposed so callers can inspect the
+    /// filter stage's output (and so benches can time it separately).
+    pub fn filter_pairs(
+        &self,
+        first: &[PolygonRecord],
+        second: &[PolygonRecord],
+    ) -> Vec<PolygonPair> {
+        let left: Vec<Rect> = first.iter().map(|r| r.polygon.mbr()).collect();
+        let right: Vec<Rect> = second.iter().map(|r| r.polygon.mbr()).collect();
+        mbr_join(&left, &right)
+            .into_iter()
+            .map(|(i, j)| {
+                PolygonPair::new(
+                    first[i as usize].polygon.clone(),
+                    second[j as usize].polygon.clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// Cross-compares two polygon record sets (typically the two segmentation
+    /// results of one tile) and returns the similarity report.
+    pub fn compare_records(
+        &self,
+        first: &[PolygonRecord],
+        second: &[PolygonRecord],
+    ) -> CrossComparisonReport {
+        let pairs = self.filter_pairs(first, second);
+        self.compare_pairs(&pairs)
+    }
+
+    /// Cross-compares an already-filtered batch of polygon pairs.
+    pub fn compare_pairs(&self, pairs: &[PolygonPair]) -> CrossComparisonReport {
+        let (pair_areas, gpu_launch, gpu_seconds) = match self.config.device {
+            AggregationDevice::Gpu => {
+                let engine = GpuPixelBox::new(Arc::clone(&self.gpu));
+                let result = engine.compute_batch(pairs, &self.config.pixelbox);
+                let total = result.total_seconds();
+                (result.areas, Some(result.launch), Some(total))
+            }
+            AggregationDevice::Cpu => (
+                compute_batch_cpu(pairs, &self.config.pixelbox, self.config.cpu_workers),
+                None,
+                None,
+            ),
+        };
+
+        let mut acc = JaccardAccumulator::new();
+        for areas in &pair_areas {
+            acc.add_pair(*areas);
+        }
+        let summary = acc.summary();
+        CrossComparisonReport {
+            similarity: summary.similarity,
+            summary,
+            candidate_pairs: pairs.len(),
+            pair_areas,
+            gpu_launch,
+            gpu_seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sccg_datagen::{generate_tile_pair, TileSpec};
+
+    fn tile() -> sccg_datagen::TilePair {
+        generate_tile_pair(&TileSpec {
+            target_polygons: 80,
+            width: 512,
+            height: 512,
+            seed: 21,
+            ..TileSpec::default()
+        })
+    }
+
+    #[test]
+    fn gpu_engine_produces_plausible_similarity() {
+        let tile = tile();
+        let engine = CrossComparison::new(EngineConfig::default());
+        let report = engine.compare_records(&tile.first, &tile.second);
+        assert!(report.candidate_pairs > 0);
+        assert!(report.similarity > 0.3 && report.similarity <= 1.0);
+        assert!(report.gpu_launch.is_some());
+        assert!(report.gpu_seconds.unwrap() > 0.0);
+        assert_eq!(report.pair_areas.len(), report.candidate_pairs);
+    }
+
+    #[test]
+    fn cpu_and_gpu_engines_agree_exactly() {
+        let tile = tile();
+        let gpu_engine = CrossComparison::new(EngineConfig::default());
+        let cpu_engine = CrossComparison::new(EngineConfig {
+            device: AggregationDevice::Cpu,
+            ..EngineConfig::default()
+        });
+        let gpu_report = gpu_engine.compare_records(&tile.first, &tile.second);
+        let cpu_report = cpu_engine.compare_records(&tile.first, &tile.second);
+        assert_eq!(gpu_report.pair_areas, cpu_report.pair_areas);
+        assert_eq!(gpu_report.similarity, cpu_report.similarity);
+        assert!(cpu_report.gpu_launch.is_none());
+    }
+
+    #[test]
+    fn identical_inputs_have_similarity_one() {
+        let tile = tile();
+        let engine = CrossComparison::new(EngineConfig::default());
+        let report = engine.compare_records(&tile.first, &tile.first);
+        assert!((report.similarity - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_yield_zero_similarity() {
+        let engine = CrossComparison::new(EngineConfig::default());
+        let report = engine.compare_records(&[], &[]);
+        assert_eq!(report.candidate_pairs, 0);
+        assert_eq!(report.similarity, 0.0);
+    }
+
+    #[test]
+    fn similarity_agrees_with_exact_overlay_reference() {
+        // The PixelBox-based engine must reproduce exactly what the
+        // GEOS-style overlay computes pair by pair.
+        let tile = tile();
+        let engine = CrossComparison::new(EngineConfig::default());
+        let pairs = engine.filter_pairs(&tile.first, &tile.second);
+        let report = engine.compare_pairs(&pairs);
+        let mut acc = crate::jaccard::JaccardAccumulator::new();
+        for pair in &pairs {
+            acc.add_pair(sccg_clip::pair_areas(&pair.p, &pair.q));
+        }
+        let expected = acc.summary();
+        assert_eq!(report.summary, expected);
+    }
+}

@@ -1,0 +1,157 @@
+//! Jaccard similarity aggregation (Formula 1 of the paper).
+//!
+//! Digital-pathology studies use the variant `J'`: the average of the
+//! per-pair ratios `r(p, q) = ‖p∩q‖ / ‖p∪q‖` over every pair of polygons
+//! (one from each segmentation result) whose intersection is non-empty.
+//! Pairs whose MBRs intersect but whose polygons do not actually overlap are
+//! excluded. Missing polygons are reported separately as counts.
+
+use sccg_clip::PairAreas;
+
+/// Streaming accumulator for the `J'` similarity of one image (or one tile).
+///
+/// Accumulators can be merged, so per-tile partial results computed by the
+/// aggregator stage — possibly on different devices — combine into the
+/// whole-image score exactly as in the paper's pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct JaccardAccumulator {
+    ratio_sum: f64,
+    intersecting_pairs: u64,
+    candidate_pairs: u64,
+    intersection_area: i64,
+    union_area: i64,
+}
+
+impl JaccardAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds in the exact areas of one candidate pair (a pair whose MBRs
+    /// intersect). Pairs with an empty intersection are counted but do not
+    /// contribute to the ratio average.
+    pub fn add_pair(&mut self, areas: PairAreas) {
+        self.candidate_pairs += 1;
+        if let Some(ratio) = areas.ratio() {
+            self.ratio_sum += ratio;
+            self.intersecting_pairs += 1;
+            self.intersection_area += areas.intersection;
+            self.union_area += areas.union;
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &JaccardAccumulator) {
+        self.ratio_sum += other.ratio_sum;
+        self.intersecting_pairs += other.intersecting_pairs;
+        self.candidate_pairs += other.candidate_pairs;
+        self.intersection_area += other.intersection_area;
+        self.union_area += other.union_area;
+    }
+
+    /// Finalizes the accumulator into a summary.
+    pub fn summary(&self) -> JaccardSummary {
+        JaccardSummary {
+            similarity: if self.intersecting_pairs == 0 {
+                0.0
+            } else {
+                self.ratio_sum / self.intersecting_pairs as f64
+            },
+            intersecting_pairs: self.intersecting_pairs,
+            candidate_pairs: self.candidate_pairs,
+            total_intersection_area: self.intersection_area,
+            total_union_area: self.union_area,
+        }
+    }
+}
+
+/// Final similarity report for one cross-comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JaccardSummary {
+    /// `J'`: the average per-pair Jaccard ratio over actually-intersecting pairs.
+    pub similarity: f64,
+    /// Number of pairs with a non-empty intersection.
+    pub intersecting_pairs: u64,
+    /// Number of candidate pairs examined (MBR intersection).
+    pub candidate_pairs: u64,
+    /// Sum of `‖p∩q‖` over intersecting pairs.
+    pub total_intersection_area: i64,
+    /// Sum of `‖p∪q‖` over intersecting pairs.
+    pub total_union_area: i64,
+}
+
+impl JaccardSummary {
+    /// The aggregate-area Jaccard coefficient `Σ‖p∩q‖ / Σ‖p∪q‖`, the `J`
+    /// variant mentioned in §2.1 (useful as a cross-check on `J'`).
+    pub fn aggregate_jaccard(&self) -> f64 {
+        if self.total_union_area == 0 {
+            0.0
+        } else {
+            self.total_intersection_area as f64 / self.total_union_area as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn areas(i: i64, u: i64) -> PairAreas {
+        PairAreas {
+            intersection: i,
+            union: u,
+        }
+    }
+
+    #[test]
+    fn empty_accumulator_reports_zero_similarity() {
+        let summary = JaccardAccumulator::new().summary();
+        assert_eq!(summary.similarity, 0.0);
+        assert_eq!(summary.candidate_pairs, 0);
+        assert_eq!(summary.aggregate_jaccard(), 0.0);
+    }
+
+    #[test]
+    fn average_of_ratios() {
+        let mut acc = JaccardAccumulator::new();
+        acc.add_pair(areas(50, 100)); // 0.5
+        acc.add_pair(areas(75, 100)); // 0.75
+        acc.add_pair(areas(0, 120)); // excluded from the average
+        let s = acc.summary();
+        assert!((s.similarity - 0.625).abs() < 1e-12);
+        assert_eq!(s.intersecting_pairs, 2);
+        assert_eq!(s.candidate_pairs, 3);
+        assert_eq!(s.total_intersection_area, 125);
+        assert_eq!(s.total_union_area, 200);
+        assert!((s.aggregate_jaccard() - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential_accumulation() {
+        let pairs = [areas(10, 20), areas(5, 50), areas(0, 10), areas(30, 30)];
+        let mut all = JaccardAccumulator::new();
+        for p in pairs {
+            all.add_pair(p);
+        }
+        let mut left = JaccardAccumulator::new();
+        let mut right = JaccardAccumulator::new();
+        for p in &pairs[..2] {
+            left.add_pair(*p);
+        }
+        for p in &pairs[2..] {
+            right.add_pair(*p);
+        }
+        left.merge(&right);
+        assert_eq!(left.summary(), all.summary());
+    }
+
+    #[test]
+    fn identical_sets_have_similarity_one() {
+        let mut acc = JaccardAccumulator::new();
+        for _ in 0..10 {
+            acc.add_pair(areas(42, 42));
+        }
+        assert!((acc.summary().similarity - 1.0).abs() < 1e-12);
+    }
+}

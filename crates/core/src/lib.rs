@@ -1,0 +1,58 @@
+//! SCCG — Spatial Cross-Comparison on CPUs and GPUs.
+//!
+//! This crate is a from-scratch Rust reproduction of the system described in
+//! *"Accelerating Pathology Image Data Cross-Comparison on CPU-GPU Hybrid
+//! Systems"* (Wang, Huai, Lee, Wang, Zhang, Saltz — PVLDB 5(11), 2012). It
+//! computes the Jaccard similarity of two sets of segmented nucleus
+//! boundaries extracted from the same whole-slide pathology image, using:
+//!
+//! * **PixelBox** ([`pixelbox`]) — the paper's GPU algorithm for the areas of
+//!   intersection and union of rectilinear polygon pairs, implemented against
+//!   the SIMT device simulator of `sccg-gpu-sim`, together with its CPU port
+//!   (`PixelBox-CPU`) and the degenerate variants used in the evaluation
+//!   (`PixelOnly`, `PixelBox-NoSep`).
+//! * **A pipelined execution framework** ([`pipeline`]) — parser → builder →
+//!   filter → aggregator stages connected by bounded buffers, plus the
+//!   dynamic task-migration mechanism that balances work between CPUs and
+//!   GPUs, and a deterministic performance model used to regenerate the
+//!   paper's system-level experiments (Table 1, Figures 11 and 12).
+//! * **Jaccard aggregation** ([`jaccard`]) — the `J'` similarity metric of
+//!   Formula 1.
+//!
+//! # Quick start
+//!
+//! ```
+//! use sccg::prelude::*;
+//!
+//! // Generate a small synthetic tile with two segmentation results.
+//! let spec = sccg_datagen::TileSpec { target_polygons: 60, width: 512, height: 512, seed: 7, ..Default::default() };
+//! let tile = sccg_datagen::generate_tile_pair(&spec);
+//!
+//! // Cross-compare the two results with PixelBox on the simulated GPU.
+//! let engine = CrossComparison::new(EngineConfig::default());
+//! let report = engine.compare_records(&tile.first, &tile.second);
+//! assert!(report.similarity > 0.0 && report.similarity <= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod jaccard;
+pub mod parallel;
+pub mod pipeline;
+pub mod pixelbox;
+
+pub use engine::{CrossComparison, CrossComparisonReport, EngineConfig};
+pub use jaccard::{JaccardAccumulator, JaccardSummary};
+
+/// Convenient re-exports for application code.
+pub mod prelude {
+    pub use crate::engine::{CrossComparison, CrossComparisonReport, EngineConfig};
+    pub use crate::jaccard::{JaccardAccumulator, JaccardSummary};
+    pub use crate::pipeline::model::{PipelineModel, PlatformConfig, Scheme};
+    pub use crate::pipeline::{Pipeline, PipelineConfig, PipelineReport};
+    pub use crate::pixelbox::{
+        AggregationDevice, PairAreas, PixelBoxConfig, PolygonPair, Variant,
+    };
+}

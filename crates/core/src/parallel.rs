@@ -1,0 +1,115 @@
+//! A small work-sharing thread pool.
+//!
+//! The paper parallelizes text parsing and PixelBox-CPU with Intel Threading
+//! Building Blocks (§5). This module is the TBB stand-in documented in
+//! DESIGN.md: a scoped pool that splits a slice of work items into chunks and
+//! processes them on `workers` operating-system threads, stealing chunks from
+//! a shared queue. On a single-core host it degrades gracefully to sequential
+//! execution.
+
+use crossbeam::queue::SegQueue;
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use by default: one per available core.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every element of `items`, producing a vector of results in
+/// input order, using up to `workers` threads. Work is distributed in chunks
+/// through a lock-free queue so that uneven item costs balance dynamically
+/// (the "work-stealing" behaviour that matters for PixelBox-CPU, where pair
+/// costs vary with polygon size).
+pub fn parallel_map<T, R, F>(items: &[T], workers: usize, chunk_size: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Default + Clone,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers.max(1);
+    let chunk_size = chunk_size.max(1);
+    if items.is_empty() {
+        return Vec::new();
+    }
+    if workers == 1 || items.len() <= chunk_size {
+        return items.iter().map(|item| f(item)).collect();
+    }
+
+    let mut results: Vec<R> = vec![R::default(); items.len()];
+    // Chunked index ranges shared through a lock-free queue.
+    let queue: SegQueue<(usize, usize)> = SegQueue::new();
+    let mut start = 0;
+    while start < items.len() {
+        let end = (start + chunk_size).min(items.len());
+        queue.push((start, end));
+        start = end;
+    }
+
+    // Hand out disjoint mutable slices of the result vector to workers by
+    // splitting it up front; each chunk's results are written back through a
+    // channel to keep the code free of unsafe aliasing.
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, Vec<R>)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let queue = &queue;
+            let f = &f;
+            let tx = tx.clone();
+            scope.spawn(move || {
+                while let Some((lo, hi)) = queue.pop() {
+                    let out: Vec<R> = items[lo..hi].iter().map(|item| f(item)).collect();
+                    let _ = tx.send((lo, out));
+                }
+            });
+        }
+        drop(tx);
+    });
+    for (lo, chunk) in rx.iter() {
+        for (offset, value) in chunk.into_iter().enumerate() {
+            results[lo + offset] = value;
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_map(&items, 4, 16, |x| x * 2);
+        let expected: Vec<u64> = items.iter().map(|x| x * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn single_worker_matches_sequential() {
+        let items: Vec<u64> = (0..100).collect();
+        assert_eq!(
+            parallel_map(&items, 1, 8, |x| x + 1),
+            parallel_map(&items, 8, 8, |x| x + 1)
+        );
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: Vec<u32> = Vec::new();
+        let out: Vec<u32> = parallel_map(&items, 4, 8, |x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_chunks_cover_all_items() {
+        let items: Vec<usize> = (0..37).collect();
+        let out = parallel_map(&items, 3, 5, |x| *x);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

@@ -1,0 +1,579 @@
+//! The pipelined cross-comparing framework with dynamic task migration
+//! (paper §4, Figure 6).
+//!
+//! The workflow from raw polygon text files to the final similarity score
+//! runs as four stages connected by bounded buffers:
+//!
+//! 1. **Parser** — multiple CPU worker threads turn polygon text files into
+//!    binary polygon records.
+//! 2. **Builder** — a single thread bulk-loads a Hilbert R-tree over each
+//!    tile's second polygon set.
+//! 3. **Filter** — a single thread probes the index with the first polygon
+//!    set, emitting the array of MBR-intersecting pairs.
+//! 4. **Aggregator** — a single thread owns the (simulated) GPU, batches
+//!    filtered tasks and runs the PixelBox kernel, folding the per-pair
+//!    ratios into the Jaccard similarity.
+//!
+//! Tasks are defined at image-tile granularity, matching the segmentation
+//! procedure (§4.1). Two *migration threads* watch the aggregator's input
+//! buffer: when it fills up (GPU congested) they pull aggregation tasks out
+//! and run PixelBox-CPU on them; when it runs empty (GPU idle) they pull
+//! parse tasks forward and run them through the GPU parser path (§4.2).
+//!
+//! The threaded pipeline here is functionally real — every result is computed
+//! by the actual stages. Because wall-clock overlap cannot be observed on a
+//! single-core host, the *performance* of the different execution schemes is
+//! reproduced by the deterministic model in [`model`], fed by the same
+//! per-tile statistics.
+
+pub mod model;
+
+use crate::jaccard::{JaccardAccumulator, JaccardSummary};
+use crate::pixelbox::cpu::compute_batch_cpu;
+use crate::pixelbox::gpu::GpuPixelBox;
+use crate::pixelbox::{PixelBoxConfig, PolygonPair};
+use crossbeam::channel::{bounded, unbounded, RecvError, TryRecvError};
+use parking_lot::Mutex;
+use sccg_datagen::TilePair;
+use sccg_geometry::text::{parse_polygon_file, PolygonRecord};
+use sccg_geometry::Rect;
+use sccg_gpu_sim::{Device, DeviceConfig};
+use sccg_rtree::HilbertRTree;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of the pipelined framework.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Number of parser worker threads.
+    pub parser_workers: usize,
+    /// Capacity of each inter-stage buffer, in tasks.
+    pub buffer_capacity: usize,
+    /// PixelBox parameters used by the aggregator.
+    pub pixelbox: PixelBoxConfig,
+    /// Whether the dynamic task-migration threads run.
+    pub enable_migration: bool,
+    /// Simulated GPU the aggregator owns.
+    pub gpu: DeviceConfig,
+    /// Maximum number of filtered tasks the aggregator groups into one GPU
+    /// batch (input data batching, §4.1).
+    pub aggregator_batch: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            parser_workers: 2,
+            buffer_capacity: 8,
+            pixelbox: PixelBoxConfig::paper_default(),
+            enable_migration: true,
+            gpu: DeviceConfig::gtx580(),
+            aggregator_batch: 8,
+        }
+    }
+}
+
+/// Input task for the parser stage: the two polygon text files of one tile.
+#[derive(Debug, Clone)]
+pub struct ParseTask {
+    /// Tile identifier.
+    pub tile_id: u32,
+    /// Text of the first segmentation result's polygon file.
+    pub first_text: String,
+    /// Text of the second segmentation result's polygon file.
+    pub second_text: String,
+}
+
+impl ParseTask {
+    /// Builds a parse task from an in-memory tile pair by serializing it to
+    /// the text format (what a segmentation pipeline would have written to
+    /// disk).
+    pub fn from_tile_pair(tile: &TilePair) -> Self {
+        ParseTask {
+            tile_id: tile.tile_id,
+            first_text: tile.first_as_text(),
+            second_text: tile.second_as_text(),
+        }
+    }
+}
+
+/// Output of the parser stage.
+struct ParsedTile {
+    first: Vec<PolygonRecord>,
+    second: Vec<PolygonRecord>,
+}
+
+/// Output of the builder stage.
+struct IndexedTile {
+    first: Vec<PolygonRecord>,
+    second: Vec<PolygonRecord>,
+    index: HilbertRTree<u32>,
+}
+
+/// Output of the filter stage / input of the aggregator.
+struct FilteredTile {
+    pairs: Vec<PolygonPair>,
+}
+
+/// Per-stage busy wall-clock time, in seconds. On a single-core host the
+/// stage times overlap poorly; they are reported for observability, while the
+/// scheme comparisons use [`model`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageSeconds {
+    /// Parser workers (CPU).
+    pub parse: f64,
+    /// Builder thread.
+    pub build: f64,
+    /// Filter thread.
+    pub filter: f64,
+    /// Aggregator host thread (including the functional half of the simulated
+    /// kernel execution).
+    pub aggregate_host: f64,
+    /// Simulated GPU busy time (kernels + transfers).
+    pub aggregate_gpu_simulated: f64,
+    /// CPU time spent on aggregation tasks migrated off the GPU.
+    pub aggregate_migrated_cpu: f64,
+}
+
+/// Result of one pipeline run over a set of tiles.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Jaccard similarity summary over every tile processed.
+    pub summary: JaccardSummary,
+    /// Number of tiles processed.
+    pub tiles: usize,
+    /// Number of candidate pairs aggregated.
+    pub candidate_pairs: u64,
+    /// Aggregation tasks migrated from the GPU to the CPU.
+    pub migrated_to_cpu: u64,
+    /// Parse tasks migrated from CPU workers to the GPU parser path.
+    pub migrated_to_gpu: u64,
+    /// Per-stage busy times.
+    pub stage_seconds: StageSeconds,
+}
+
+impl PipelineReport {
+    /// The final `J'` similarity.
+    pub fn similarity(&self) -> f64 {
+        self.summary.similarity
+    }
+}
+
+/// The pipelined cross-comparing framework.
+#[derive(Debug)]
+pub struct Pipeline {
+    config: PipelineConfig,
+    device: Arc<Device>,
+}
+
+struct SharedState {
+    accumulator: Mutex<JaccardAccumulator>,
+    candidate_pairs: AtomicU64,
+    tiles_done: AtomicU64,
+    migrated_to_cpu: AtomicU64,
+    migrated_to_gpu: AtomicU64,
+    parse_nanos: AtomicU64,
+    build_nanos: AtomicU64,
+    filter_nanos: AtomicU64,
+    aggregate_host_nanos: AtomicU64,
+    aggregate_migrated_nanos: AtomicU64,
+}
+
+impl SharedState {
+    fn new() -> Self {
+        SharedState {
+            accumulator: Mutex::new(JaccardAccumulator::new()),
+            candidate_pairs: AtomicU64::new(0),
+            tiles_done: AtomicU64::new(0),
+            migrated_to_cpu: AtomicU64::new(0),
+            migrated_to_gpu: AtomicU64::new(0),
+            parse_nanos: AtomicU64::new(0),
+            build_nanos: AtomicU64::new(0),
+            filter_nanos: AtomicU64::new(0),
+            aggregate_host_nanos: AtomicU64::new(0),
+            aggregate_migrated_nanos: AtomicU64::new(0),
+        }
+    }
+
+    fn add_nanos(counter: &AtomicU64, started: Instant) {
+        counter.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Folds one aggregated batch into the shared accumulator and counters.
+    fn fold_batch(&self, areas: &[crate::pixelbox::PairAreas], tiles: u64) {
+        let mut acc = JaccardAccumulator::new();
+        for a in areas {
+            acc.add_pair(*a);
+        }
+        self.accumulator.lock().merge(&acc);
+        self.candidate_pairs
+            .fetch_add(areas.len() as u64, Ordering::Relaxed);
+        self.tiles_done.fetch_add(tiles, Ordering::Relaxed);
+    }
+}
+
+impl Pipeline {
+    /// Creates a pipeline with its own simulated GPU device.
+    pub fn new(config: PipelineConfig) -> Self {
+        let device = Arc::new(Device::new(config.gpu.clone()));
+        Pipeline { config, device }
+    }
+
+    /// The pipeline's configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The simulated GPU owned by the aggregator stage.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// Runs the full workflow over a set of parse tasks and returns the
+    /// similarity report.
+    pub fn run(&self, tasks: Vec<ParseTask>) -> PipelineReport {
+        let submitted = tasks.len();
+        let shared = Arc::new(SharedState::new());
+        let gpu_busy_before = self.device.stats().busy_seconds;
+
+        let capacity = self.config.buffer_capacity.max(1);
+        let (parse_tx, parse_rx) = unbounded::<ParseTask>();
+        let (build_tx, build_rx) = bounded::<ParsedTile>(capacity);
+        let (filter_tx, filter_rx) = bounded::<IndexedTile>(capacity);
+        let (agg_tx, agg_rx) = bounded::<FilteredTile>(capacity);
+
+        for task in tasks {
+            parse_tx.send(task).expect("input channel open");
+        }
+        drop(parse_tx); // Parser workers drain until disconnected.
+
+        std::thread::scope(|scope| {
+            // --- Parser workers -------------------------------------------
+            for _ in 0..self.config.parser_workers.max(1) {
+                let parse_rx = parse_rx.clone();
+                let build_tx = build_tx.clone();
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || loop {
+                    match parse_rx.recv() {
+                        Ok(task) => {
+                            let started = Instant::now();
+                            let parsed = parse_task(&task);
+                            SharedState::add_nanos(&shared.parse_nanos, started);
+                            if build_tx.send(parsed).is_err() {
+                                break;
+                            }
+                        }
+                        Err(RecvError) => break,
+                    }
+                });
+            }
+
+            // --- Migration thread: parse tasks onto the idle GPU -----------
+            if self.config.enable_migration {
+                let parse_rx = parse_rx.clone();
+                let build_tx = build_tx.clone();
+                let agg_probe = agg_rx.clone();
+                let shared = Arc::clone(&shared);
+                let device = Arc::clone(&self.device);
+                scope.spawn(move || loop {
+                    // GPU idleness indication: the aggregator's input buffer
+                    // is empty (§4.2). Only then does GPU-Parser take work.
+                    if agg_probe.is_empty() {
+                        match parse_rx.try_recv() {
+                            Ok(task) => {
+                                let bytes =
+                                    (task.first_text.len() + task.second_text.len()) as u64;
+                                // The GPU parser produces the same records;
+                                // bill the transfer of the raw text to the
+                                // device to account for its use.
+                                device.transfer(bytes);
+                                let parsed = parse_task(&task);
+                                shared.migrated_to_gpu.fetch_add(1, Ordering::Relaxed);
+                                if build_tx.send(parsed).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(TryRecvError::Disconnected) => break,
+                            Err(TryRecvError::Empty) => {
+                                std::thread::sleep(std::time::Duration::from_micros(100));
+                            }
+                        }
+                    } else {
+                        // Input fully drained and disconnected?
+                        if parse_rx.is_empty() {
+                            if let Err(TryRecvError::Disconnected) = parse_rx.try_recv() {
+                                break;
+                            }
+                        }
+                        std::thread::sleep(std::time::Duration::from_micros(100));
+                    }
+                });
+            }
+            drop(parse_rx);
+            drop(build_tx);
+
+            // --- Builder ----------------------------------------------------
+            {
+                let filter_tx = filter_tx.clone();
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || {
+                    while let Ok(parsed) = build_rx.recv() {
+                        let started = Instant::now();
+                        let index = HilbertRTree::bulk_load(
+                            parsed
+                                .second
+                                .iter()
+                                .enumerate()
+                                .map(|(j, r)| (r.polygon.mbr(), j as u32))
+                                .collect(),
+                        );
+                        let tile = IndexedTile {
+                            first: parsed.first,
+                            second: parsed.second,
+                            index,
+                        };
+                        SharedState::add_nanos(&shared.build_nanos, started);
+                        if filter_tx.send(tile).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(filter_tx);
+
+            // --- Filter -----------------------------------------------------
+            {
+                let agg_tx = agg_tx.clone();
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || {
+                    while let Ok(tile) = filter_rx.recv() {
+                        let started = Instant::now();
+                        let mut pairs = Vec::new();
+                        for record in &tile.first {
+                            let mbr: Rect = record.polygon.mbr();
+                            tile.index.search(&mbr, |_, &j| {
+                                pairs.push(PolygonPair::new(
+                                    record.polygon.clone(),
+                                    tile.second[j as usize].polygon.clone(),
+                                ));
+                            });
+                        }
+                        SharedState::add_nanos(&shared.filter_nanos, started);
+                        if agg_tx.send(FilteredTile { pairs }).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(agg_tx);
+
+            // --- Migration thread: aggregation tasks onto the CPU ----------
+            if self.config.enable_migration {
+                let agg_rx = agg_rx.clone();
+                let shared = Arc::clone(&shared);
+                let pixelbox = self.config.pixelbox;
+                scope.spawn(move || loop {
+                    // GPU congestion indication: the aggregator's input
+                    // buffer has filled up (§4.2).
+                    if agg_rx.len() >= capacity {
+                        match agg_rx.try_recv() {
+                            Ok(task) => {
+                                let started = Instant::now();
+                                let areas = compute_batch_cpu(&task.pairs, &pixelbox, 1);
+                                shared.fold_batch(&areas, 1);
+                                shared.migrated_to_cpu.fetch_add(1, Ordering::Relaxed);
+                                SharedState::add_nanos(
+                                    &shared.aggregate_migrated_nanos,
+                                    started,
+                                );
+                            }
+                            Err(TryRecvError::Empty) => {}
+                            Err(TryRecvError::Disconnected) => break,
+                        }
+                    } else if agg_rx.is_empty() {
+                        if let Err(TryRecvError::Disconnected) = agg_rx.try_recv() {
+                            break;
+                        }
+                        std::thread::sleep(std::time::Duration::from_micros(100));
+                    } else {
+                        std::thread::sleep(std::time::Duration::from_micros(100));
+                    }
+                });
+            }
+
+            // --- Aggregator (runs on the caller's thread) -------------------
+            let gpu_engine = GpuPixelBox::new(Arc::clone(&self.device));
+            loop {
+                let first = match agg_rx.recv() {
+                    Ok(task) => task,
+                    Err(RecvError) => break,
+                };
+                // Batch additional tasks that are already waiting (§4.1).
+                let mut batch_pairs = first.pairs;
+                let mut batch_tiles = 1u64;
+                while batch_tiles < self.config.aggregator_batch as u64 {
+                    match agg_rx.try_recv() {
+                        Ok(task) => {
+                            batch_pairs.extend(task.pairs);
+                            batch_tiles += 1;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                let started = Instant::now();
+                let result = gpu_engine.compute_batch(&batch_pairs, &self.config.pixelbox);
+                shared.fold_batch(&result.areas, batch_tiles);
+                SharedState::add_nanos(&shared.aggregate_host_nanos, started);
+            }
+        });
+
+        let gpu_busy_after = self.device.stats().busy_seconds;
+        let summary = shared.accumulator.lock().summary();
+        let mut report = PipelineReport {
+            summary,
+            tiles: shared.tiles_done.load(Ordering::Relaxed) as usize,
+            candidate_pairs: shared.candidate_pairs.load(Ordering::Relaxed),
+            migrated_to_cpu: shared.migrated_to_cpu.load(Ordering::Relaxed),
+            migrated_to_gpu: shared.migrated_to_gpu.load(Ordering::Relaxed),
+            stage_seconds: StageSeconds {
+                parse: shared.parse_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+                build: shared.build_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+                filter: shared.filter_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+                aggregate_host: shared.aggregate_host_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+                aggregate_gpu_simulated: gpu_busy_after - gpu_busy_before,
+                aggregate_migrated_cpu: shared.aggregate_migrated_nanos.load(Ordering::Relaxed)
+                    as f64
+                    * 1e-9,
+            },
+        };
+        // Defensive clamp: every submitted task is processed exactly once.
+        report.tiles = report.tiles.min(submitted);
+        report
+    }
+}
+
+/// Parses both polygon files of a task. Parse failures are treated as empty
+/// segmentation results: a malformed tile must not abort a whole-slide
+/// comparison (the workflow skips malformed tiles).
+fn parse_task(task: &ParseTask) -> ParsedTile {
+    ParsedTile {
+        first: parse_polygon_file(&task.first_text).unwrap_or_default(),
+        second: parse_polygon_file(&task.second_text).unwrap_or_default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{CrossComparison, EngineConfig};
+    use sccg_datagen::{generate_dataset, DatasetSpec};
+
+    fn small_dataset() -> sccg_datagen::Dataset {
+        generate_dataset(&DatasetSpec {
+            name: "pipeline-test".into(),
+            tiles: 6,
+            polygons_per_tile: 40,
+            tile_size: 512,
+            seed: 77,
+            nucleus_radius: 6,
+        })
+    }
+
+    fn tasks_of(dataset: &sccg_datagen::Dataset) -> Vec<ParseTask> {
+        dataset.tiles.iter().map(ParseTask::from_tile_pair).collect()
+    }
+
+    #[test]
+    fn pipeline_matches_direct_engine_results() {
+        let dataset = small_dataset();
+        let pipeline = Pipeline::new(PipelineConfig {
+            enable_migration: false,
+            ..PipelineConfig::default()
+        });
+        let report = pipeline.run(tasks_of(&dataset));
+
+        // Reference: compare each tile directly with the engine and merge.
+        let engine = CrossComparison::new(EngineConfig::default());
+        let mut acc = JaccardAccumulator::new();
+        for tile in &dataset.tiles {
+            let r = engine.compare_records(&tile.first, &tile.second);
+            for areas in &r.pair_areas {
+                acc.add_pair(*areas);
+            }
+        }
+        let expected = acc.summary();
+        assert_eq!(report.summary.candidate_pairs, expected.candidate_pairs);
+        assert_eq!(
+            report.summary.intersecting_pairs,
+            expected.intersecting_pairs
+        );
+        assert!((report.similarity() - expected.similarity).abs() < 1e-12);
+        assert_eq!(report.tiles, dataset.tiles.len());
+        assert_eq!(report.migrated_to_cpu + report.migrated_to_gpu, 0);
+        assert!(report.stage_seconds.parse > 0.0);
+        assert!(report.stage_seconds.aggregate_gpu_simulated > 0.0);
+    }
+
+    #[test]
+    fn migration_enabled_produces_identical_similarity() {
+        let dataset = small_dataset();
+        let without = Pipeline::new(PipelineConfig {
+            enable_migration: false,
+            ..PipelineConfig::default()
+        })
+        .run(tasks_of(&dataset));
+        let with = Pipeline::new(PipelineConfig {
+            enable_migration: true,
+            buffer_capacity: 2,
+            ..PipelineConfig::default()
+        })
+        .run(tasks_of(&dataset));
+        assert_eq!(
+            with.summary.candidate_pairs,
+            without.summary.candidate_pairs
+        );
+        assert!((with.similarity() - without.similarity()).abs() < 1e-12);
+        assert_eq!(with.tiles, without.tiles);
+    }
+
+    #[test]
+    fn empty_input_is_handled() {
+        let pipeline = Pipeline::new(PipelineConfig::default());
+        let report = pipeline.run(Vec::new());
+        assert_eq!(report.tiles, 0);
+        assert_eq!(report.candidate_pairs, 0);
+        assert_eq!(report.similarity(), 0.0);
+    }
+
+    #[test]
+    fn malformed_tiles_are_skipped_not_fatal() {
+        let mut tasks = tasks_of(&small_dataset());
+        tasks.push(ParseTask {
+            tile_id: 999,
+            first_text: "this is not a polygon file".into(),
+            second_text: String::new(),
+        });
+        let pipeline = Pipeline::new(PipelineConfig {
+            enable_migration: false,
+            ..PipelineConfig::default()
+        });
+        let report = pipeline.run(tasks);
+        assert!(report.candidate_pairs > 0);
+    }
+
+    #[test]
+    fn single_parser_worker_and_tiny_buffers_still_complete() {
+        let dataset = small_dataset();
+        let pipeline = Pipeline::new(PipelineConfig {
+            parser_workers: 1,
+            buffer_capacity: 1,
+            aggregator_batch: 1,
+            enable_migration: true,
+            ..PipelineConfig::default()
+        });
+        let report = pipeline.run(tasks_of(&dataset));
+        assert_eq!(report.tiles, dataset.tiles.len());
+        assert!(report.similarity() > 0.0);
+    }
+}

@@ -1,0 +1,376 @@
+//! Device-independent core of the PixelBox algorithm.
+//!
+//! Both the CPU port and the simulated-GPU kernel execute the same sampling
+//! box / pixelization logic; they differ only in how the work is scheduled
+//! and costed. This module implements that shared logic once and records an
+//! execution [`Trace`] — counts of pixel tests, box-position tests,
+//! partitionings, stack activity and shoelace work — which the GPU kernel
+//! converts into simulated cycles and which tests use to verify algorithmic
+//! claims (e.g. that sampling boxes reduce per-pixel work, Figure 8).
+
+use super::position::{box_position, BoxPosition};
+use super::{PairAreas, PolygonPair, Variant};
+use sccg_geometry::{Rect, RectilinearPolygon};
+
+/// Execution statistics of one pair (or a batch, traces are additive).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Number of pixel-in-polygon tests performed.
+    pub pixel_tests: u64,
+    /// Total polygon edges examined across all pixel tests.
+    pub pixel_edge_ops: u64,
+    /// Number of sampling-box position tests performed.
+    pub box_tests: u64,
+    /// Total polygon edges examined across all box-position tests.
+    pub box_edge_ops: u64,
+    /// Number of sampling boxes partitioned into sub-boxes.
+    pub partitions: u64,
+    /// Number of sub-boxes pushed onto the stack.
+    pub stack_pushes: u64,
+    /// Number of sampling boxes resolved without further partitioning.
+    pub resolved_boxes: u64,
+    /// Number of sampling boxes finished by pixelization.
+    pub pixelized_boxes: u64,
+    /// Number of SIMD pixelization rounds: for every pixelized region, the
+    /// number of pixels rounded up to the partition fanout (= GPU thread
+    /// block size). This is the lane-padded work a thread block actually
+    /// issues, which is what makes very small pixelization thresholds
+    /// inefficient (§3.4).
+    pub pixel_rounds: u64,
+    /// Deepest stack occupancy observed.
+    pub max_stack_depth: u64,
+    /// Polygon vertices visited by shoelace area computations.
+    pub shoelace_vertices: u64,
+}
+
+impl Trace {
+    /// Adds another trace into this one.
+    pub fn merge(&mut self, other: &Trace) {
+        self.pixel_tests += other.pixel_tests;
+        self.pixel_edge_ops += other.pixel_edge_ops;
+        self.box_tests += other.box_tests;
+        self.box_edge_ops += other.box_edge_ops;
+        self.partitions += other.partitions;
+        self.stack_pushes += other.stack_pushes;
+        self.resolved_boxes += other.resolved_boxes;
+        self.pixelized_boxes += other.pixelized_boxes;
+        self.pixel_rounds += other.pixel_rounds;
+        self.max_stack_depth = self.max_stack_depth.max(other.max_stack_depth);
+        self.shoelace_vertices += other.shoelace_vertices;
+    }
+}
+
+/// Computes the areas of intersection and union for one polygon pair using
+/// the requested variant, recording an execution trace.
+///
+/// * `threshold` — pixelization threshold `T` (boxes with fewer pixels are
+///   finished per-pixel).
+/// * `fanout` — number of sub-boxes a partitioned sampling box is split into
+///   (the GPU uses the thread-block size; the CPU port uses a small fanout).
+pub fn compute_pair(
+    pair: &PolygonPair,
+    threshold: u32,
+    fanout: u32,
+    variant: Variant,
+) -> (PairAreas, Trace) {
+    let mut trace = Trace::default();
+    let joint = pair.joint_mbr();
+    let threshold = i64::from(threshold.max(1));
+    let fanout = fanout.max(2);
+
+    let areas = match variant {
+        Variant::PixelOnly => pixelize_region(&joint, pair, fanout, &mut trace),
+        Variant::Full => {
+            let area_p = shoelace(&pair.p, &mut trace);
+            let area_q = shoelace(&pair.q, &mut trace);
+            let intersection =
+                sampling_box_scan(pair, &joint, threshold, fanout, false, &mut trace).intersection;
+            PairAreas {
+                intersection,
+                union: area_p + area_q - intersection,
+            }
+        }
+        Variant::NoSep => sampling_box_scan(pair, &joint, threshold, fanout, true, &mut trace),
+    };
+    (areas, trace)
+}
+
+/// Shoelace area with trace accounting (`PolyArea` in Algorithm 1).
+fn shoelace(poly: &RectilinearPolygon, trace: &mut Trace) -> i64 {
+    trace.shoelace_vertices += poly.vertex_count() as u64;
+    poly.area()
+}
+
+/// Exhaustive pixelization of a region: classifies every pixel against both
+/// polygons (the `PixelOnly` path, and the tail phase of the full algorithm).
+fn pixelize_region(
+    region: &Rect,
+    pair: &PolygonPair,
+    lanes: u32,
+    trace: &mut Trace,
+) -> PairAreas {
+    let mut intersection = 0i64;
+    let mut union = 0i64;
+    let p_edges = pair.p.vertex_count() as u64;
+    let q_edges = pair.q.vertex_count() as u64;
+    trace.pixel_rounds += (region.pixel_count().max(0) as u64).div_ceil(u64::from(lanes.max(1)));
+    for (x, y) in region.pixels() {
+        let in_p = pair.p.contains_pixel(x, y);
+        let in_q = pair.q.contains_pixel(x, y);
+        trace.pixel_tests += 2;
+        trace.pixel_edge_ops += p_edges + q_edges;
+        if in_p && in_q {
+            intersection += 1;
+        }
+        if in_p || in_q {
+            union += 1;
+        }
+    }
+    PairAreas {
+        intersection,
+        union,
+    }
+}
+
+/// Contribution state of one sampling box to one accumulated quantity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Contribution {
+    /// The box contributes all of its pixels.
+    All,
+    /// The box contributes none of its pixels.
+    None,
+    /// Cannot be decided at this granularity.
+    Unknown,
+}
+
+fn intersection_contribution(p1: BoxPosition, p2: BoxPosition) -> Contribution {
+    use BoxPosition::*;
+    match (p1, p2) {
+        (Outside, _) | (_, Outside) => Contribution::None,
+        (Inside, Inside) => Contribution::All,
+        _ => Contribution::Unknown,
+    }
+}
+
+fn union_contribution(p1: BoxPosition, p2: BoxPosition) -> Contribution {
+    use BoxPosition::*;
+    match (p1, p2) {
+        (Inside, _) | (_, Inside) => Contribution::All,
+        (Outside, Outside) => Contribution::None,
+        _ => Contribution::Unknown,
+    }
+}
+
+/// The sampling-box phase: a depth-first scan over a stack of boxes,
+/// partitioning hovering boxes and pixelizing boxes below the threshold.
+///
+/// When `track_union` is false (the full PixelBox variant) only the
+/// intersection needs resolving; when true (`PixelBox-NoSep`) a box stays
+/// unresolved until both its intersection and union contributions are known,
+/// which requires more partitionings (§3.2).
+fn sampling_box_scan(
+    pair: &PolygonPair,
+    initial: &Rect,
+    threshold: i64,
+    fanout: u32,
+    track_union: bool,
+    trace: &mut Trace,
+) -> PairAreas {
+    let mut intersection = 0i64;
+    let mut union = 0i64;
+    let mut stack: Vec<Rect> = vec![*initial];
+    trace.stack_pushes += 1;
+
+    // Sub-box grid dimensions: as square as possible for the requested fanout.
+    let cols = (fanout as f64).sqrt().ceil() as u32;
+    let rows = fanout.div_ceil(cols);
+
+    while let Some(sampling_box) = stack.pop() {
+        trace.max_stack_depth = trace.max_stack_depth.max(stack.len() as u64 + 1);
+        if sampling_box.is_empty() {
+            continue;
+        }
+        if sampling_box.pixel_count() < threshold {
+            // Pixelization phase (Algorithm 1, lines 22–28).
+            let local = pixelize_region(&sampling_box, pair, fanout, trace);
+            intersection += local.intersection;
+            if track_union {
+                union += local.union;
+            }
+            trace.pixelized_boxes += 1;
+            continue;
+        }
+        // Partition phase (Algorithm 1, lines 30–39).
+        trace.partitions += 1;
+        for idx in 0..cols * rows {
+            let sub = sampling_box.subdivide(cols, rows, idx);
+            if sub.is_empty() {
+                continue;
+            }
+            let pos_p = box_position(&sub, &pair.p);
+            let pos_q = box_position(&sub, &pair.q);
+            trace.box_tests += 2;
+            trace.box_edge_ops +=
+                pair.p.vertex_count() as u64 + pair.q.vertex_count() as u64;
+
+            let inter_c = intersection_contribution(pos_p, pos_q);
+            let union_c = union_contribution(pos_p, pos_q);
+            let resolved = inter_c != Contribution::Unknown
+                && (!track_union || union_c != Contribution::Unknown);
+            if resolved {
+                if inter_c == Contribution::All {
+                    intersection += sub.pixel_count();
+                }
+                if track_union && union_c == Contribution::All {
+                    union += sub.pixel_count();
+                }
+                trace.resolved_boxes += 1;
+            } else {
+                stack.push(sub);
+                trace.stack_pushes += 1;
+            }
+        }
+    }
+
+    PairAreas {
+        intersection,
+        union,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sccg_geometry::{raster, Point};
+
+    fn pair(p: RectilinearPolygon, q: RectilinearPolygon) -> PolygonPair {
+        PolygonPair::new(p, q)
+    }
+
+    fn rect_poly(x0: i32, y0: i32, x1: i32, y1: i32) -> RectilinearPolygon {
+        RectilinearPolygon::rectangle(Rect::new(x0, y0, x1, y1)).unwrap()
+    }
+
+    fn l_shape(offset: i32, size: i32) -> RectilinearPolygon {
+        RectilinearPolygon::new(vec![
+            Point::new(offset, offset),
+            Point::new(offset + size, offset),
+            Point::new(offset + size, offset + size / 2),
+            Point::new(offset + size / 2, offset + size / 2),
+            Point::new(offset + size / 2, offset + size),
+            Point::new(offset, offset + size),
+        ])
+        .unwrap()
+    }
+
+    fn assert_all_variants_exact(p: &RectilinearPolygon, q: &RectilinearPolygon) {
+        let (ri, ru) = raster::intersection_union_area(p, q);
+        for variant in [Variant::PixelOnly, Variant::NoSep, Variant::Full] {
+            for threshold in [1u32, 16, 256, 100_000] {
+                for fanout in [4u32, 16, 64] {
+                    let (areas, _) =
+                        compute_pair(&pair(p.clone(), q.clone()), threshold, fanout, variant);
+                    assert_eq!(
+                        (areas.intersection, areas.union),
+                        (ri, ru),
+                        "variant {variant:?} T={threshold} fanout={fanout}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_overlapping_rectangles() {
+        assert_all_variants_exact(&rect_poly(0, 0, 20, 20), &rect_poly(10, 5, 32, 27));
+    }
+
+    #[test]
+    fn exact_on_disjoint_rectangles() {
+        assert_all_variants_exact(&rect_poly(0, 0, 8, 8), &rect_poly(30, 30, 40, 40));
+    }
+
+    #[test]
+    fn exact_on_nested_polygons() {
+        assert_all_variants_exact(&rect_poly(0, 0, 40, 40), &l_shape(8, 16));
+    }
+
+    #[test]
+    fn exact_on_l_shapes() {
+        assert_all_variants_exact(&l_shape(0, 24), &l_shape(6, 24));
+    }
+
+    #[test]
+    fn exact_on_identical_polygons() {
+        let p = l_shape(3, 20);
+        assert_all_variants_exact(&p, &p.clone());
+    }
+
+    #[test]
+    fn sampling_boxes_reduce_pixel_tests_for_large_pairs() {
+        // The central claim behind Figure 8: with sampling boxes enabled the
+        // number of per-pixel tests is far lower than exhaustive pixelization
+        // once polygons are large.
+        let p = l_shape(0, 96);
+        let q = l_shape(10, 96);
+        let (_, t_pixel) = compute_pair(&pair(p.clone(), q.clone()), 1 << 30, 64, Variant::PixelOnly);
+        let (_, t_full) = compute_pair(&pair(p, q), 2048, 64, Variant::Full);
+        assert!(
+            t_full.pixel_tests * 2 < t_pixel.pixel_tests,
+            "full {} vs pixel-only {}",
+            t_full.pixel_tests,
+            t_pixel.pixel_tests
+        );
+        assert!(t_full.partitions > 0);
+        assert!(t_full.resolved_boxes > 0);
+    }
+
+    #[test]
+    fn nosep_needs_at_least_as_many_partitions_as_full() {
+        // Computing the union directly forces extra partitionings (§3.2).
+        let p = l_shape(0, 96);
+        let q = l_shape(30, 96);
+        let (_, t_full) = compute_pair(&pair(p.clone(), q.clone()), 512, 64, Variant::Full);
+        let (_, t_nosep) = compute_pair(&pair(p, q), 512, 64, Variant::NoSep);
+        assert!(t_nosep.partitions >= t_full.partitions);
+        assert!(t_nosep.pixel_tests >= t_full.pixel_tests);
+    }
+
+    #[test]
+    fn pixel_only_never_partitions() {
+        let p = l_shape(0, 32);
+        let q = l_shape(4, 32);
+        let (_, t) = compute_pair(&pair(p, q), 64, 16, Variant::PixelOnly);
+        assert_eq!(t.partitions, 0);
+        assert_eq!(t.box_tests, 0);
+        assert!(t.pixel_tests > 0);
+    }
+
+    #[test]
+    fn trace_merge_accumulates() {
+        let p = l_shape(0, 16);
+        let q = l_shape(2, 16);
+        let (_, t1) = compute_pair(&pair(p.clone(), q.clone()), 64, 4, Variant::Full);
+        let (_, t2) = compute_pair(&pair(p, q), 64, 4, Variant::Full);
+        let mut merged = t1;
+        merged.merge(&t2);
+        assert_eq!(merged.pixel_tests, t1.pixel_tests * 2);
+        assert_eq!(merged.box_tests, t1.box_tests * 2);
+        assert_eq!(merged.max_stack_depth, t1.max_stack_depth);
+    }
+
+    #[test]
+    fn scaled_pairs_keep_exactness() {
+        // Mirrors the Figure 8 stress test: scaling coordinates must not
+        // break exactness of any variant.
+        let p = l_shape(0, 20);
+        let q = l_shape(5, 20);
+        for scale in 1..=5 {
+            let ps = p.scale(scale).unwrap();
+            let qs = q.scale(scale).unwrap();
+            let (ri, ru) = raster::intersection_union_area(&ps, &qs);
+            let (areas, _) = compute_pair(&pair(ps, qs), 2048, 64, Variant::Full);
+            assert_eq!((areas.intersection, areas.union), (ri, ru), "scale {scale}");
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! The PixelBox GPU kernel, executed on the simulated SIMT device.
+//!
+//! This is the Rust rendition of Algorithm 1: polygon pairs are distributed
+//! round-robin over thread blocks; each block processes its pairs with the
+//! sampling-box / pixelization scan, keeping the sampling-box stack and
+//! (optionally) the polygon vertex data in shared memory. The functional
+//! results come from the shared [`algorithm`](super::algorithm) core; the
+//! execution [`Trace`] of each pair is converted into simulated cycles,
+//! shared-memory traffic, bank conflicts, global transactions and barriers on
+//! the block's [`BlockContext`], honouring the optimization toggles compared
+//! in Figure 9.
+
+use super::algorithm::{compute_pair, Trace};
+use super::{PairAreas, PixelBoxConfig, PolygonPair};
+use sccg_gpu_sim::{BlockContext, Device, LaunchConfig, LaunchStats};
+use std::sync::Arc;
+
+/// Bytes of shared memory reserved per block for the sampling-box stack
+/// (five sub-stacks of `block_size` entries each, as in §3.3).
+fn stack_shared_bytes(block_size: u32) -> u32 {
+    5 * 4 * block_size * 2
+}
+
+/// Bytes of shared memory reserved per block for staged polygon vertices
+/// when the shared-memory optimization is enabled (a fixed-size region; only
+/// polygons that fit are staged, §3.3).
+const SHARED_VERTEX_REGION_BYTES: u32 = 2 * 1024;
+
+/// Result of one batched PixelBox launch.
+#[derive(Debug, Clone)]
+pub struct GpuBatchResult {
+    /// Areas of intersection and union per input pair, in input order.
+    pub areas: Vec<PairAreas>,
+    /// Simulated execution statistics of the kernel launch.
+    pub launch: LaunchStats,
+    /// Simulated host→device and device→host transfer time, in seconds.
+    pub transfer_seconds: f64,
+    /// Aggregated algorithm trace over all pairs.
+    pub trace: Trace,
+}
+
+impl GpuBatchResult {
+    /// Total simulated GPU time (transfer + kernel), in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.transfer_seconds + self.launch.time_seconds
+    }
+}
+
+/// A PixelBox execution engine bound to one simulated GPU device.
+#[derive(Debug, Clone)]
+pub struct GpuPixelBox {
+    device: Arc<Device>,
+}
+
+impl GpuPixelBox {
+    /// Creates an engine on the given device.
+    pub fn new(device: Arc<Device>) -> Self {
+        GpuPixelBox { device }
+    }
+
+    /// The underlying simulated device.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// Computes the areas of intersection and union for a batch of polygon
+    /// pairs with one kernel launch (plus the host↔device transfers for the
+    /// batch), mirroring the aggregator stage's batched invocation (§4.1).
+    pub fn compute_batch(
+        &self,
+        pairs: &[PolygonPair],
+        config: &PixelBoxConfig,
+    ) -> GpuBatchResult {
+        let mut areas = vec![PairAreas::default(); pairs.len()];
+        let mut trace_total = Trace::default();
+        if pairs.is_empty() {
+            return GpuBatchResult {
+                areas,
+                launch: LaunchStats::default(),
+                transfer_seconds: 0.0,
+                trace: trace_total,
+            };
+        }
+
+        // Host → device: vertex arrays and MBRs of every pair; device → host:
+        // the per-thread partial areas (block_size values per pair).
+        let input_bytes: u64 = pairs
+            .iter()
+            .map(|pair| {
+                8 * (pair.p.vertex_count() + pair.q.vertex_count()) as u64 + 16
+            })
+            .sum();
+        let output_bytes = 8 * u64::from(config.block_size) * pairs.len() as u64;
+        let mut transfer_seconds = self.device.transfer(input_bytes);
+
+        let grid_dim = config.grid_size.min(pairs.len() as u32).max(1);
+        let shared_bytes = stack_shared_bytes(config.block_size)
+            + if config.opts.shared_memory_vertices {
+                SHARED_VERTEX_REGION_BYTES
+            } else {
+                0
+            };
+        let launch_config =
+            LaunchConfig::new(grid_dim, config.block_size).with_shared_mem(shared_bytes);
+
+        // Results and traces are collected per block through interior indices
+        // (round-robin assignment, Algorithm 1 line 10).
+        let areas_cell = std::cell::RefCell::new(&mut areas);
+        let trace_cell = std::cell::RefCell::new(&mut trace_total);
+        let launch = self.device.launch(&launch_config, |block| {
+            let mut pair_idx = block.block_idx() as usize;
+            while pair_idx < pairs.len() {
+                let pair = &pairs[pair_idx];
+                let (pair_areas, trace) =
+                    compute_pair(pair, config.threshold, config.block_size, config.variant);
+                charge_pair(block, pair, &trace, config);
+                areas_cell.borrow_mut()[pair_idx] = pair_areas;
+                trace_cell.borrow_mut().merge(&trace);
+                pair_idx += grid_dim as usize;
+            }
+        });
+        drop(areas_cell);
+        drop(trace_cell);
+
+        transfer_seconds += self.device.transfer(output_bytes);
+        GpuBatchResult {
+            areas,
+            launch,
+            transfer_seconds,
+            trace: trace_total,
+        }
+    }
+}
+
+/// Converts the algorithmic trace of one pair into simulated costs on the
+/// block context, honouring the optimization flags.
+fn charge_pair(
+    block: &mut BlockContext,
+    pair: &PolygonPair,
+    trace: &Trace,
+    config: &PixelBoxConfig,
+) {
+    let lanes = u64::from(block.threads().max(1));
+    let opts = &config.opts;
+
+    // Instruction cost constants (per polygon edge examined and per pixel).
+    const OPS_PER_EDGE_TEST: u64 = 8;
+    const OPS_PER_PIXEL_FIXED: u64 = 6;
+    const OPS_PER_SHOELACE_VERTEX: u64 = 6;
+    const VERTEX_BYTES: u32 = 8;
+
+    // --- Input staging -----------------------------------------------------
+    let total_vertices = (pair.p.vertex_count() + pair.q.vertex_count()) as u64;
+    let vertex_loads = total_vertices.div_ceil(lanes).max(1);
+    // MBR + bookkeeping.
+    block.global_access(16, true);
+    // Vertex data is always read from global memory once.
+    block.global_stream(VERTEX_BYTES, true, vertex_loads);
+    let vertices_fit_shared =
+        total_vertices * u64::from(VERTEX_BYTES) <= u64::from(SHARED_VERTEX_REGION_BYTES);
+    let use_shared_vertices = opts.shared_memory_vertices && vertices_fit_shared;
+    if use_shared_vertices {
+        // Stage into shared memory (one conflict-free store per vertex load).
+        block.shared_access_uniform(vertex_loads);
+        block.sync_threads();
+    }
+
+    // --- Edge-examination work (pixel tests + box-position tests) ----------
+    // Pixel tests execute in lane-padded rounds: every pixelized region costs
+    // whole thread-block rounds even when it holds fewer pixels than lanes
+    // (the inefficiency that makes very small thresholds T slow, §3.4). Each
+    // round examines every edge of both polygons.
+    let pixel_round_edge_ops = trace.pixel_rounds * total_vertices;
+    // Box-position tests: one sub-box per lane per partition round.
+    let box_edge_ops = trace.box_edge_ops.div_ceil(lanes);
+    let per_lane_edge_ops = pixel_round_edge_ops + box_edge_ops;
+    block.charge_alu(per_lane_edge_ops * OPS_PER_EDGE_TEST);
+    // Per-pixel fixed work (index arithmetic, predicate accumulation).
+    let per_lane_pixels = trace.pixel_tests.div_ceil(lanes);
+    block.charge_alu(per_lane_pixels * OPS_PER_PIXEL_FIXED);
+    // Each edge examined needs its vertex pair: from shared memory when
+    // staged (broadcast, conflict-free), from (L1-cached, streamed) global
+    // memory otherwise.
+    if use_shared_vertices {
+        block.shared_access_uniform(per_lane_edge_ops);
+    } else {
+        block.global_stream(VERTEX_BYTES, true, per_lane_edge_ops);
+    }
+    // Edge-loop bookkeeping; unrolling by 4 divides the per-iteration
+    // overhead (§3.3, "Perform loop unrolling").
+    let unroll = if opts.unroll_loops { 4 } else { 1 };
+    block.charge_loop_overhead(per_lane_edge_ops.div_ceil(unroll));
+
+    // --- Shoelace polygon areas (Full variant only charges when used) ------
+    if trace.shoelace_vertices > 0 {
+        let per_lane = trace.shoelace_vertices.div_ceil(lanes);
+        block.charge_alu(per_lane * OPS_PER_SHOELACE_VERTEX);
+        if use_shared_vertices {
+            block.shared_access_uniform(per_lane);
+        } else {
+            block.global_stream(VERTEX_BYTES, true, per_lane);
+        }
+    }
+
+    // --- Sampling-box stack traffic ----------------------------------------
+    // Every partition round pushes `block_size` sub-boxes (five words each)
+    // and every processed box is popped by all threads; pushes are laid out
+    // either as five separate arrays (stride-1, conflict-free) or as an
+    // array of five-word structures padded to eight words (stride-8, 8-way
+    // conflicts on a 32-bank device), per §3.3 "Avoid memory bank conflicts".
+    if trace.partitions > 0 {
+        let stride: u32 = if opts.avoid_bank_conflicts { 1 } else { 8 };
+        let lanes_u32 = block.threads();
+        let mut addresses = Vec::with_capacity(lanes_u32 as usize);
+        for field in 0..5u32 {
+            addresses.clear();
+            for tid in 0..lanes_u32 {
+                addresses.push(tid * stride + field * if stride == 1 { lanes_u32 } else { 1 });
+            }
+            // One push per partition round per field.
+            for _ in 0..trace.partitions {
+                block.shared_access(&addresses);
+            }
+        }
+        // Position tests write/read the flag column and pop boxes.
+        block.shared_access_uniform(trace.stack_pushes.div_ceil(lanes) * 5);
+    }
+
+    // --- Synchronization ----------------------------------------------------
+    // One barrier per stack pop (Algorithm 1, line 17): pops equal pushes.
+    block.sync_threads_many(trace.stack_pushes.max(1));
+
+    // --- Result write-back ---------------------------------------------------
+    block.global_access(8, true);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pixelbox::{OptimizationFlags, Variant};
+    use sccg_gpu_sim::DeviceConfig;
+    use sccg_geometry::{raster, Rect, RectilinearPolygon};
+
+    fn device() -> Arc<Device> {
+        Arc::new(Device::new(DeviceConfig::gtx580()))
+    }
+
+    fn sample_pairs(n: i32) -> Vec<PolygonPair> {
+        (0..n)
+            .map(|i| {
+                let p = RectilinearPolygon::rectangle(Rect::new(
+                    3 * i,
+                    2 * i,
+                    3 * i + 12 + (i % 4),
+                    2 * i + 9,
+                ))
+                .unwrap();
+                let q = RectilinearPolygon::rectangle(Rect::new(
+                    3 * i + 4,
+                    2 * i + 3,
+                    3 * i + 17,
+                    2 * i + 13,
+                ))
+                .unwrap();
+                PolygonPair::new(p, q)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gpu_results_match_raster_oracle() {
+        let engine = GpuPixelBox::new(device());
+        let pairs = sample_pairs(25);
+        let result = engine.compute_batch(&pairs, &PixelBoxConfig::paper_default());
+        assert_eq!(result.areas.len(), pairs.len());
+        for (pair, areas) in pairs.iter().zip(&result.areas) {
+            let (ri, ru) = raster::intersection_union_area(&pair.p, &pair.q);
+            assert_eq!((areas.intersection, areas.union), (ri, ru));
+        }
+        assert!(result.launch.cycles > 0);
+        assert!(result.transfer_seconds > 0.0);
+        assert!(result.total_seconds() > result.launch.time_seconds);
+    }
+
+    #[test]
+    fn gpu_and_cpu_agree() {
+        let engine = GpuPixelBox::new(device());
+        let pairs = sample_pairs(40);
+        let config = PixelBoxConfig::paper_default();
+        let gpu = engine.compute_batch(&pairs, &config);
+        let cpu = super::super::cpu::compute_batch_cpu(&pairs, &config, 2);
+        assert_eq!(gpu.areas, cpu);
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let engine = GpuPixelBox::new(device());
+        let result = engine.compute_batch(&[], &PixelBoxConfig::paper_default());
+        assert!(result.areas.is_empty());
+        assert_eq!(result.launch.cycles, 0);
+        assert_eq!(result.transfer_seconds, 0.0);
+    }
+
+    #[test]
+    fn variants_produce_identical_areas_but_different_costs() {
+        let engine = GpuPixelBox::new(device());
+        // Scale pairs up so the sampling-box machinery actually engages.
+        let pairs: Vec<PolygonPair> = sample_pairs(10)
+            .into_iter()
+            .map(|pair| PolygonPair::new(pair.p.scale(6).unwrap(), pair.q.scale(6).unwrap()))
+            .collect();
+        let base = PixelBoxConfig::paper_default();
+        let full = engine.compute_batch(&pairs, &base.with_variant(Variant::Full));
+        let nosep = engine.compute_batch(&pairs, &base.with_variant(Variant::NoSep));
+        let pixel_only = engine.compute_batch(&pairs, &base.with_variant(Variant::PixelOnly));
+        assert_eq!(full.areas, nosep.areas);
+        assert_eq!(full.areas, pixel_only.areas);
+        // Figure 8 shape: PixelBox <= PixelBox-NoSep <= PixelOnly in time.
+        assert!(full.launch.cycles <= nosep.launch.cycles);
+        assert!(nosep.launch.cycles < pixel_only.launch.cycles);
+    }
+
+    #[test]
+    fn optimizations_reduce_cost_without_changing_results() {
+        let engine = GpuPixelBox::new(device());
+        let pairs: Vec<PolygonPair> = sample_pairs(10)
+            .into_iter()
+            .map(|pair| PolygonPair::new(pair.p.scale(5).unwrap(), pair.q.scale(5).unwrap()))
+            .collect();
+        let base = PixelBoxConfig::paper_default();
+        let optimized = engine.compute_batch(&pairs, &base.with_opts(OptimizationFlags::all()));
+        let unoptimized = engine.compute_batch(&pairs, &base.with_opts(OptimizationFlags::none()));
+        assert_eq!(optimized.areas, unoptimized.areas);
+        assert!(optimized.launch.cycles < unoptimized.launch.cycles);
+        // Bank conflicts only appear when the stack is interleaved.
+        assert!(optimized.launch.bank_conflicts <= unoptimized.launch.bank_conflicts);
+    }
+
+    #[test]
+    fn batching_amortizes_transfer_overhead() {
+        let engine = GpuPixelBox::new(device());
+        let pairs = sample_pairs(64);
+        let config = PixelBoxConfig::paper_default();
+        let batched = engine.compute_batch(&pairs, &config).transfer_seconds;
+        let unbatched: f64 = pairs
+            .chunks(1)
+            .map(|chunk| engine.compute_batch(chunk, &config).transfer_seconds)
+            .sum();
+        assert!(batched < unbatched);
+    }
+}

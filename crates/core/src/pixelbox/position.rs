@@ -1,0 +1,216 @@
+//! The sampling-box position predicate (Lemma 1 of the paper).
+
+use sccg_geometry::{Rect, RectilinearPolygon};
+
+/// Position of a sampling box relative to one polygon (§3.2, Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoxPosition {
+    /// Every pixel of the box lies inside the polygon.
+    Inside,
+    /// Every pixel of the box lies outside the polygon.
+    Outside,
+    /// Some pixels may lie inside and some outside: the box must be
+    /// partitioned further (or pixelized).
+    Hover,
+}
+
+/// Computes a sampling box's position relative to a polygon.
+///
+/// Lemma 1 of the paper classifies a box by (i) edge-to-edge crossings,
+/// (ii) polygon vertices inside the box and (iii) the box centre. Because all
+/// coordinates here are integers, a polygon boundary chord can slice through
+/// a box while meeting the box's edges exactly at polygon vertices, which the
+/// literal three conditions would mis-classify. This implementation therefore
+/// uses the equivalent — but safely conservative — form of the test: the box
+/// is *uniform* exactly when no polygon edge passes through the box's open
+/// interior, because only such an edge can separate two pixel centres inside
+/// the box. Uniform boxes are resolved by their centre pixel (condition iii);
+/// everything else hovers and is partitioned further, exactly as the paper
+/// prescribes for the boundary-overlap case ("the next level of partition
+/// will distinguish the contribution of each sub-sampling box").
+pub fn box_position(sampling_box: &Rect, poly: &RectilinearPolygon) -> BoxPosition {
+    debug_assert!(!sampling_box.is_empty());
+
+    // Quick reject: a box disjoint from the polygon's MBR is outside.
+    if !sampling_box.intersects(&poly.mbr()) {
+        return BoxPosition::Outside;
+    }
+
+    if boundary_intersects_interior(sampling_box, poly) {
+        return BoxPosition::Hover;
+    }
+
+    // No boundary inside the box: every pixel has the same status as the
+    // centre pixel (condition (iii) of Lemma 1).
+    let (cx, cy) = sampling_box.center_pixel();
+    if poly.contains_pixel(cx, cy) {
+        BoxPosition::Inside
+    } else {
+        BoxPosition::Outside
+    }
+}
+
+/// Whether any edge of the polygon's boundary passes through the open
+/// interior `(min_x, max_x) × (min_y, max_y)` of the box. Edges lying exactly
+/// on the box border do not count: they cannot separate pixel centres that
+/// are inside the box.
+pub fn boundary_intersects_interior(sampling_box: &Rect, poly: &RectilinearPolygon) -> bool {
+    for e in poly.edges() {
+        let (a, b) = (e.a, e.b);
+        if a.x == b.x {
+            // Vertical edge at x = a.x spanning [ylo, yhi].
+            let x = a.x;
+            let (ylo, yhi) = if a.y < b.y { (a.y, b.y) } else { (b.y, a.y) };
+            if x > sampling_box.min_x
+                && x < sampling_box.max_x
+                && ylo < sampling_box.max_y
+                && yhi > sampling_box.min_y
+            {
+                return true;
+            }
+        } else {
+            // Horizontal edge at y = a.y spanning [xlo, xhi].
+            let y = a.y;
+            let (xlo, xhi) = if a.x < b.x { (a.x, b.x) } else { (b.x, a.x) };
+            if y > sampling_box.min_y
+                && y < sampling_box.max_y
+                && xlo < sampling_box.max_x
+                && xhi > sampling_box.min_x
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sccg_geometry::{raster, Point};
+
+    fn l_shape() -> RectilinearPolygon {
+        RectilinearPolygon::new(vec![
+            Point::new(0, 0),
+            Point::new(8, 0),
+            Point::new(8, 4),
+            Point::new(4, 4),
+            Point::new(4, 8),
+            Point::new(0, 8),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn box_far_outside_is_outside() {
+        assert_eq!(
+            box_position(&Rect::new(100, 100, 104, 104), &l_shape()),
+            BoxPosition::Outside
+        );
+    }
+
+    #[test]
+    fn box_in_notch_is_outside() {
+        // The notch of the L (x,y in [5..8)x[5..8)) is outside the polygon
+        // even though it is inside the polygon's MBR.
+        assert_eq!(
+            box_position(&Rect::new(5, 5, 8, 8), &l_shape()),
+            BoxPosition::Outside
+        );
+    }
+
+    #[test]
+    fn box_fully_inside_is_inside() {
+        assert_eq!(
+            box_position(&Rect::new(1, 1, 3, 3), &l_shape()),
+            BoxPosition::Inside
+        );
+    }
+
+    #[test]
+    fn box_straddling_boundary_hovers() {
+        assert_eq!(
+            box_position(&Rect::new(2, 2, 6, 6), &l_shape()),
+            BoxPosition::Hover
+        );
+    }
+
+    #[test]
+    fn box_containing_whole_polygon_hovers() {
+        // Case (c) of Figure 5: the polygon lies entirely within the box.
+        assert_eq!(
+            box_position(&Rect::new(-5, -5, 20, 20), &l_shape()),
+            BoxPosition::Hover
+        );
+    }
+
+    #[test]
+    fn chord_through_box_meeting_edges_at_vertices_hovers() {
+        // Regression test for the boundary-overlap pitfall: the polygon's top
+        // edge slices the box in half while its endpoints lie exactly on the
+        // box border. The literal Lemma 1 conditions would call this box
+        // uniform; the conservative test must report Hover (or the area would
+        // be wrong by half the box).
+        let poly = RectilinearPolygon::rectangle(Rect::new(0, 0, 4, 2)).unwrap();
+        let b = Rect::new(0, 0, 4, 4);
+        assert_eq!(box_position(&b, &poly), BoxPosition::Hover);
+    }
+
+    #[test]
+    fn polygon_edge_on_box_border_does_not_force_hover() {
+        // A polygon sharing only a border with the box must still resolve to
+        // Outside (no interior pixels are affected).
+        let poly = RectilinearPolygon::rectangle(Rect::new(4, 0, 8, 4)).unwrap();
+        let b = Rect::new(0, 0, 4, 4);
+        assert_eq!(box_position(&b, &poly), BoxPosition::Outside);
+        // And the symmetric case where the box lies inside the polygon and
+        // shares its left border.
+        let poly = RectilinearPolygon::rectangle(Rect::new(0, 0, 8, 8)).unwrap();
+        assert_eq!(box_position(&b, &poly), BoxPosition::Inside);
+    }
+
+    #[test]
+    fn classification_is_consistent_with_pixel_counts() {
+        // For a grid of small boxes over the L shape's neighbourhood, Inside
+        // must mean "all pixels inside", Outside "no pixels inside".
+        let poly = l_shape();
+        for bx in -1..9 {
+            for by in -1..9 {
+                for (w, h) in [(2, 2), (3, 1), (1, 3), (4, 4)] {
+                    let sampling_box = Rect::new(bx, by, bx + w, by + h);
+                    let inside_pixels = raster::pixels_inside(&poly, &sampling_box);
+                    match box_position(&sampling_box, &poly) {
+                        BoxPosition::Inside => assert_eq!(
+                            inside_pixels,
+                            sampling_box.pixel_count(),
+                            "{sampling_box:?}"
+                        ),
+                        BoxPosition::Outside => {
+                            assert_eq!(inside_pixels, 0, "{sampling_box:?}")
+                        }
+                        BoxPosition::Hover => { /* will be partitioned further */ }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_pixel_boxes_are_exact() {
+        let poly = l_shape();
+        for x in -1..9 {
+            for y in -1..9 {
+                let b = Rect::new(x, y, x + 1, y + 1);
+                let expected_inside = poly.contains_pixel(x, y);
+                match box_position(&b, &poly) {
+                    BoxPosition::Inside => assert!(expected_inside),
+                    BoxPosition::Outside => assert!(!expected_inside),
+                    BoxPosition::Hover => {
+                        // Acceptable: pixelization of a hover box tests the
+                        // single pixel directly and stays exact.
+                    }
+                }
+            }
+        }
+    }
+}

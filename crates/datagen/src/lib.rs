@@ -1,0 +1,33 @@
+//! Synthetic pathology imaging workloads.
+//!
+//! The paper evaluates SCCG on 18 real data sets extracted from brain-tumor
+//! whole-slide images (§5.1): each data set is a pair of segmentation results
+//! for the same image, each result a group of per-tile polygon files, each
+//! polygon a small rectilinear nucleus boundary (average area ≈ 150 pixels,
+//! σ ≈ 100; roughly half a million polygons per result on average, with the
+//! largest data set above two million). Those data sets are not public, so
+//! this crate generates synthetic workloads that match the published
+//! characteristics:
+//!
+//! * [`nucleus`] — single nucleus-like rectilinear polygons built from noisy
+//!   discrete ellipses.
+//! * [`tile`] — image tiles populated with nuclei, and a *perturbed* second
+//!   segmentation of the same tile (jittered centres, radii and boundaries,
+//!   plus dropped/added objects), so that cross-comparison produces realistic
+//!   pair counts and Jaccard ratios.
+//! * [`dataset`] — whole data sets (many tiles), the 18-entry catalog
+//!   mirroring the paper's study, and serialization to the polygon-file text
+//!   format consumed by the parser stage.
+//!
+//! All generation is seeded and fully deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod nucleus;
+pub mod tile;
+
+pub use dataset::{catalog, generate_dataset, Dataset, DatasetSpec};
+pub use nucleus::{generate_nucleus, NucleusParams};
+pub use tile::{generate_tile_pair, TilePair, TileSpec};

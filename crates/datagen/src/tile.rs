@@ -1,0 +1,255 @@
+//! Tile-level generation: two segmentation results for the same image tile.
+
+use crate::nucleus::{generate_nucleus, NucleusParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sccg_geometry::text::{write_polygon_file, PolygonRecord};
+
+/// Parameters of one generated image tile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TileSpec {
+    /// Identifier of the tile within its image.
+    pub tile_id: u32,
+    /// Tile width in pixels.
+    pub width: u32,
+    /// Tile height in pixels.
+    pub height: u32,
+    /// Approximate number of nuclei to place in the tile.
+    pub target_polygons: u32,
+    /// Base nucleus shape parameters for the first segmentation result.
+    pub nucleus: NucleusParams,
+    /// Probability that the second segmentation misses an object present in
+    /// the first (and vice versa, at half this rate for spurious objects).
+    pub dropout: f64,
+    /// Maximum centre displacement between the two segmentations, in pixels.
+    pub max_shift: u32,
+    /// Random seed; every tile derives its own generator, so tiles can be
+    /// produced independently and in any order.
+    pub seed: u64,
+}
+
+impl Default for TileSpec {
+    fn default() -> Self {
+        TileSpec {
+            tile_id: 0,
+            width: 4096,
+            height: 4096,
+            target_polygons: 500,
+            nucleus: NucleusParams::default(),
+            dropout: 0.05,
+            max_shift: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// The two segmentation results for one image tile, in the paper's polygon
+/// file representation ("polygons extracted from a single tile are contained
+/// in a single polygon file", §2.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TilePair {
+    /// Identifier of the tile.
+    pub tile_id: u32,
+    /// Polygon records produced by the first segmentation.
+    pub first: Vec<PolygonRecord>,
+    /// Polygon records produced by the second segmentation.
+    pub second: Vec<PolygonRecord>,
+}
+
+impl TilePair {
+    /// Serializes the first segmentation result to the text file format.
+    pub fn first_as_text(&self) -> String {
+        write_polygon_file(&self.first)
+    }
+
+    /// Serializes the second segmentation result to the text file format.
+    pub fn second_as_text(&self) -> String {
+        write_polygon_file(&self.second)
+    }
+
+    /// Total number of polygons across both segmentations.
+    pub fn polygon_count(&self) -> usize {
+        self.first.len() + self.second.len()
+    }
+}
+
+/// Generates the polygon files of both segmentation results for one tile.
+///
+/// Nuclei of the first result are placed on a jittered grid (so that objects
+/// within one result rarely overlap each other, as in real tissue). The
+/// second result re-segments the *same* objects with jittered centres, radii
+/// and boundaries, drops a small fraction of them and adds a few spurious
+/// ones — the kind of disagreement that algorithm-validation studies measure.
+pub fn generate_tile_pair(spec: &TileSpec) -> TilePair {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ (u64::from(spec.tile_id) << 32));
+
+    // Cell size of the placement grid: large enough for one nucleus plus
+    // breathing room.
+    let cell = (2 * spec.nucleus.radius_x.max(spec.nucleus.radius_y) + 6).max(8) as i32;
+    let cols = (spec.width as i32 / cell).max(1);
+    let rows = (spec.height as i32 / cell).max(1);
+    let capacity = (cols * rows) as u32;
+    let count = spec.target_polygons.min(capacity);
+
+    // Choose `count` distinct cells deterministically.
+    let mut cells: Vec<u32> = (0..capacity).collect();
+    for i in (1..cells.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        cells.swap(i, j);
+    }
+    cells.truncate(count as usize);
+
+    let mut first = Vec::with_capacity(count as usize);
+    let mut second = Vec::with_capacity(count as usize);
+    let mut next_id: u64 = 1;
+
+    for &cell_idx in &cells {
+        let col = (cell_idx as i32) % cols;
+        let row = (cell_idx as i32) / cols;
+        let margin = spec.nucleus.radius_x.max(spec.nucleus.radius_y) as i32 + 2;
+        let cx = col * cell + margin + rng.gen_range(0..(cell - 2 * margin).max(1));
+        let cy = row * cell + margin + rng.gen_range(0..(cell - 2 * margin).max(1));
+
+        let poly_a = generate_nucleus(cx, cy, &spec.nucleus, &mut rng);
+        first.push(PolygonRecord {
+            id: next_id,
+            polygon: poly_a,
+        });
+
+        // Second segmentation: usually re-detects the same nucleus slightly
+        // differently; sometimes misses it entirely.
+        if rng.gen_bool(1.0 - spec.dropout) {
+            let shift = spec.max_shift as i32;
+            let dx = if shift > 0 { rng.gen_range(-shift..=shift) } else { 0 };
+            let dy = if shift > 0 { rng.gen_range(-shift..=shift) } else { 0 };
+            let jittered = NucleusParams {
+                radius_x: (spec.nucleus.radius_x as i32 + rng.gen_range(-1..=1)).max(2) as u32,
+                radius_y: (spec.nucleus.radius_y as i32 + rng.gen_range(-1..=1)).max(2) as u32,
+                boundary_jitter: spec.nucleus.boundary_jitter,
+            };
+            let poly_b = generate_nucleus(cx + dx, cy + dy, &jittered, &mut rng);
+            second.push(PolygonRecord {
+                id: next_id,
+                polygon: poly_b,
+            });
+        }
+        // Spurious detection present only in the second result.
+        if rng.gen_bool(spec.dropout / 2.0) {
+            let sx = rng.gen_range(margin..(spec.width as i32 - margin).max(margin + 1));
+            let sy = rng.gen_range(margin..(spec.height as i32 - margin).max(margin + 1));
+            let poly_s = generate_nucleus(sx, sy, &spec.nucleus, &mut rng);
+            second.push(PolygonRecord {
+                id: 1_000_000 + next_id,
+                polygon: poly_s,
+            });
+        }
+        next_id += 1;
+    }
+
+    TilePair {
+        tile_id: spec.tile_id,
+        first,
+        second,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sccg_geometry::text::{file_stats, parse_polygon_file};
+    use sccg_geometry::Rect;
+
+    fn small_spec() -> TileSpec {
+        TileSpec {
+            tile_id: 3,
+            width: 512,
+            height: 512,
+            target_polygons: 120,
+            seed: 99,
+            ..TileSpec::default()
+        }
+    }
+
+    #[test]
+    fn tile_pair_has_requested_polygon_counts() {
+        let pair = generate_tile_pair(&small_spec());
+        assert_eq!(pair.first.len(), 120);
+        // The second result loses ~5% and gains ~2.5%; allow generous slack.
+        assert!(pair.second.len() >= 100 && pair.second.len() <= 130);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_tile_pair(&small_spec());
+        let b = generate_tile_pair(&small_spec());
+        assert_eq!(a, b);
+        let mut other = small_spec();
+        other.seed = 100;
+        assert_ne!(generate_tile_pair(&other), a);
+    }
+
+    #[test]
+    fn polygons_lie_within_tile_bounds() {
+        let spec = small_spec();
+        let pair = generate_tile_pair(&spec);
+        let bounds = Rect::new(
+            -8,
+            -8,
+            spec.width as i32 + 8,
+            spec.height as i32 + 8,
+        );
+        for rec in pair.first.iter().chain(pair.second.iter()) {
+            assert!(bounds.contains_rect(&rec.polygon.mbr()), "{:?}", rec.polygon.mbr());
+        }
+    }
+
+    #[test]
+    fn first_result_polygons_rarely_overlap_each_other() {
+        let pair = generate_tile_pair(&small_spec());
+        let mut overlaps = 0;
+        for (i, a) in pair.first.iter().enumerate() {
+            for b in &pair.first[i + 1..] {
+                if a.polygon.mbr().intersects(&b.polygon.mbr()) {
+                    overlaps += 1;
+                }
+            }
+        }
+        // Grid placement keeps same-result nuclei essentially disjoint.
+        assert!(overlaps * 20 < pair.first.len(), "{overlaps} overlaps");
+    }
+
+    #[test]
+    fn most_first_polygons_have_an_overlapping_partner_in_second() {
+        let pair = generate_tile_pair(&small_spec());
+        let mut matched = 0;
+        for a in &pair.first {
+            if pair
+                .second
+                .iter()
+                .any(|b| a.polygon.mbr().intersects(&b.polygon.mbr()))
+            {
+                matched += 1;
+            }
+        }
+        // At least ~85% of objects should be re-detected with overlap.
+        assert!(matched * 100 >= pair.first.len() * 85, "{matched} matched");
+    }
+
+    #[test]
+    fn text_round_trip_preserves_records() {
+        let pair = generate_tile_pair(&small_spec());
+        let parsed = parse_polygon_file(&pair.first_as_text()).unwrap();
+        assert_eq!(parsed, pair.first);
+        let stats = file_stats(&parsed);
+        assert!(stats.mean_area > 50.0 && stats.mean_area < 400.0);
+    }
+
+    #[test]
+    fn polygon_count_helper() {
+        let pair = generate_tile_pair(&small_spec());
+        assert_eq!(
+            pair.polygon_count(),
+            pair.first.len() + pair.second.len()
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type for geometric validation and parsing.
+
+use std::fmt;
+
+/// Errors produced while constructing, validating or parsing geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeometryError {
+    /// A polygon needs at least four vertices to enclose any area.
+    TooFewVertices {
+        /// Number of vertices supplied.
+        got: usize,
+    },
+    /// Two consecutive vertices are identical, producing a zero-length edge.
+    ZeroLengthEdge {
+        /// Index of the first vertex of the offending edge.
+        index: usize,
+    },
+    /// An edge is neither horizontal nor vertical.
+    NonRectilinearEdge {
+        /// Index of the first vertex of the offending edge.
+        index: usize,
+    },
+    /// Consecutive edges run along the same axis (the vertex between them is
+    /// collinear and redundant), which the canonical form forbids.
+    CollinearVertex {
+        /// Index of the redundant vertex.
+        index: usize,
+    },
+    /// The polygon's signed area is zero (degenerate boundary).
+    ZeroArea,
+    /// A text record could not be parsed.
+    Parse {
+        /// 1-based line number of the offending record, when known.
+        line: usize,
+        /// Human readable description of what went wrong.
+        message: String,
+    },
+    /// A coordinate overflowed the supported range during an operation
+    /// (for example when scaling a polygon).
+    CoordinateOverflow,
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::TooFewVertices { got } => {
+                write!(f, "polygon requires at least 4 vertices, got {got}")
+            }
+            GeometryError::ZeroLengthEdge { index } => {
+                write!(f, "zero-length edge starting at vertex {index}")
+            }
+            GeometryError::NonRectilinearEdge { index } => {
+                write!(f, "edge starting at vertex {index} is not axis-aligned")
+            }
+            GeometryError::CollinearVertex { index } => {
+                write!(f, "vertex {index} is collinear with its neighbours")
+            }
+            GeometryError::ZeroArea => write!(f, "polygon encloses zero area"),
+            GeometryError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GeometryError::CoordinateOverflow => write!(f, "coordinate overflow"),
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(GeometryError, &str)> = vec![
+            (GeometryError::TooFewVertices { got: 2 }, "at least 4"),
+            (GeometryError::ZeroLengthEdge { index: 3 }, "zero-length"),
+            (GeometryError::NonRectilinearEdge { index: 1 }, "axis-aligned"),
+            (GeometryError::CollinearVertex { index: 5 }, "collinear"),
+            (GeometryError::ZeroArea, "zero area"),
+            (
+                GeometryError::Parse {
+                    line: 7,
+                    message: "bad token".into(),
+                },
+                "line 7",
+            ),
+            (GeometryError::CoordinateOverflow, "overflow"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg} should contain {needle}");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<GeometryError>();
+    }
+}

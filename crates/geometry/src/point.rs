@@ -1,0 +1,139 @@
+//! Integer grid points.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A point on the integer pixel grid of a whole-slide image.
+///
+/// Coordinates are `i32`: whole-slide images are on the order of
+/// 100,000 × 100,000 pixels (paper §1), which fits comfortably, and the area
+/// arithmetic is carried out in `i64` to avoid overflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Point {
+    /// Horizontal coordinate (column).
+    pub x: i32,
+    /// Vertical coordinate (row).
+    pub y: i32,
+}
+
+impl Point {
+    /// Creates a new point.
+    #[inline]
+    pub const fn new(x: i32, y: i32) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0, y: 0 };
+
+    /// Squared Euclidean distance to another point, in `i64` to avoid overflow.
+    #[inline]
+    pub fn distance_sq(&self, other: &Point) -> i64 {
+        let dx = i64::from(self.x) - i64::from(other.x);
+        let dy = i64::from(self.y) - i64::from(other.y);
+        dx * dx + dy * dy
+    }
+
+    /// Manhattan (L1) distance to another point.
+    #[inline]
+    pub fn manhattan(&self, other: &Point) -> i64 {
+        (i64::from(self.x) - i64::from(other.x)).abs()
+            + (i64::from(self.y) - i64::from(other.y)).abs()
+    }
+
+    /// Scales both coordinates by an integer factor, checking for overflow.
+    pub fn checked_scale(&self, factor: i32) -> Option<Point> {
+        Some(Point {
+            x: self.x.checked_mul(factor)?,
+            y: self.y.checked_mul(factor)?,
+        })
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(i32, i32)> for Point {
+    #[inline]
+    fn from((x, y): (i32, i32)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let p = Point::new(3, -7);
+        assert_eq!(p.x, 3);
+        assert_eq!(p.y, -7);
+        assert_eq!(Point::ORIGIN, Point::new(0, 0));
+        assert_eq!(Point::from((1, 2)), Point::new(1, 2));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Point::new(2, 3);
+        let b = Point::new(-1, 5);
+        assert_eq!(a + b, Point::new(1, 8));
+        assert_eq!(a - b, Point::new(3, -2));
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0, 0);
+        let b = Point::new(3, 4);
+        assert_eq!(a.distance_sq(&b), 25);
+        assert_eq!(a.manhattan(&b), 7);
+    }
+
+    #[test]
+    fn distance_does_not_overflow_for_whole_slide_coordinates() {
+        // Whole-slide images reach ~100,000 pixels per side (paper §1);
+        // squared distances overflow i32 and must be computed in i64.
+        let a = Point::new(0, 0);
+        let b = Point::new(100_000, 100_000);
+        assert_eq!(a.distance_sq(&b), 2 * 100_000i64 * 100_000i64);
+        assert_eq!(a.manhattan(&b), 200_000);
+    }
+
+    #[test]
+    fn checked_scale_detects_overflow() {
+        assert_eq!(
+            Point::new(2, 3).checked_scale(10),
+            Some(Point::new(20, 30))
+        );
+        assert_eq!(Point::new(i32::MAX, 0).checked_scale(2), None);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut pts = vec![Point::new(1, 5), Point::new(0, 9), Point::new(1, 2)];
+        pts.sort();
+        assert_eq!(
+            pts,
+            vec![Point::new(0, 9), Point::new(1, 2), Point::new(1, 5)]
+        );
+    }
+}

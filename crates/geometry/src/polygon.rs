@@ -1,0 +1,539 @@
+//! Rectilinear polygons with exact integer area and containment tests.
+
+use crate::error::GeometryError;
+use crate::point::Point;
+use crate::rect::Rect;
+use crate::Result;
+
+/// Orientation of a rectilinear edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// The edge runs parallel to the x axis.
+    Horizontal,
+    /// The edge runs parallel to the y axis.
+    Vertical,
+}
+
+/// A single directed edge of a rectilinear polygon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Start vertex.
+    pub a: Point,
+    /// End vertex.
+    pub b: Point,
+}
+
+impl Edge {
+    /// Orientation of the edge. Zero-length edges are rejected at polygon
+    /// construction time, so every edge is either horizontal or vertical.
+    #[inline]
+    pub fn kind(&self) -> EdgeKind {
+        if self.a.y == self.b.y {
+            EdgeKind::Horizontal
+        } else {
+            EdgeKind::Vertical
+        }
+    }
+
+    /// Length of the edge in pixels.
+    #[inline]
+    pub fn length(&self) -> i64 {
+        (i64::from(self.b.x) - i64::from(self.a.x)).abs()
+            + (i64::from(self.b.y) - i64::from(self.a.y)).abs()
+    }
+
+    /// Lower coordinate bound along the edge's axis of variation.
+    #[inline]
+    fn lo(&self) -> i32 {
+        match self.kind() {
+            EdgeKind::Horizontal => self.a.x.min(self.b.x),
+            EdgeKind::Vertical => self.a.y.min(self.b.y),
+        }
+    }
+
+    /// Upper coordinate bound along the edge's axis of variation.
+    #[inline]
+    fn hi(&self) -> i32 {
+        match self.kind() {
+            EdgeKind::Horizontal => self.a.x.max(self.b.x),
+            EdgeKind::Vertical => self.a.y.max(self.b.y),
+        }
+    }
+
+    /// The fixed coordinate of the edge (y for horizontal edges, x for
+    /// vertical edges).
+    #[inline]
+    fn fixed(&self) -> i32 {
+        match self.kind() {
+            EdgeKind::Horizontal => self.a.y,
+            EdgeKind::Vertical => self.a.x,
+        }
+    }
+
+    /// Tests whether two axis-aligned edges *properly cross*: their interiors
+    /// intersect at exactly one point. Perpendicular edges cross when each
+    /// edge's fixed coordinate lies strictly between the other's endpoints.
+    /// Parallel (possibly overlapping) edges never properly cross — the paper
+    /// treats boundary-overlapping sampling boxes as either inside or outside
+    /// (§3.2), so an overlap must not force a `hover` classification here.
+    pub fn properly_crosses(&self, other: &Edge) -> bool {
+        match (self.kind(), other.kind()) {
+            (EdgeKind::Horizontal, EdgeKind::Vertical)
+            | (EdgeKind::Vertical, EdgeKind::Horizontal) => {
+                let (h, v) = if self.kind() == EdgeKind::Horizontal {
+                    (self, other)
+                } else {
+                    (other, self)
+                };
+                v.fixed() > h.lo()
+                    && v.fixed() < h.hi()
+                    && h.fixed() > v.lo()
+                    && h.fixed() < v.hi()
+            }
+            _ => false,
+        }
+    }
+}
+
+/// A closed rectilinear polygon on the pixel grid.
+///
+/// The boundary is the closed chain `v0 → v1 → … → v(n-1) → v0`. A valid
+/// polygon has at least four vertices, axis-aligned non-degenerate edges,
+/// alternating edge orientations (no collinear vertices) and non-zero area.
+/// Self-intersection is not checked: segmentation outputs are simple by
+/// construction, and the algorithms under study only rely on the even–odd
+/// containment rule, which remains well defined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RectilinearPolygon {
+    vertices: Vec<Point>,
+    mbr: Rect,
+}
+
+impl RectilinearPolygon {
+    /// Builds a polygon from a vertex chain, validating rectilinearity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] when the chain has fewer than four
+    /// vertices, contains a zero-length or diagonal edge, contains a
+    /// collinear (redundant) vertex, or encloses zero area.
+    pub fn new(vertices: Vec<Point>) -> Result<Self> {
+        if vertices.len() < 4 {
+            return Err(GeometryError::TooFewVertices {
+                got: vertices.len(),
+            });
+        }
+        let n = vertices.len();
+        for i in 0..n {
+            let a = vertices[i];
+            let b = vertices[(i + 1) % n];
+            if a == b {
+                return Err(GeometryError::ZeroLengthEdge { index: i });
+            }
+            if a.x != b.x && a.y != b.y {
+                return Err(GeometryError::NonRectilinearEdge { index: i });
+            }
+        }
+        for i in 0..n {
+            let prev = vertices[(i + n - 1) % n];
+            let cur = vertices[i];
+            let next = vertices[(i + 1) % n];
+            let incoming_vertical = prev.x == cur.x;
+            let outgoing_vertical = cur.x == next.x;
+            if incoming_vertical == outgoing_vertical {
+                return Err(GeometryError::CollinearVertex { index: i });
+            }
+        }
+        let poly = RectilinearPolygon {
+            mbr: Self::compute_mbr(&vertices),
+            vertices,
+        };
+        if poly.area() == 0 {
+            return Err(GeometryError::ZeroArea);
+        }
+        Ok(poly)
+    }
+
+    /// Builds a polygon from a vertex chain after removing consecutive
+    /// duplicate and collinear vertices. Useful when ingesting generated or
+    /// hand-written vertex lists that are not in canonical form.
+    pub fn canonicalize(vertices: Vec<Point>) -> Result<Self> {
+        let mut cleaned: Vec<Point> = Vec::with_capacity(vertices.len());
+        for v in vertices {
+            if cleaned.last() == Some(&v) {
+                continue;
+            }
+            cleaned.push(v);
+        }
+        // Drop a duplicated closing vertex if present.
+        if cleaned.len() > 1 && cleaned.first() == cleaned.last() {
+            cleaned.pop();
+        }
+        // Remove collinear vertices iteratively until stable.
+        loop {
+            let n = cleaned.len();
+            if n < 4 {
+                break;
+            }
+            let mut removed = false;
+            let mut out: Vec<Point> = Vec::with_capacity(n);
+            for i in 0..n {
+                let prev = cleaned[(i + n - 1) % n];
+                let cur = cleaned[i];
+                let next = cleaned[(i + 1) % n];
+                let collinear = (prev.x == cur.x && cur.x == next.x)
+                    || (prev.y == cur.y && cur.y == next.y);
+                if collinear {
+                    removed = true;
+                } else {
+                    out.push(cur);
+                }
+            }
+            cleaned = out;
+            if !removed {
+                break;
+            }
+        }
+        Self::new(cleaned)
+    }
+
+    /// Convenience constructor for an axis-aligned rectangle polygon.
+    pub fn rectangle(rect: Rect) -> Result<Self> {
+        Self::new(vec![
+            Point::new(rect.min_x, rect.min_y),
+            Point::new(rect.max_x, rect.min_y),
+            Point::new(rect.max_x, rect.max_y),
+            Point::new(rect.min_x, rect.max_y),
+        ])
+    }
+
+    fn compute_mbr(vertices: &[Point]) -> Rect {
+        let mut mbr = Rect::EMPTY;
+        for v in vertices {
+            mbr.min_x = mbr.min_x.min(v.x);
+            mbr.min_y = mbr.min_y.min(v.y);
+            mbr.max_x = mbr.max_x.max(v.x);
+            mbr.max_y = mbr.max_y.max(v.y);
+        }
+        mbr
+    }
+
+    /// The polygon's vertices in boundary order.
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of vertices (equals the number of edges).
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// The minimum bounding rectangle. Because vertices are grid points and
+    /// the boundary follows grid lines, every interior pixel lies inside this
+    /// rectangle.
+    #[inline]
+    pub fn mbr(&self) -> Rect {
+        self.mbr
+    }
+
+    /// Iterator over the polygon's directed boundary edges.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| Edge {
+            a: self.vertices[i],
+            b: self.vertices[(i + 1) % n],
+        })
+    }
+
+    /// Twice the signed shoelace area. Positive for counter-clockwise
+    /// boundaries in a y-up coordinate system.
+    pub fn signed_area2(&self) -> i64 {
+        let n = self.vertices.len();
+        let mut acc: i64 = 0;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            acc += i64::from(a.x) * i64::from(b.y) - i64::from(b.x) * i64::from(a.y);
+        }
+        acc
+    }
+
+    /// Exact area in pixels. For a simple rectilinear polygon with integer
+    /// vertices this equals the number of pixels whose centres lie inside the
+    /// boundary (paper §3.4).
+    #[inline]
+    pub fn area(&self) -> i64 {
+        // The shoelace sum of a rectilinear polygon is always even.
+        self.signed_area2().abs() / 2
+    }
+
+    /// Total boundary length in pixels.
+    pub fn perimeter(&self) -> i64 {
+        self.edges().map(|e| e.length()).sum()
+    }
+
+    /// Tests whether pixel `(x, y)` — i.e. the cell centre `(x+½, y+½)` —
+    /// lies inside the polygon, using the even–odd ray-casting rule with a ray
+    /// cast towards `+x` (paper §3.1, Figure 4(b)).
+    ///
+    /// Only vertical edges can be crossed by a horizontal ray. A vertical edge
+    /// at `x = ex` spanning `[ylo, yhi]` is crossed when `ex > x` (the edge is
+    /// strictly to the right of the pixel centre `x + ½`, which for integers
+    /// means `ex >= x + 1`) and `ylo <= y < yhi` (the centre's `y + ½` lies in
+    /// the half-open vertical span).
+    pub fn contains_pixel(&self, x: i32, y: i32) -> bool {
+        if !self.mbr.contains_pixel(x, y) {
+            return false;
+        }
+        let mut crossings = 0u32;
+        let n = self.vertices.len();
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            if a.x != b.x {
+                continue; // horizontal edge: never crossed by a horizontal ray
+            }
+            let ex = a.x;
+            if ex <= x {
+                continue;
+            }
+            let (ylo, yhi) = if a.y < b.y { (a.y, b.y) } else { (b.y, a.y) };
+            if ylo <= y && y < yhi {
+                crossings += 1;
+            }
+        }
+        crossings % 2 == 1
+    }
+
+    /// Returns a copy translated by `(dx, dy)`.
+    pub fn translate(&self, dx: i32, dy: i32) -> Result<Self> {
+        let vertices = self
+            .vertices
+            .iter()
+            .map(|v| {
+                Some(Point::new(v.x.checked_add(dx)?, v.y.checked_add(dy)?))
+            })
+            .collect::<Option<Vec<_>>>()
+            .ok_or(GeometryError::CoordinateOverflow)?;
+        Self::new(vertices)
+    }
+
+    /// Returns a copy with every coordinate multiplied by `factor`. This is
+    /// the transformation used by the paper's scale-factor stress test
+    /// (§5.2): a factor of `k` multiplies the polygon's area by `k²`.
+    pub fn scale(&self, factor: i32) -> Result<Self> {
+        if factor == 0 {
+            return Err(GeometryError::ZeroArea);
+        }
+        let vertices = self
+            .vertices
+            .iter()
+            .map(|v| v.checked_scale(factor))
+            .collect::<Option<Vec<_>>>()
+            .ok_or(GeometryError::CoordinateOverflow)?;
+        Self::new(vertices)
+    }
+
+    /// Number of vertices of this polygon lying strictly inside `rect`.
+    /// Used by Lemma 1 condition (ii).
+    pub fn vertices_strictly_inside(&self, rect: &Rect) -> usize {
+        self.vertices
+            .iter()
+            .filter(|v| rect.strictly_contains_point(**v))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> RectilinearPolygon {
+        RectilinearPolygon::rectangle(Rect::new(0, 0, 1, 1)).unwrap()
+    }
+
+    /// An L-shaped ("staircase") polygon:
+    /// covers pixels of [0,4)x[0,2) plus [0,2)x[2,4).
+    fn l_shape() -> RectilinearPolygon {
+        RectilinearPolygon::new(vec![
+            Point::new(0, 0),
+            Point::new(4, 0),
+            Point::new(4, 2),
+            Point::new(2, 2),
+            Point::new(2, 4),
+            Point::new(0, 4),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_chains() {
+        assert!(matches!(
+            RectilinearPolygon::new(vec![Point::new(0, 0), Point::new(1, 0), Point::new(1, 1)]),
+            Err(GeometryError::TooFewVertices { got: 3 })
+        ));
+        assert!(matches!(
+            RectilinearPolygon::new(vec![
+                Point::new(0, 0),
+                Point::new(0, 0),
+                Point::new(1, 0),
+                Point::new(1, 1),
+            ]),
+            Err(GeometryError::ZeroLengthEdge { .. })
+        ));
+        assert!(matches!(
+            RectilinearPolygon::new(vec![
+                Point::new(0, 0),
+                Point::new(2, 1),
+                Point::new(2, 2),
+                Point::new(0, 2),
+            ]),
+            Err(GeometryError::NonRectilinearEdge { .. })
+        ));
+        assert!(matches!(
+            RectilinearPolygon::new(vec![
+                Point::new(0, 0),
+                Point::new(1, 0),
+                Point::new(2, 0),
+                Point::new(2, 2),
+                Point::new(0, 2),
+            ]),
+            Err(GeometryError::CollinearVertex { .. })
+        ));
+    }
+
+    #[test]
+    fn canonicalize_removes_redundant_vertices() {
+        let poly = RectilinearPolygon::canonicalize(vec![
+            Point::new(0, 0),
+            Point::new(1, 0),
+            Point::new(2, 0),
+            Point::new(2, 0),
+            Point::new(2, 2),
+            Point::new(0, 2),
+            Point::new(0, 0),
+        ])
+        .unwrap();
+        assert_eq!(poly.vertex_count(), 4);
+        assert_eq!(poly.area(), 4);
+    }
+
+    #[test]
+    fn rectangle_area_and_mbr() {
+        let r = RectilinearPolygon::rectangle(Rect::new(2, 3, 7, 9)).unwrap();
+        assert_eq!(r.area(), 5 * 6);
+        assert_eq!(r.mbr(), Rect::new(2, 3, 7, 9));
+        assert_eq!(r.perimeter(), 2 * (5 + 6));
+    }
+
+    #[test]
+    fn l_shape_area_matches_pixel_count() {
+        let poly = l_shape();
+        assert_eq!(poly.area(), 4 * 2 + 2 * 2);
+        let mut count = 0;
+        for (x, y) in poly.mbr().pixels() {
+            if poly.contains_pixel(x, y) {
+                count += 1;
+            }
+        }
+        assert_eq!(count, poly.area());
+    }
+
+    #[test]
+    fn orientation_does_not_affect_area() {
+        let ccw = l_shape();
+        let cw_vertices: Vec<Point> = ccw.vertices().iter().rev().copied().collect();
+        let cw = RectilinearPolygon::new(cw_vertices).unwrap();
+        assert_eq!(ccw.area(), cw.area());
+        assert_eq!(ccw.signed_area2(), -cw.signed_area2());
+    }
+
+    #[test]
+    fn containment_unit_square() {
+        let sq = unit_square();
+        assert!(sq.contains_pixel(0, 0));
+        assert!(!sq.contains_pixel(1, 0));
+        assert!(!sq.contains_pixel(0, 1));
+        assert!(!sq.contains_pixel(-1, 0));
+    }
+
+    #[test]
+    fn containment_l_shape_notch() {
+        let poly = l_shape();
+        // Inside the notch (removed corner) must be outside.
+        assert!(!poly.contains_pixel(3, 3));
+        assert!(!poly.contains_pixel(2, 2));
+        // Inside the arm.
+        assert!(poly.contains_pixel(1, 3));
+        assert!(poly.contains_pixel(3, 1));
+    }
+
+    #[test]
+    fn translate_preserves_area() {
+        let poly = l_shape();
+        let moved = poly.translate(10, -5).unwrap();
+        assert_eq!(moved.area(), poly.area());
+        assert_eq!(moved.mbr(), Rect::new(10, -5, 14, -1));
+        assert!(poly.translate(i32::MAX, 0).is_err());
+    }
+
+    #[test]
+    fn scale_multiplies_area_quadratically() {
+        let poly = l_shape();
+        for k in 1..=5 {
+            let scaled = poly.scale(k).unwrap();
+            assert_eq!(scaled.area(), poly.area() * i64::from(k) * i64::from(k));
+        }
+        assert!(poly.scale(0).is_err());
+        assert!(poly.scale(i32::MAX).is_err());
+    }
+
+    #[test]
+    fn edges_alternate_orientation() {
+        let poly = l_shape();
+        let kinds: Vec<EdgeKind> = poly.edges().map(|e| e.kind()).collect();
+        for w in kinds.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+        assert_eq!(kinds.len(), poly.vertex_count());
+    }
+
+    #[test]
+    fn proper_crossing_of_perpendicular_edges() {
+        let h = Edge {
+            a: Point::new(0, 5),
+            b: Point::new(10, 5),
+        };
+        let v_crossing = Edge {
+            a: Point::new(4, 0),
+            b: Point::new(4, 10),
+        };
+        let v_touching = Edge {
+            a: Point::new(4, 5),
+            b: Point::new(4, 10),
+        };
+        let v_outside = Edge {
+            a: Point::new(12, 0),
+            b: Point::new(12, 10),
+        };
+        let h_parallel = Edge {
+            a: Point::new(0, 5),
+            b: Point::new(6, 5),
+        };
+        assert!(h.properly_crosses(&v_crossing));
+        assert!(v_crossing.properly_crosses(&h));
+        assert!(!h.properly_crosses(&v_touching));
+        assert!(!h.properly_crosses(&v_outside));
+        assert!(!h.properly_crosses(&h_parallel));
+    }
+
+    #[test]
+    fn vertices_strictly_inside_rect() {
+        let poly = l_shape();
+        assert_eq!(poly.vertices_strictly_inside(&Rect::new(-1, -1, 5, 5)), 6);
+        assert_eq!(poly.vertices_strictly_inside(&Rect::new(0, 0, 4, 4)), 1); // only (2,2)
+        assert_eq!(poly.vertices_strictly_inside(&Rect::new(10, 10, 20, 20)), 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Device and launch configuration.
+
+/// Static description of a simulated GPU device.
+///
+/// The two presets correspond to the cards used in the paper's experiments
+/// (§5.1): a GeForce GTX 580 in the Dell T1500 workstation and a Tesla M2050
+/// in the Amazon EC2 instance. Numbers are the published specifications of
+/// those cards; the cost model only depends on their *relative* magnitudes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceConfig {
+    /// Human-readable device name.
+    pub name: String,
+    /// Number of streaming multiprocessors (SMs).
+    pub multiprocessors: u32,
+    /// SIMD lanes per warp.
+    pub warp_size: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Shared memory per SM in bytes.
+    pub shared_mem_per_sm: u32,
+    /// Number of shared-memory banks.
+    pub shared_mem_banks: u32,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Latency of a global-memory transaction, in cycles.
+    pub global_latency_cycles: u64,
+    /// Latency of a conflict-free shared-memory access, in cycles.
+    pub shared_latency_cycles: u64,
+    /// Host↔device transfer bandwidth in bytes per second (PCIe).
+    pub transfer_bandwidth: f64,
+    /// Fixed kernel-launch overhead in cycles (driver + dispatch).
+    pub launch_overhead_cycles: u64,
+    /// Number of resident warps per SM needed to fully hide memory latency.
+    pub warps_to_hide_latency: u32,
+    /// Throughput de-rating factor applied to the whole device; `1.0` models
+    /// an exclusively-owned card, larger values model a shared or otherwise
+    /// slowed-down card (used by the paper's Config-III experiment, §5.6).
+    pub slowdown: f64,
+}
+
+impl DeviceConfig {
+    /// NVIDIA GeForce GTX 580: 16 SMs, 1.54 GHz shader clock, 48 KiB shared
+    /// memory per SM, 32 banks.
+    pub fn gtx580() -> Self {
+        DeviceConfig {
+            name: "GeForce GTX 580 (simulated)".to_string(),
+            multiprocessors: 16,
+            warp_size: 32,
+            max_threads_per_sm: 1536,
+            max_blocks_per_sm: 8,
+            shared_mem_per_sm: 48 * 1024,
+            shared_mem_banks: 32,
+            clock_hz: 1.544e9,
+            global_latency_cycles: 400,
+            shared_latency_cycles: 2,
+            transfer_bandwidth: 6.0e9,
+            launch_overhead_cycles: 8_000,
+            warps_to_hide_latency: 24,
+            slowdown: 1.0,
+        }
+    }
+
+    /// NVIDIA Tesla M2050: 14 SMs, 1.15 GHz shader clock.
+    pub fn tesla_m2050() -> Self {
+        DeviceConfig {
+            name: "Tesla M2050 (simulated)".to_string(),
+            multiprocessors: 14,
+            warp_size: 32,
+            max_threads_per_sm: 1536,
+            max_blocks_per_sm: 8,
+            shared_mem_per_sm: 48 * 1024,
+            shared_mem_banks: 32,
+            clock_hz: 1.15e9,
+            global_latency_cycles: 420,
+            shared_latency_cycles: 2,
+            transfer_bandwidth: 5.5e9,
+            launch_overhead_cycles: 8_000,
+            warps_to_hide_latency: 24,
+            slowdown: 1.0,
+        }
+    }
+
+    /// A deliberately small device useful in unit tests (2 SMs, tiny shared
+    /// memory) so occupancy limits are easy to hit.
+    pub fn tiny_test_device() -> Self {
+        DeviceConfig {
+            name: "tiny test device".to_string(),
+            multiprocessors: 2,
+            warp_size: 4,
+            max_threads_per_sm: 64,
+            max_blocks_per_sm: 4,
+            shared_mem_per_sm: 4 * 1024,
+            shared_mem_banks: 4,
+            clock_hz: 1.0e9,
+            global_latency_cycles: 100,
+            shared_latency_cycles: 2,
+            transfer_bandwidth: 1.0e9,
+            launch_overhead_cycles: 100,
+            warps_to_hide_latency: 4,
+            slowdown: 1.0,
+        }
+    }
+
+    /// Returns a copy of this configuration slowed down by `factor` (≥ 1.0),
+    /// emulating a card shared with other applications (§5.6, Config-III).
+    pub fn slowed_down(mut self, factor: f64) -> Self {
+        self.slowdown = factor.max(1.0);
+        self.name = format!("{} (slowdown x{:.1})", self.name, self.slowdown);
+        self
+    }
+
+    /// Peak number of resident warps per SM.
+    pub fn max_warps_per_sm(&self) -> u32 {
+        self.max_threads_per_sm / self.warp_size
+    }
+}
+
+/// Geometry of a kernel launch: grid size, block size and per-block shared
+/// memory, mirroring CUDA's `<<<grid, block, shmem>>>` syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of thread blocks in the grid.
+    pub grid_dim: u32,
+    /// Number of threads per block.
+    pub block_dim: u32,
+    /// Dynamic shared memory per block, in bytes.
+    pub shared_mem_bytes: u32,
+}
+
+impl LaunchConfig {
+    /// Creates a launch configuration with no dynamic shared memory.
+    pub fn new(grid_dim: u32, block_dim: u32) -> Self {
+        LaunchConfig {
+            grid_dim: grid_dim.max(1),
+            block_dim: block_dim.max(1),
+            shared_mem_bytes: 0,
+        }
+    }
+
+    /// Sets the dynamic shared-memory requirement per block.
+    pub fn with_shared_mem(mut self, bytes: u32) -> Self {
+        self.shared_mem_bytes = bytes;
+        self
+    }
+
+    /// Number of warps per block (rounded up).
+    pub fn warps_per_block(&self, warp_size: u32) -> u32 {
+        self.block_dim.div_ceil(warp_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        for cfg in [
+            DeviceConfig::gtx580(),
+            DeviceConfig::tesla_m2050(),
+            DeviceConfig::tiny_test_device(),
+        ] {
+            assert!(cfg.multiprocessors > 0);
+            assert!(cfg.warp_size > 0);
+            assert!(cfg.clock_hz > 0.0);
+            assert!(cfg.max_warps_per_sm() >= 1);
+            assert_eq!(cfg.slowdown, 1.0);
+        }
+        // The GTX 580 has more SMs and a higher clock than the M2050.
+        let gtx = DeviceConfig::gtx580();
+        let tesla = DeviceConfig::tesla_m2050();
+        assert!(gtx.multiprocessors > tesla.multiprocessors);
+        assert!(gtx.clock_hz > tesla.clock_hz);
+    }
+
+    #[test]
+    fn slowdown_is_clamped_and_named() {
+        let cfg = DeviceConfig::gtx580().slowed_down(0.1);
+        assert_eq!(cfg.slowdown, 1.0);
+        let cfg = DeviceConfig::gtx580().slowed_down(3.0);
+        assert_eq!(cfg.slowdown, 3.0);
+        assert!(cfg.name.contains("slowdown"));
+    }
+
+    #[test]
+    fn launch_config_clamps_zero_dimensions() {
+        let launch = LaunchConfig::new(0, 0);
+        assert_eq!(launch.grid_dim, 1);
+        assert_eq!(launch.block_dim, 1);
+        assert_eq!(launch.warps_per_block(32), 1);
+        let launch = LaunchConfig::new(10, 96).with_shared_mem(512);
+        assert_eq!(launch.warps_per_block(32), 3);
+        assert_eq!(launch.shared_mem_bytes, 512);
+    }
+}

@@ -1,0 +1,147 @@
+//! Hilbert space-filling curve.
+//!
+//! The Hilbert R-tree (Kamel & Faloutsos, VLDB 1994 — reference [20] of the
+//! paper) orders rectangle entries by the Hilbert value of their centre and
+//! then packs them into leaves in that order. The curve preserves spatial
+//! locality well, which keeps the bounding rectangles of packed leaves tight.
+
+/// Order of the Hilbert curve used for indexing: coordinates are clamped to
+/// `[0, 2^ORDER)`. 17 bits per axis comfortably covers whole-slide images
+/// (~100,000 pixels per side).
+pub const ORDER: u32 = 17;
+
+/// Side length of the Hilbert grid (`2^ORDER`).
+pub const GRID: u32 = 1 << ORDER;
+
+/// Maps an `(x, y)` cell of the `GRID × GRID` Hilbert grid to its distance
+/// along the curve. Coordinates outside the grid are clamped.
+///
+/// This is the classic iterative rotate-and-flip formulation.
+pub fn xy_to_d(x: u32, y: u32) -> u64 {
+    let mut x = x.min(GRID - 1);
+    let mut y = y.min(GRID - 1);
+    let mut rx: u32;
+    let mut ry: u32;
+    let mut d: u64 = 0;
+    let mut s: u32 = GRID / 2;
+    while s > 0 {
+        rx = u32::from((x & s) > 0);
+        ry = u32::from((y & s) > 0);
+        d += u64::from(s) * u64::from(s) * u64::from((3 * rx) ^ ry);
+        // Rotate the quadrant (reflection is about the full grid here,
+        // matching the standard iterative formulation).
+        if ry == 0 {
+            if rx == 1 {
+                x = GRID - 1 - x;
+                y = GRID - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s /= 2;
+    }
+    d
+}
+
+/// Maps a distance along the curve back to its `(x, y)` cell. Inverse of
+/// [`xy_to_d`] for distances below `GRID * GRID`.
+pub fn d_to_xy(d: u64) -> (u32, u32) {
+    let mut rx: u64;
+    let mut ry: u64;
+    let mut t = d;
+    let mut x: u64 = 0;
+    let mut y: u64 = 0;
+    let mut s: u64 = 1;
+    while s < u64::from(GRID) {
+        rx = 1 & (t / 2);
+        ry = 1 & (t ^ rx);
+        // Rotate the quadrant.
+        if ry == 0 {
+            if rx == 1 {
+                x = s - 1 - x;
+                y = s - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        x += s * rx;
+        y += s * ry;
+        t /= 4;
+        s *= 2;
+    }
+    (x as u32, y as u32)
+}
+
+/// Hilbert value of an arbitrary signed pixel coordinate. Negative
+/// coordinates (polygons may be generated near tile borders with small
+/// negative offsets) are shifted into the positive quadrant before mapping.
+pub fn hilbert_value(x: i32, y: i32) -> u64 {
+    // Shift by half the grid so that typical coordinates around the origin
+    // land inside the curve's domain, then clamp.
+    let shift = (GRID / 2) as i64;
+    let ux = (i64::from(x) + shift).clamp(0, i64::from(GRID - 1)) as u32;
+    let uy = (i64::from(y) + shift).clamp(0, i64::from(GRID - 1)) as u32;
+    xy_to_d(ux, uy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_small_values() {
+        for d in 0..4096u64 {
+            let (x, y) = d_to_xy(d);
+            assert_eq!(xy_to_d(x, y), d, "round trip failed at d={d}");
+        }
+    }
+
+    #[test]
+    fn curve_visits_adjacent_cells() {
+        // Successive curve positions differ by exactly one grid step: this is
+        // the locality property that makes the ordering useful for packing.
+        let mut prev = d_to_xy(0);
+        for d in 1..4096u64 {
+            let cur = d_to_xy(d);
+            let dist = (i64::from(cur.0) - i64::from(prev.0)).abs()
+                + (i64::from(cur.1) - i64::from(prev.1)).abs();
+            assert_eq!(dist, 1, "discontinuity between d={} and d={}", d - 1, d);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn distinct_cells_have_distinct_values() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for x in 0..64u32 {
+            for y in 0..64u32 {
+                assert!(seen.insert(xy_to_d(x, y)));
+            }
+        }
+    }
+
+    #[test]
+    fn hilbert_value_clamps_out_of_range_coordinates() {
+        // Must not panic or wrap for extreme inputs.
+        let _ = hilbert_value(i32::MIN, i32::MAX);
+        let _ = hilbert_value(i32::MAX, i32::MIN);
+        assert_eq!(hilbert_value(0, 0), hilbert_value(0, 0));
+    }
+
+    #[test]
+    fn nearby_points_tend_to_have_nearby_values() {
+        // Locality is statistical, not absolute; check that the average curve
+        // distance of adjacent pixels is far smaller than that of far-apart
+        // pixels.
+        let mut near = 0f64;
+        let mut far = 0f64;
+        let samples = 200;
+        for i in 0..samples {
+            let x = (i * 37) % 1000;
+            let y = (i * 91) % 1000;
+            let base = hilbert_value(x, y) as f64;
+            near += (hilbert_value(x + 1, y) as f64 - base).abs();
+            far += (hilbert_value(x + 5000, y + 5000) as f64 - base).abs();
+        }
+        assert!(near / samples as f64 * 10.0 < far / samples as f64);
+    }
+}

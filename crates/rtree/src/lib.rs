@@ -1,0 +1,23 @@
+//! Hilbert R-tree spatial index and MBR join.
+//!
+//! The paper's *builder* stage constructs a spatial index over the polygons
+//! of each tile ("Since polygons are small, Hilbert R-Tree is used to
+//! accelerate index building", §4.1), and the *filter* stage performs a
+//! pairwise index search producing the array of polygon pairs whose MBRs
+//! intersect. This crate provides both primitives:
+//!
+//! * [`hilbert`] — the Hilbert space-filling curve used to order entries.
+//! * [`HilbertRTree`] — a bulk-loaded, packed R-tree keyed by the Hilbert
+//!   value of each entry's MBR centre.
+//! * [`join`] — the MBR-intersection join between two indexed polygon sets,
+//!   plus a quadratic reference join used in tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hilbert;
+pub mod join;
+pub mod tree;
+
+pub use join::{mbr_join, naive_mbr_join};
+pub use tree::{HilbertRTree, TreeStats};

@@ -1,0 +1,298 @@
+//! Packed Hilbert R-tree with bulk loading.
+
+use crate::hilbert::hilbert_value;
+use sccg_geometry::Rect;
+
+/// Default maximum number of entries per node. The paper's polygons are very
+/// small and numerous, so a moderately wide fanout keeps the tree shallow
+/// without bloating node scans.
+pub const DEFAULT_FANOUT: usize = 16;
+
+/// A bulk-loaded, immutable Hilbert R-tree mapping rectangles to payloads.
+///
+/// Construction sorts the entries by the Hilbert value of their MBR centre
+/// and packs them left-to-right into leaves of `fanout` entries, then builds
+/// internal levels the same way — the classic "Hilbert-packed" bulk load of
+/// Kamel & Faloutsos. Lookups descend only into subtrees whose bounding
+/// rectangle intersects the query window.
+#[derive(Debug, Clone)]
+pub struct HilbertRTree<T> {
+    fanout: usize,
+    /// Leaf entries in Hilbert order.
+    entries: Vec<(Rect, T)>,
+    /// All internal nodes, level by level, root last. Each node stores its
+    /// bounding rectangle and the index range of its children in the level
+    /// below (or in `entries` for level 0).
+    levels: Vec<Vec<Node>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    mbr: Rect,
+    /// Start index of this node's children in the level below.
+    child_start: usize,
+    /// One-past-the-end index of this node's children.
+    child_end: usize,
+}
+
+/// Structural statistics of a built tree, exposed for benchmarks and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Number of indexed entries.
+    pub entries: usize,
+    /// Number of levels above the leaves (0 for an empty tree).
+    pub height: usize,
+    /// Total number of internal nodes across all levels.
+    pub nodes: usize,
+}
+
+impl<T> HilbertRTree<T> {
+    /// Bulk loads a tree with the default fanout.
+    pub fn bulk_load(items: Vec<(Rect, T)>) -> Self {
+        Self::bulk_load_with_fanout(items, DEFAULT_FANOUT)
+    }
+
+    /// Bulk loads a tree with an explicit fanout (minimum 2).
+    pub fn bulk_load_with_fanout(mut items: Vec<(Rect, T)>, fanout: usize) -> Self {
+        let fanout = fanout.max(2);
+        // Sort by Hilbert value of the MBR centre.
+        items.sort_by_key(|(rect, _)| {
+            let (cx, cy) = rect.center_pixel();
+            hilbert_value(cx, cy)
+        });
+
+        let mut levels: Vec<Vec<Node>> = Vec::new();
+        if !items.is_empty() {
+            // Level 0: group leaf entries.
+            let mut level: Vec<Node> = items
+                .chunks(fanout)
+                .scan(0usize, |start, chunk| {
+                    let child_start = *start;
+                    *start += chunk.len();
+                    let mbr = chunk
+                        .iter()
+                        .fold(Rect::EMPTY, |acc, (r, _)| acc.union(r));
+                    Some(Node {
+                        mbr,
+                        child_start,
+                        child_end: *start,
+                    })
+                })
+                .collect();
+            levels.push(level.clone());
+            // Higher levels until a single root remains.
+            while level.len() > 1 {
+                let next: Vec<Node> = level
+                    .chunks(fanout)
+                    .scan(0usize, |start, chunk| {
+                        let child_start = *start;
+                        *start += chunk.len();
+                        let mbr = chunk.iter().fold(Rect::EMPTY, |acc, n| acc.union(&n.mbr));
+                        Some(Node {
+                            mbr,
+                            child_start,
+                            child_end: *start,
+                        })
+                    })
+                    .collect();
+                levels.push(next.clone());
+                level = next;
+            }
+        }
+
+        HilbertRTree {
+            fanout,
+            entries: items,
+            levels,
+        }
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the tree indexes no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bounding rectangle of the whole tree ([`Rect::EMPTY`] when empty).
+    pub fn root_mbr(&self) -> Rect {
+        self.levels
+            .last()
+            .and_then(|l| l.first())
+            .map(|n| n.mbr)
+            .unwrap_or(Rect::EMPTY)
+    }
+
+    /// Structural statistics.
+    pub fn stats(&self) -> TreeStats {
+        TreeStats {
+            entries: self.entries.len(),
+            height: self.levels.len(),
+            nodes: self.levels.iter().map(|l| l.len()).sum(),
+        }
+    }
+
+    /// Calls `visit` for every entry whose rectangle intersects `query`.
+    pub fn search<'a, F: FnMut(&'a Rect, &'a T)>(&'a self, query: &Rect, mut visit: F) {
+        if self.entries.is_empty() || query.is_empty() {
+            return;
+        }
+        let top = self.levels.len() - 1;
+        // Manual stack of (level, node index) to avoid recursion.
+        let mut stack: Vec<(usize, usize)> = Vec::with_capacity(self.levels.len() * self.fanout);
+        for (i, node) in self.levels[top].iter().enumerate() {
+            if node.mbr.intersects(query) {
+                stack.push((top, i));
+            }
+        }
+        while let Some((level, idx)) = stack.pop() {
+            let node = self.levels[level][idx];
+            if level == 0 {
+                for (rect, value) in &self.entries[node.child_start..node.child_end] {
+                    if rect.intersects(query) {
+                        visit(rect, value);
+                    }
+                }
+            } else {
+                for (child_idx, child) in self.levels[level - 1][node.child_start..node.child_end]
+                    .iter()
+                    .enumerate()
+                {
+                    if child.mbr.intersects(query) {
+                        stack.push((level - 1, node.child_start + child_idx));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Convenience wrapper collecting matching payload references.
+    pub fn query(&self, query: &Rect) -> Vec<&T> {
+        let mut out = Vec::new();
+        self.search(query, |_, v| out.push(v));
+        out
+    }
+
+    /// Iterates over all entries in Hilbert order.
+    pub fn entries(&self) -> impl Iterator<Item = &(Rect, T)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_rects(n: i32) -> Vec<(Rect, usize)> {
+        // n x n unit squares spaced 2 apart so none intersect each other.
+        let mut v = Vec::new();
+        let mut id = 0usize;
+        for i in 0..n {
+            for j in 0..n {
+                v.push((Rect::new(i * 2, j * 2, i * 2 + 1, j * 2 + 1), id));
+                id += 1;
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn empty_tree_behaves() {
+        let tree: HilbertRTree<u32> = HilbertRTree::bulk_load(vec![]);
+        assert!(tree.is_empty());
+        assert_eq!(tree.query(&Rect::new(0, 0, 10, 10)), Vec::<&u32>::new());
+        assert_eq!(
+            tree.stats(),
+            TreeStats {
+                entries: 0,
+                height: 0,
+                nodes: 0
+            }
+        );
+        assert!(tree.root_mbr().is_empty());
+    }
+
+    #[test]
+    fn single_entry() {
+        let tree = HilbertRTree::bulk_load(vec![(Rect::new(5, 5, 8, 9), 42u32)]);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.query(&Rect::new(0, 0, 6, 6)), vec![&42]);
+        assert!(tree.query(&Rect::new(0, 0, 5, 5)).is_empty());
+        assert_eq!(tree.root_mbr(), Rect::new(5, 5, 8, 9));
+    }
+
+    #[test]
+    fn point_queries_find_exactly_one_square() {
+        let tree = HilbertRTree::bulk_load(grid_rects(20));
+        for i in 0..20 {
+            for j in 0..20 {
+                let q = Rect::new(i * 2, j * 2, i * 2 + 1, j * 2 + 1);
+                let found = tree.query(&q);
+                assert_eq!(found.len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn window_query_matches_brute_force() {
+        let items = grid_rects(30);
+        let tree = HilbertRTree::bulk_load(items.clone());
+        let windows = [
+            Rect::new(0, 0, 10, 10),
+            Rect::new(5, 7, 23, 31),
+            Rect::new(-5, -5, 3, 3),
+            Rect::new(100, 100, 200, 200),
+            Rect::new(0, 0, 60, 60),
+        ];
+        for w in windows {
+            let mut expected: Vec<usize> = items
+                .iter()
+                .filter(|(r, _)| r.intersects(&w))
+                .map(|(_, id)| *id)
+                .collect();
+            let mut got: Vec<usize> = tree.query(&w).into_iter().copied().collect();
+            expected.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, expected, "window {w:?}");
+        }
+    }
+
+    #[test]
+    fn tree_height_grows_logarithmically() {
+        let tree = HilbertRTree::bulk_load_with_fanout(grid_rects(32), 8);
+        let stats = tree.stats();
+        assert_eq!(stats.entries, 1024);
+        // 1024 entries / fanout 8 = 128 leaves, 16, 2, 1 -> height 4.
+        assert_eq!(stats.height, 4);
+        assert!(stats.nodes >= 128);
+    }
+
+    #[test]
+    fn root_mbr_covers_all_entries() {
+        let items = grid_rects(10);
+        let tree = HilbertRTree::bulk_load(items.clone());
+        let root = tree.root_mbr();
+        for (r, _) in &items {
+            assert!(root.contains_rect(r));
+        }
+    }
+
+    #[test]
+    fn degenerate_fanout_is_clamped() {
+        let tree = HilbertRTree::bulk_load_with_fanout(grid_rects(4), 0);
+        assert_eq!(tree.len(), 16);
+        assert_eq!(tree.query(&Rect::new(0, 0, 8, 8)).len(), 16);
+    }
+
+    #[test]
+    fn overlapping_entries_are_all_reported() {
+        let items: Vec<(Rect, usize)> = (0..50)
+            .map(|i| (Rect::new(0, 0, 10 + i, 10 + i), i as usize))
+            .collect();
+        let tree = HilbertRTree::bulk_load(items);
+        assert_eq!(tree.query(&Rect::new(5, 5, 6, 6)).len(), 50);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests: the Hilbert R-tree and the MBR join must agree with
+//! brute force on arbitrary rectangle sets.
+
+use proptest::prelude::*;
+use sccg_rtree::{mbr_join, naive_mbr_join, HilbertRTree};
+use sccg_geometry::Rect;
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (-200i32..200, -200i32..200, 1i32..40, 1i32..40)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tree_query_agrees_with_linear_scan(
+        rects in prop::collection::vec(arb_rect(), 0..200),
+        query in arb_rect(),
+        fanout in 2usize..20,
+    ) {
+        let items: Vec<(Rect, usize)> = rects.iter().copied().enumerate().map(|(i, r)| (r, i)).collect();
+        let tree = HilbertRTree::bulk_load_with_fanout(items, fanout);
+        let mut got: Vec<usize> = tree.query(&query).into_iter().copied().collect();
+        let mut expected: Vec<usize> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.intersects(&query))
+            .map(|(i, _)| i)
+            .collect();
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn join_agrees_with_naive(
+        left in prop::collection::vec(arb_rect(), 0..60),
+        right in prop::collection::vec(arb_rect(), 0..60),
+    ) {
+        let mut fast = mbr_join(&left, &right);
+        let mut naive = naive_mbr_join(&left, &right);
+        fast.sort_unstable();
+        naive.sort_unstable();
+        prop_assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn join_is_symmetric(
+        left in prop::collection::vec(arb_rect(), 0..50),
+        right in prop::collection::vec(arb_rect(), 0..50),
+    ) {
+        let mut forward = mbr_join(&left, &right);
+        let mut backward: Vec<(u32, u32)> = mbr_join(&right, &left)
+            .into_iter()
+            .map(|(a, b)| (b, a))
+            .collect();
+        forward.sort_unstable();
+        backward.sort_unstable();
+        prop_assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn tree_stats_are_consistent(rects in prop::collection::vec(arb_rect(), 1..300), fanout in 2usize..12) {
+        let items: Vec<(Rect, u32)> = rects.iter().copied().enumerate().map(|(i, r)| (r, i as u32)).collect();
+        let tree = HilbertRTree::bulk_load_with_fanout(items, fanout);
+        let stats = tree.stats();
+        prop_assert_eq!(stats.entries, rects.len());
+        prop_assert!(stats.height >= 1);
+        // Height bound: ceil(log_fanout(n)) + 1 is a generous upper bound.
+        let mut cap = 1usize;
+        let mut h = 0usize;
+        while cap < rects.len() {
+            cap *= fanout;
+            h += 1;
+        }
+        prop_assert!(stats.height <= h.max(1) + 1);
+        // Root MBR covers every entry.
+        let root = tree.root_mbr();
+        for r in &rects {
+            prop_assert!(root.contains_rect(r));
+        }
+    }
+}

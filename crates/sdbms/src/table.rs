@@ -1,0 +1,134 @@
+//! Polygon relations.
+
+use sccg_geometry::text::{parse_polygon_file, PolygonRecord};
+use sccg_geometry::{GeometryError, Rect};
+
+/// A named relation of polygon rows, the SDBMS equivalent of one
+/// segmentation result loaded into a table such as `oligoastroiii_1_1`
+/// (Figure 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolygonTable {
+    name: String,
+    rows: Vec<PolygonRecord>,
+}
+
+impl PolygonTable {
+    /// Creates a table from already-parsed records.
+    pub fn new(name: impl Into<String>, rows: Vec<PolygonRecord>) -> Self {
+        PolygonTable {
+            name: name.into(),
+            rows,
+        }
+    }
+
+    /// Loads a table from polygon-file text (the `COPY`/loader path).
+    pub fn load_text(name: impl Into<String>, text: &str) -> Result<Self, GeometryError> {
+        Ok(Self::new(name, parse_polygon_file(text)?))
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows in load order.
+    pub fn rows(&self) -> &[PolygonRecord] {
+        &self.rows
+    }
+
+    /// MBRs of every row, in row order (what the GiST index stores).
+    pub fn mbrs(&self) -> Vec<Rect> {
+        self.rows.iter().map(|r| r.polygon.mbr()).collect()
+    }
+
+    /// Splits the table into `chunks` row-range partitions of nearly equal
+    /// size, the partitioning used to parallelize PostGIS query streams
+    /// (§5.7).
+    pub fn partition(&self, chunks: usize) -> Vec<PolygonTable> {
+        let chunks = chunks.max(1);
+        let per_chunk = self.rows.len().div_ceil(chunks).max(1);
+        self.rows
+            .chunks(per_chunk)
+            .enumerate()
+            .map(|(i, rows)| PolygonTable {
+                name: format!("{}_part{}", self.name, i),
+                rows: rows.to_vec(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sccg_geometry::text::write_polygon_file;
+    use sccg_geometry::RectilinearPolygon;
+
+    fn sample_table(n: i32) -> PolygonTable {
+        let rows: Vec<PolygonRecord> = (0..n)
+            .map(|i| PolygonRecord {
+                id: i as u64,
+                polygon: RectilinearPolygon::rectangle(Rect::new(i * 3, 0, i * 3 + 4, 5))
+                    .unwrap(),
+            })
+            .collect();
+        PolygonTable::new("sample", rows)
+    }
+
+    #[test]
+    fn load_from_text_round_trips() {
+        let table = sample_table(10);
+        let text = write_polygon_file(table.rows());
+        let loaded = PolygonTable::load_text("sample", &text).unwrap();
+        assert_eq!(loaded.rows(), table.rows());
+        assert_eq!(loaded.name(), "sample");
+        assert_eq!(loaded.len(), 10);
+        assert!(!loaded.is_empty());
+    }
+
+    #[test]
+    fn load_rejects_malformed_text() {
+        assert!(PolygonTable::load_text("bad", "1 4 0 0 zz").is_err());
+    }
+
+    #[test]
+    fn mbrs_match_rows() {
+        let table = sample_table(5);
+        let mbrs = table.mbrs();
+        assert_eq!(mbrs.len(), 5);
+        assert_eq!(mbrs[2], Rect::new(6, 0, 10, 5));
+    }
+
+    #[test]
+    fn partition_covers_all_rows_without_overlap() {
+        let table = sample_table(17);
+        for chunks in [1usize, 2, 3, 5, 16, 40] {
+            let parts = table.partition(chunks);
+            let total: usize = parts.iter().map(|p| p.len()).sum();
+            assert_eq!(total, 17, "chunks={chunks}");
+            assert!(parts.len() <= chunks.max(1));
+            let mut seen = std::collections::HashSet::new();
+            for part in &parts {
+                for row in part.rows() {
+                    assert!(seen.insert(row.id));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_of_empty_table() {
+        let table = PolygonTable::new("empty", Vec::new());
+        assert!(table.partition(4).is_empty());
+    }
+}

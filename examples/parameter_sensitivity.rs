@@ -1,0 +1,74 @@
+//! Parameter-sensitivity study.
+//!
+//! Two common sensitivity questions, on one synthetic tile:
+//!
+//! 1. *Segmentation* sensitivity (the paper's application, §2.1): how does the
+//!    Jaccard similarity degrade as the second segmentation drifts from the
+//!    first (larger centre shifts and dropout)?
+//! 2. *Algorithm* sensitivity (§3.4, §5.4): how does the PixelBox pixelization
+//!    threshold T affect the simulated kernel time at different polygon scale
+//!    factors?
+//!
+//! ```text
+//! cargo run --release --example parameter_sensitivity
+//! ```
+
+use sccg::pixelbox::gpu::GpuPixelBox;
+use sccg::pixelbox::{PixelBoxConfig, PolygonPair};
+use sccg::prelude::*;
+use sccg_datagen::{generate_tile_pair, TileSpec};
+use sccg_gpu_sim::{Device, DeviceConfig};
+use std::sync::Arc;
+
+fn main() {
+    // --- 1. Segmentation drift vs similarity -------------------------------
+    println!("segmentation drift vs Jaccard similarity");
+    println!("  max_shift  dropout   J'");
+    let engine = CrossComparison::new(EngineConfig::default());
+    for (shift, dropout) in [(0u32, 0.0), (1, 0.02), (2, 0.05), (4, 0.10), (6, 0.20)] {
+        let tile = generate_tile_pair(&TileSpec {
+            target_polygons: 250,
+            width: 1536,
+            height: 1536,
+            max_shift: shift,
+            dropout,
+            seed: 99,
+            ..TileSpec::default()
+        });
+        let report = engine.compare_records(&tile.first, &tile.second);
+        println!("  {shift:>9}  {dropout:>7.2}   {:.4}", report.similarity);
+    }
+
+    // --- 2. Pixelization threshold sweep ------------------------------------
+    println!("\nPixelBox threshold T vs simulated kernel time (block size 64)");
+    let gpu = GpuPixelBox::new(Arc::new(Device::new(DeviceConfig::gtx580())));
+    let tile = generate_tile_pair(&TileSpec {
+        target_polygons: 150,
+        width: 1536,
+        height: 1536,
+        seed: 5,
+        ..TileSpec::default()
+    });
+    let base_engine = CrossComparison::new(EngineConfig::default());
+    let pairs: Vec<PolygonPair> = base_engine.filter_pairs(&tile.first, &tile.second);
+    print!("  scale factor:");
+    let thresholds = [64u32, 256, 1024, 2048, 4096, 16384];
+    for t in thresholds {
+        print!("  T={t:>6}");
+    }
+    println!();
+    for scale in [1, 3, 5] {
+        let scaled: Vec<PolygonPair> = pairs
+            .iter()
+            .map(|p| PolygonPair::new(p.p.scale(scale).unwrap(), p.q.scale(scale).unwrap()))
+            .collect();
+        print!("  SF{scale}          ");
+        for t in thresholds {
+            let config = PixelBoxConfig::paper_default().with_threshold(t);
+            let result = gpu.compute_batch(&scaled, &config);
+            print!("  {:>7.4}s", result.launch.time_seconds);
+        }
+        println!();
+    }
+    println!("\nGuidance from the paper (§3.4): choose T around n^2/2 = 2048 for 64-thread blocks.");
+}

@@ -1,0 +1,53 @@
+//! Quickstart: cross-compare two segmentation results for one image tile.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sccg::prelude::*;
+use sccg_datagen::{generate_tile_pair, TileSpec};
+
+fn main() {
+    // 1. Obtain two segmentation results for the same tile. Real deployments
+    //    parse polygon text files; here we synthesize a tile whose second
+    //    result is a realistic re-segmentation of the first.
+    let tile = generate_tile_pair(&TileSpec {
+        target_polygons: 300,
+        width: 2048,
+        height: 2048,
+        seed: 42,
+        ..TileSpec::default()
+    });
+    println!(
+        "tile {}: {} polygons in result A, {} polygons in result B",
+        tile.tile_id,
+        tile.first.len(),
+        tile.second.len()
+    );
+
+    // 2. Cross-compare them: MBR-filter candidate pairs with the Hilbert
+    //    R-tree, compute exact areas with PixelBox on the simulated GPU, and
+    //    average the Jaccard ratios.
+    let engine = CrossComparison::new(EngineConfig::default());
+    let report = engine.compare_records(&tile.first, &tile.second);
+
+    println!("candidate pairs (MBR overlap):   {}", report.candidate_pairs);
+    println!(
+        "actually intersecting pairs:     {}",
+        report.summary.intersecting_pairs
+    );
+    println!("Jaccard similarity J':           {:.4}", report.similarity);
+    println!(
+        "aggregate Jaccard (sum ratio):   {:.4}",
+        report.summary.aggregate_jaccard()
+    );
+    if let (Some(launch), Some(seconds)) = (report.gpu_launch, report.gpu_seconds) {
+        println!(
+            "simulated GPU: {} blocks, {:.1}% occupancy, {} cycles, {:.3} ms",
+            launch.blocks_launched,
+            launch.occupancy * 100.0,
+            launch.cycles,
+            seconds * 1e3
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Umbrella crate for the SCCG reproduction workspace.
+//!
+//! This crate exists so the repository-level `examples/` and `tests/`
+//! directories build against every member crate at once. Library users should
+//! depend on the individual crates instead:
+//!
+//! * [`sccg`] — PixelBox, the pipelined framework, task migration and the
+//!   high-level [`sccg::CrossComparison`] API (the paper's contribution).
+//! * [`sccg_geometry`] — rectilinear polygon geometry.
+//! * [`sccg_rtree`] — Hilbert R-tree index and MBR join.
+//! * [`sccg_clip`] — exact overlay (the GEOS stand-in) and Monte-Carlo baseline.
+//! * [`sccg_gpu_sim`] — the simulated SIMT GPU device.
+//! * [`sccg_datagen`] — synthetic pathology workloads.
+//! * [`sccg_sdbms`] — the miniature spatial DBMS (PostGIS stand-in).
+
+#![forbid(unsafe_code)]
+
+pub use sccg;
+pub use sccg_clip;
+pub use sccg_datagen;
+pub use sccg_geometry;
+pub use sccg_gpu_sim;
+pub use sccg_rtree;
+pub use sccg_sdbms;

@@ -1,0 +1,122 @@
+//! Cross-crate integration tests: every computation path of the system must
+//! agree on the same workloads — the SDBMS query, the GEOS-style overlay, the
+//! PixelBox CPU port, the PixelBox GPU kernel and the full pipelined
+//! framework all compute the identical Jaccard similarity.
+
+use sccg::jaccard::JaccardAccumulator;
+use sccg::pipeline::{ParseTask, Pipeline, PipelineConfig};
+use sccg::prelude::*;
+use sccg_datagen::{generate_dataset, generate_tile_pair, DatasetSpec, TileSpec};
+use sccg_sdbms::{execute_cross_comparison, execute_parallel, PolygonTable, QueryPlan};
+
+fn test_tile() -> sccg_datagen::TilePair {
+    generate_tile_pair(&TileSpec {
+        target_polygons: 150,
+        width: 1024,
+        height: 1024,
+        seed: 2024,
+        ..TileSpec::default()
+    })
+}
+
+#[test]
+fn sdbms_engine_and_pipeline_agree_on_similarity() {
+    let tile = test_tile();
+
+    // Path 1: the mini SDBMS executing the optimized query (PostGIS path).
+    let table_a = PolygonTable::new("a", tile.first.clone());
+    let table_b = PolygonTable::new("b", tile.second.clone());
+    let sdbms = execute_cross_comparison(&table_a, &table_b, QueryPlan::Optimized);
+
+    // Path 2: the library engine with PixelBox on the simulated GPU.
+    let engine = CrossComparison::new(EngineConfig::default());
+    let gpu_report = engine.compare_records(&tile.first, &tile.second);
+
+    // Path 3: the library engine with PixelBox-CPU.
+    let cpu_engine = CrossComparison::new(EngineConfig {
+        device: AggregationDevice::Cpu,
+        ..EngineConfig::default()
+    });
+    let cpu_report = cpu_engine.compare_records(&tile.first, &tile.second);
+
+    // Path 4: the full pipelined framework from text files.
+    let pipeline = Pipeline::new(PipelineConfig {
+        enable_migration: true,
+        ..PipelineConfig::default()
+    });
+    let pipeline_report = pipeline.run(vec![ParseTask::from_tile_pair(&tile)]);
+
+    assert_eq!(sdbms.candidate_pairs as usize, gpu_report.candidate_pairs);
+    assert_eq!(
+        sdbms.intersecting_pairs,
+        gpu_report.summary.intersecting_pairs
+    );
+    assert!((sdbms.similarity - gpu_report.similarity).abs() < 1e-12);
+    assert!((gpu_report.similarity - cpu_report.similarity).abs() < 1e-12);
+    assert!((gpu_report.similarity - pipeline_report.similarity()).abs() < 1e-12);
+}
+
+#[test]
+fn unoptimized_and_optimized_sdbms_plans_agree_with_parallel_execution() {
+    let tile = test_tile();
+    let a = PolygonTable::new("a", tile.first);
+    let b = PolygonTable::new("b", tile.second);
+    let unopt = execute_cross_comparison(&a, &b, QueryPlan::Unoptimized);
+    let opt = execute_cross_comparison(&a, &b, QueryPlan::Optimized);
+    let (parallel, makespan) = execute_parallel(&a, &b, QueryPlan::Optimized, 16, 8);
+    assert!((unopt.similarity - opt.similarity).abs() < 1e-12);
+    assert!((parallel.similarity - opt.similarity).abs() < 1e-9);
+    assert!(makespan > 0.0);
+}
+
+#[test]
+fn identical_segmentations_score_perfect_similarity_everywhere() {
+    let tile = test_tile();
+    let engine = CrossComparison::new(EngineConfig::default());
+    let report = engine.compare_records(&tile.first, &tile.first);
+    assert!((report.similarity - 1.0).abs() < 1e-12);
+
+    let table = PolygonTable::new("t", tile.first.clone());
+    let sdbms = execute_cross_comparison(&table, &table, QueryPlan::Optimized);
+    assert!((sdbms.similarity - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn pixelbox_matches_exact_overlay_per_pair_on_a_dataset() {
+    // Per-pair agreement (not just aggregate) between the GPU kernel and the
+    // GEOS-style overlay across a small multi-tile data set.
+    let dataset = generate_dataset(&DatasetSpec {
+        name: "integration".into(),
+        tiles: 3,
+        polygons_per_tile: 60,
+        tile_size: 768,
+        seed: 31,
+        nucleus_radius: 7,
+    });
+    let engine = CrossComparison::new(EngineConfig::default());
+    for tile in &dataset.tiles {
+        let pairs = engine.filter_pairs(&tile.first, &tile.second);
+        let report = engine.compare_pairs(&pairs);
+        let mut acc = JaccardAccumulator::new();
+        for (pair, areas) in pairs.iter().zip(&report.pair_areas) {
+            let reference = sccg_clip::pair_areas(&pair.p, &pair.q);
+            assert_eq!(*areas, reference);
+            acc.add_pair(reference);
+        }
+        assert_eq!(report.summary, acc.summary());
+    }
+}
+
+#[test]
+fn text_round_trip_preserves_similarity() {
+    // Serializing to the polygon-file format and re-parsing (what the parser
+    // stage does) must not change any result.
+    let tile = test_tile();
+    let engine = CrossComparison::new(EngineConfig::default());
+    let direct = engine.compare_records(&tile.first, &tile.second);
+
+    let first = sccg_geometry::text::parse_polygon_file(&tile.first_as_text()).unwrap();
+    let second = sccg_geometry::text::parse_polygon_file(&tile.second_as_text()).unwrap();
+    let reparsed = engine.compare_records(&first, &second);
+    assert_eq!(direct.summary, reparsed.summary);
+}
