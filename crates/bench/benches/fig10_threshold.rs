@@ -1,14 +1,14 @@
 //! Figure 10: sensitivity of PixelBox to the pixelization threshold T.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sccg::pixelbox::gpu::GpuPixelBox;
-use sccg::pixelbox::PixelBoxConfig;
+use sccg::pixelbox::GpuBackend;
+use sccg::pixelbox::{ComputeBackend, PixelBoxConfig};
 use sccg_bench::representative_pairs;
 use sccg_gpu_sim::{Device, DeviceConfig};
 use std::sync::Arc;
 
 fn bench(c: &mut Criterion) {
-    let gpu = GpuPixelBox::new(Arc::new(Device::new(DeviceConfig::gtx580())));
+    let gpu = GpuBackend::new(Arc::new(Device::new(DeviceConfig::gtx580())));
     let pairs = representative_pairs(120, 4);
     let mut group = c.benchmark_group("fig10_threshold_sensitivity");
     group.sample_size(10);

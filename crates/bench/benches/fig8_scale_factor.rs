@@ -4,14 +4,14 @@
 //! simulated GPU seconds per variant are printed by `reproduce -- fig8`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sccg::pixelbox::gpu::GpuPixelBox;
-use sccg::pixelbox::{PixelBoxConfig, Variant};
+use sccg::pixelbox::GpuBackend;
+use sccg::pixelbox::{ComputeBackend, PixelBoxConfig, Variant};
 use sccg_bench::representative_pairs;
 use sccg_gpu_sim::{Device, DeviceConfig};
 use std::sync::Arc;
 
 fn bench(c: &mut Criterion) {
-    let gpu = GpuPixelBox::new(Arc::new(Device::new(DeviceConfig::gtx580())));
+    let gpu = GpuBackend::new(Arc::new(Device::new(DeviceConfig::gtx580())));
     let base = PixelBoxConfig::paper_default();
     let mut group = c.benchmark_group("fig8_variants_vs_scale");
     group.sample_size(10);
@@ -22,13 +22,9 @@ fn bench(c: &mut Criterion) {
             ("pixelbox_nosep", Variant::NoSep),
             ("pixelbox", Variant::Full),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, scale),
-                &pairs,
-                |bench, pairs| {
-                    bench.iter(|| gpu.compute_batch(pairs, &base.with_variant(variant)))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, scale), &pairs, |bench, pairs| {
+                bench.iter(|| gpu.compute_batch(pairs, &base.with_variant(variant)))
+            });
         }
     }
     group.finish();

@@ -2,14 +2,14 @@
 //! memory) on the simulated GPU.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sccg::pixelbox::gpu::GpuPixelBox;
-use sccg::pixelbox::{OptimizationFlags, PixelBoxConfig};
+use sccg::pixelbox::GpuBackend;
+use sccg::pixelbox::{ComputeBackend, OptimizationFlags, PixelBoxConfig};
 use sccg_bench::representative_pairs;
 use sccg_gpu_sim::{Device, DeviceConfig};
 use std::sync::Arc;
 
 fn bench(c: &mut Criterion) {
-    let gpu = GpuPixelBox::new(Arc::new(Device::new(DeviceConfig::gtx580())));
+    let gpu = GpuBackend::new(Arc::new(Device::new(DeviceConfig::gtx580())));
     let base = PixelBoxConfig::paper_default();
     let pairs = representative_pairs(120, 3);
     let variants: [(&str, OptimizationFlags); 4] = [

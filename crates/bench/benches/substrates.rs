@@ -26,7 +26,9 @@ fn bench(c: &mut Criterion) {
     group.bench_function("mbr_join_naive", |bench| {
         bench.iter(|| naive_mbr_join(&left, &right))
     });
-    group.bench_function("exact_overlay_pair", |bench| bench.iter(|| pair_areas(p, q)));
+    group.bench_function("exact_overlay_pair", |bench| {
+        bench.iter(|| pair_areas(p, q))
+    });
     group.bench_function("monte_carlo_pair_10k_samples", |bench| {
         bench.iter(|| {
             let mut rng = StdRng::seed_from_u64(1);

@@ -11,7 +11,11 @@ use sccg_bench::system_dataset;
 
 fn bench(c: &mut Criterion) {
     let dataset = system_dataset();
-    let tasks: Vec<ParseTask> = dataset.tiles.iter().map(ParseTask::from_tile_pair).collect();
+    let tasks: Vec<ParseTask> = dataset
+        .tiles
+        .iter()
+        .map(ParseTask::from_tile_pair)
+        .collect();
     let mut group = c.benchmark_group("table1_pipeline_functional");
     group.sample_size(10);
     group.bench_function("pipelined_no_migration", |bench| {

@@ -11,9 +11,10 @@
 //! crossovers fall — are the reproduction target (see EXPERIMENTS.md).
 
 use sccg::pipeline::model::{PipelineModel, PlatformConfig, Scheme};
-use sccg::pixelbox::cpu::compute_batch_cpu;
-use sccg::pixelbox::gpu::GpuPixelBox;
-use sccg::pixelbox::{OptimizationFlags, PixelBoxConfig, Variant};
+use sccg::pixelbox::{
+    ComputeBackend, CpuBackend, GpuBackend, HybridBackend, OptimizationFlags, PixelBoxConfig,
+    Variant,
+};
 use sccg_bench::{dataset_tile_stats, representative_pairs, study_datasets, system_dataset};
 use sccg_clip::pair_areas;
 use sccg_datagen::generate_tile_pair;
@@ -56,8 +57,8 @@ fn main() {
     }
 }
 
-fn gpu_engine() -> GpuPixelBox {
-    GpuPixelBox::new(Arc::new(Device::new(DeviceConfig::gtx580())))
+fn gpu_backend() -> GpuBackend {
+    GpuBackend::new(Arc::new(Device::new(DeviceConfig::gtx580())))
 }
 
 /// Figure 2: execution-time decomposition of the cross-comparing queries in
@@ -111,16 +112,23 @@ fn figure7() {
     let geos_seconds = started.elapsed().as_secs_f64();
 
     let started = Instant::now();
-    let cpu = compute_batch_cpu(&pairs, &config, 1);
+    let cpu = CpuBackend::new(1).compute_batch(&pairs, &config);
     let cpu_seconds = started.elapsed().as_secs_f64();
 
-    let gpu = gpu_engine().compute_batch(&pairs, &config);
-    let gpu_seconds = gpu.total_seconds();
+    let gpu = gpu_backend().compute_batch(&pairs, &config);
+    let gpu_seconds = gpu.total_simulated_seconds();
+
+    let hybrid_backend = HybridBackend::new(Arc::new(Device::new(DeviceConfig::gtx580())), 1, 0.5);
+    let hybrid = hybrid_backend.compute_batch(&pairs, &config);
     assert_eq!(
         geos.iter().map(|a| a.intersection).sum::<i64>(),
-        cpu.iter().map(|a| a.intersection).sum::<i64>()
+        cpu.areas.iter().map(|a| a.intersection).sum::<i64>()
     );
-    assert_eq!(cpu, gpu.areas, "PixelBox CPU and GPU must agree exactly");
+    assert_eq!(
+        cpu.areas, gpu.areas,
+        "PixelBox CPU and GPU must agree exactly"
+    );
+    assert_eq!(cpu.areas, hybrid.areas, "hybrid split must agree exactly");
 
     println!("  GEOS (exact overlay, 1 core):   {geos_seconds:10.4} s   speedup 1.0x");
     println!(
@@ -131,12 +139,16 @@ fn figure7() {
         "  PixelBox (simulated GTX 580):   {gpu_seconds:10.4} s   speedup {:.1}x  (simulated time)",
         geos_seconds / gpu_seconds
     );
+    println!(
+        "  PixelBox-Hybrid (50/50 split):  {:10.4} s of simulated GPU time for half the batch",
+        hybrid.total_simulated_seconds()
+    );
 }
 
 /// Figure 8: PixelOnly vs PixelBox-NoSep vs PixelBox across scale factors.
 fn figure8() {
     println!("\n[Figure 8] Algorithm variants vs polygon scale factor (simulated GPU seconds)");
-    let engine = gpu_engine();
+    let engine = gpu_backend();
     let base = PixelBoxConfig::paper_default();
     println!("  SF   PixelOnly    PixelBox-NoSep    PixelBox");
     for scale in 1..=5 {
@@ -144,7 +156,7 @@ fn figure8() {
         let mut row = vec![format!("  {scale}  ")];
         for variant in [Variant::PixelOnly, Variant::NoSep, Variant::Full] {
             let result = engine.compute_batch(&pairs, &base.with_variant(variant));
-            row.push(format!("{:12.6}", result.launch.time_seconds));
+            row.push(format!("{:12.6}", result.kernel_seconds()));
         }
         println!("{}", row.join("  "));
     }
@@ -153,7 +165,7 @@ fn figure8() {
 /// Figure 9: effect of the implementation optimizations.
 fn figure9() {
     println!("\n[Figure 9] Implementation optimizations (speedup over PixelBox-NoOpt)");
-    let engine = gpu_engine();
+    let engine = gpu_backend();
     let base = PixelBoxConfig::paper_default();
     let variants: [(&str, OptimizationFlags); 4] = [
         ("PixelBox-NoOpt", OptimizationFlags::none()),
@@ -183,9 +195,9 @@ fn figure9() {
         for (row, (_, opts)) in variants.iter().enumerate() {
             let result = engine.compute_batch(&pairs, &base.with_opts(*opts));
             if row == 0 {
-                baseline = result.launch.time_seconds;
+                baseline = result.kernel_seconds();
             }
-            rows[row][col] = baseline / result.launch.time_seconds;
+            rows[row][col] = baseline / result.kernel_seconds();
         }
     }
     for ((name, _), row) in variants.iter().zip(rows) {
@@ -198,8 +210,10 @@ fn figure9() {
 
 /// Figure 10: sensitivity to the pixelization threshold T.
 fn figure10() {
-    println!("\n[Figure 10] Pixelization threshold sensitivity (block size 64, simulated GPU seconds)");
-    let engine = gpu_engine();
+    println!(
+        "\n[Figure 10] Pixelization threshold sensitivity (block size 64, simulated GPU seconds)"
+    );
+    let engine = gpu_backend();
     let thresholds = [64u32, 128, 256, 512, 1024, 2048, 4096, 8192, 16384];
     print!("  T:        ");
     for t in thresholds {
@@ -212,7 +226,7 @@ fn figure10() {
         for t in thresholds {
             let config = PixelBoxConfig::paper_default().with_threshold(t);
             let result = engine.compute_batch(&pairs, &config);
-            print!("{:9.5}", result.launch.time_seconds);
+            print!("{:9.5}", result.kernel_seconds());
         }
         println!();
     }
@@ -262,17 +276,15 @@ fn figure11() {
         let model = PipelineModel::new(platform);
         let without = model.pipelined_throughput(&tiles, false);
         let with = model.pipelined_throughput(&tiles, true);
-        println!(
-            "  {:<45} {:5.2}x",
-            platform.name,
-            with / without
-        );
+        println!("  {:<45} {:5.2}x", platform.name, with / without);
     }
 }
 
 /// Figure 12: SCCG vs PostGIS-M over the 18 data sets.
 fn figure12() {
-    println!("\n[Figure 12] SCCG (Config-I, migration on) vs PostGIS-M speedup per data set (modelled)");
+    println!(
+        "\n[Figure 12] SCCG (Config-I, migration on) vs PostGIS-M speedup per data set (modelled)"
+    );
     let sccg_model = PipelineModel::new(PlatformConfig::config_i());
     let postgis_model = PipelineModel::new(PlatformConfig::postgis_m_platform());
     let mut log_sum = 0.0f64;

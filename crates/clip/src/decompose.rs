@@ -39,7 +39,10 @@ pub fn decompose_into_rects(poly: &RectilinearPolygon) -> Vec<Rect> {
             }
         }
         ys.sort_unstable();
-        debug_assert!(ys.len() % 2 == 0, "odd number of crossings in slab");
+        debug_assert!(
+            ys.len().is_multiple_of(2),
+            "odd number of crossings in slab"
+        );
         for pair in ys.chunks_exact(2) {
             rects.push(Rect::new(x0, pair[0], x1, pair[1]));
         }

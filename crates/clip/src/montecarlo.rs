@@ -86,8 +86,8 @@ mod tests {
         let exact = crate::pair_areas(&p, &q);
         let mut rng = StdRng::seed_from_u64(7);
         let est = monte_carlo_areas(&p, &q, 200_000, &mut rng);
-        let rel_i = (est.intersection - exact.intersection as f64).abs()
-            / exact.intersection as f64;
+        let rel_i =
+            (est.intersection - exact.intersection as f64).abs() / exact.intersection as f64;
         let rel_u = (est.union - exact.union as f64).abs() / exact.union as f64;
         assert!(rel_i < 0.05, "intersection relative error {rel_i}");
         assert!(rel_u < 0.05, "union relative error {rel_u}");

@@ -38,10 +38,7 @@ impl PairAreas {
 /// pairwise-disjoint rectangles, the pairwise rectangle intersections are
 /// themselves disjoint and cover exactly the intersection region. This is the
 /// boundary-constructing work an SDBMS performs for `ST_Intersection`.
-pub fn intersection_geometry(
-    p: &RectilinearPolygon,
-    q: &RectilinearPolygon,
-) -> Vec<Rect> {
+pub fn intersection_geometry(p: &RectilinearPolygon, q: &RectilinearPolygon) -> Vec<Rect> {
     if !p.mbr().intersects(&q.mbr()) {
         return Vec::new();
     }
@@ -233,10 +230,7 @@ mod tests {
     fn rectangle_union_handles_duplicates_and_containment() {
         let r = Rect::new(0, 0, 10, 10);
         assert_eq!(rectangle_union_area(&[r, r, r]), 100);
-        assert_eq!(
-            rectangle_union_area(&[r, Rect::new(2, 2, 5, 5)]),
-            100
-        );
+        assert_eq!(rectangle_union_area(&[r, Rect::new(2, 2, 5, 5)]), 100);
         assert_eq!(rectangle_union_area(&[]), 0);
         assert_eq!(rectangle_union_area(&[Rect::EMPTY, r]), 100);
         assert_eq!(

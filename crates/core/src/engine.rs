@@ -3,15 +3,14 @@
 //! [`CrossComparison`] wires the substrates together for the common case of
 //! comparing two in-memory segmentation results for the same tile or image:
 //! build MBR lists, filter candidate pairs with the Hilbert R-tree join,
-//! compute exact areas with PixelBox (on the simulated GPU or on the CPU) and
-//! aggregate the `J'` similarity. The full streaming system with parsing,
-//! bounded buffers and task migration lives in [`crate::pipeline`]; this type
-//! is the "library entry point" a downstream user reaches for first.
+//! compute exact areas with PixelBox through a [`ComputeBackend`] (GPU, CPU
+//! or hybrid) and aggregate the `J'` similarity. The full streaming system
+//! with parsing, bounded buffers and task migration lives in
+//! [`crate::pipeline`]; this type is the "library entry point" a downstream
+//! user reaches for first.
 
 use crate::jaccard::{JaccardAccumulator, JaccardSummary};
-use crate::pixelbox::cpu::compute_batch_cpu;
-use crate::pixelbox::gpu::GpuPixelBox;
-use crate::pixelbox::{AggregationDevice, PairAreas, PixelBoxConfig, PolygonPair};
+use crate::pixelbox::{AggregationDevice, ComputeBackend, PairAreas, PixelBoxConfig, PolygonPair};
 use sccg_geometry::text::PolygonRecord;
 use sccg_geometry::Rect;
 use sccg_gpu_sim::{Device, DeviceConfig, LaunchStats};
@@ -23,12 +22,15 @@ use std::sync::Arc;
 pub struct EngineConfig {
     /// PixelBox parameters.
     pub pixelbox: PixelBoxConfig,
-    /// Which device performs the area computations.
+    /// Which substrate performs the area computations.
     pub device: AggregationDevice,
-    /// Simulated GPU to use when `device` is [`AggregationDevice::Gpu`].
+    /// Simulated GPU to use when `device` involves the GPU.
     pub gpu: DeviceConfig,
-    /// CPU worker threads to use when `device` is [`AggregationDevice::Cpu`].
+    /// CPU worker threads to use when `device` involves the CPU.
     pub cpu_workers: usize,
+    /// Fraction of each batch sent to the GPU when `device` is
+    /// [`AggregationDevice::Hybrid`] (clamped to `[0, 1]`).
+    pub hybrid_gpu_fraction: f64,
 }
 
 impl Default for EngineConfig {
@@ -38,6 +40,7 @@ impl Default for EngineConfig {
             device: AggregationDevice::Gpu,
             gpu: DeviceConfig::gtx580(),
             cpu_workers: crate::parallel::default_workers(),
+            hybrid_gpu_fraction: 0.5,
         }
     }
 }
@@ -53,17 +56,20 @@ pub struct CrossComparisonReport {
     pub candidate_pairs: usize,
     /// Per-pair areas, in candidate-pair order.
     pub pair_areas: Vec<PairAreas>,
-    /// Simulated GPU launch statistics, when the GPU executed the batch.
+    /// Simulated GPU launch statistics, when the GPU executed (part of) the
+    /// batch.
     pub gpu_launch: Option<LaunchStats>,
     /// Simulated GPU seconds (transfers + kernel), when the GPU was used.
     pub gpu_seconds: Option<f64>,
 }
 
-/// Cross-comparison engine binding a device and a PixelBox configuration.
+/// Cross-comparison engine binding a compute backend and a PixelBox
+/// configuration.
 #[derive(Debug, Clone)]
 pub struct CrossComparison {
     config: EngineConfig,
     gpu: Arc<Device>,
+    backend: Arc<dyn ComputeBackend>,
 }
 
 impl CrossComparison {
@@ -71,12 +77,21 @@ impl CrossComparison {
     /// repeated comparisons share it (and its cumulative statistics).
     pub fn new(config: EngineConfig) -> Self {
         let gpu = Arc::new(Device::new(config.gpu.clone()));
-        CrossComparison { config, gpu }
+        Self::with_device(config, gpu)
     }
 
     /// Creates an engine sharing an existing simulated device.
     pub fn with_device(config: EngineConfig, gpu: Arc<Device>) -> Self {
-        CrossComparison { config, gpu }
+        let backend = config.device.backend(
+            Arc::clone(&gpu),
+            config.cpu_workers,
+            config.hybrid_gpu_fraction,
+        );
+        CrossComparison {
+            config,
+            gpu,
+            backend,
+        }
     }
 
     /// The engine configuration.
@@ -87,6 +102,11 @@ impl CrossComparison {
     /// The simulated GPU device used by this engine.
     pub fn device(&self) -> &Arc<Device> {
         &self.gpu
+    }
+
+    /// The compute backend this engine dispatches area computations to.
+    pub fn backend(&self) -> &Arc<dyn ComputeBackend> {
+        &self.backend
     }
 
     /// Filters candidate pairs of two record sets by MBR intersection,
@@ -123,22 +143,10 @@ impl CrossComparison {
 
     /// Cross-compares an already-filtered batch of polygon pairs.
     pub fn compare_pairs(&self, pairs: &[PolygonPair]) -> CrossComparisonReport {
-        let (pair_areas, gpu_launch, gpu_seconds) = match self.config.device {
-            AggregationDevice::Gpu => {
-                let engine = GpuPixelBox::new(Arc::clone(&self.gpu));
-                let result = engine.compute_batch(pairs, &self.config.pixelbox);
-                let total = result.total_seconds();
-                (result.areas, Some(result.launch), Some(total))
-            }
-            AggregationDevice::Cpu => (
-                compute_batch_cpu(pairs, &self.config.pixelbox, self.config.cpu_workers),
-                None,
-                None,
-            ),
-        };
+        let batch = self.backend.compute_batch(pairs, &self.config.pixelbox);
 
         let mut acc = JaccardAccumulator::new();
-        for areas in &pair_areas {
+        for areas in &batch.areas {
             acc.add_pair(*areas);
         }
         let summary = acc.summary();
@@ -146,9 +154,9 @@ impl CrossComparison {
             similarity: summary.similarity,
             summary,
             candidate_pairs: pairs.len(),
-            pair_areas,
-            gpu_launch,
-            gpu_seconds,
+            pair_areas: batch.areas,
+            gpu_launch: batch.launch,
+            gpu_seconds: batch.simulated_seconds,
         }
     }
 }
@@ -168,6 +176,13 @@ mod tests {
         })
     }
 
+    fn engine_on(device: AggregationDevice) -> CrossComparison {
+        CrossComparison::new(EngineConfig {
+            device,
+            ..EngineConfig::default()
+        })
+    }
+
     #[test]
     fn gpu_engine_produces_plausible_similarity() {
         let tile = tile();
@@ -181,18 +196,52 @@ mod tests {
     }
 
     #[test]
-    fn cpu_and_gpu_engines_agree_exactly() {
+    fn cpu_gpu_and_hybrid_engines_agree_exactly() {
+        // The backend-agreement invariant at the engine level: every
+        // substrate produces bit-identical per-pair areas and J'.
         let tile = tile();
-        let gpu_engine = CrossComparison::new(EngineConfig::default());
-        let cpu_engine = CrossComparison::new(EngineConfig {
-            device: AggregationDevice::Cpu,
-            ..EngineConfig::default()
-        });
-        let gpu_report = gpu_engine.compare_records(&tile.first, &tile.second);
-        let cpu_report = cpu_engine.compare_records(&tile.first, &tile.second);
+        let gpu_report =
+            engine_on(AggregationDevice::Gpu).compare_records(&tile.first, &tile.second);
+        let cpu_report =
+            engine_on(AggregationDevice::Cpu).compare_records(&tile.first, &tile.second);
+        let hybrid_report =
+            engine_on(AggregationDevice::Hybrid).compare_records(&tile.first, &tile.second);
         assert_eq!(gpu_report.pair_areas, cpu_report.pair_areas);
+        assert_eq!(gpu_report.pair_areas, hybrid_report.pair_areas);
         assert_eq!(gpu_report.similarity, cpu_report.similarity);
+        assert_eq!(gpu_report.similarity, hybrid_report.similarity);
+        assert_eq!(gpu_report.summary, hybrid_report.summary);
         assert!(cpu_report.gpu_launch.is_none());
+        // The hybrid engine really used the GPU for its share.
+        assert!(hybrid_report.gpu_launch.is_some());
+    }
+
+    #[test]
+    fn hybrid_engine_splits_work_across_substrates() {
+        let tile = tile();
+        let engine = engine_on(AggregationDevice::Hybrid);
+        let pairs = engine.filter_pairs(&tile.first, &tile.second);
+        let report = engine.compare_pairs(&pairs);
+        // The GPU launch covered only the GPU share: an all-GPU run of the
+        // same pairs costs strictly more cycles.
+        let all_gpu = engine_on(AggregationDevice::Gpu).compare_pairs(&pairs);
+        assert!(
+            report.gpu_launch.unwrap().cycles < all_gpu.gpu_launch.unwrap().cycles,
+            "hybrid GPU share must be a strict subset of the batch"
+        );
+        assert_eq!(report.pair_areas, all_gpu.pair_areas);
+    }
+
+    #[test]
+    fn engine_exposes_backend_name() {
+        assert_eq!(
+            engine_on(AggregationDevice::Hybrid).backend().name(),
+            "pixelbox-hybrid"
+        );
+        assert_eq!(
+            engine_on(AggregationDevice::Cpu).backend().name(),
+            "pixelbox-cpu"
+        );
     }
 
     #[test]

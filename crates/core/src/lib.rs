@@ -53,6 +53,7 @@ pub mod prelude {
     pub use crate::pipeline::model::{PipelineModel, PlatformConfig, Scheme};
     pub use crate::pipeline::{Pipeline, PipelineConfig, PipelineReport};
     pub use crate::pixelbox::{
-        AggregationDevice, PairAreas, PixelBoxConfig, PolygonPair, Variant,
+        AggregationDevice, BackendBatch, ComputeBackend, CpuBackend, GpuBackend, HybridBackend,
+        PairAreas, PixelBoxConfig, PolygonPair, Variant,
     };
 }

@@ -34,7 +34,7 @@ where
         return Vec::new();
     }
     if workers == 1 || items.len() <= chunk_size {
-        return items.iter().map(|item| f(item)).collect();
+        return items.iter().map(&f).collect();
     }
 
     let mut results: Vec<R> = vec![R::default(); items.len()];
@@ -58,7 +58,7 @@ where
             let tx = tx.clone();
             scope.spawn(move || {
                 while let Some((lo, hi)) = queue.pop() {
-                    let out: Vec<R> = items[lo..hi].iter().map(|item| f(item)).collect();
+                    let out: Vec<R> = items[lo..hi].iter().map(f).collect();
                     let _ = tx.send((lo, out));
                 }
             });

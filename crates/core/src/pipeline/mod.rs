@@ -29,10 +29,8 @@
 pub mod model;
 
 use crate::jaccard::{JaccardAccumulator, JaccardSummary};
-use crate::pixelbox::cpu::compute_batch_cpu;
-use crate::pixelbox::gpu::GpuPixelBox;
-use crate::pixelbox::{PixelBoxConfig, PolygonPair};
-use crossbeam::channel::{bounded, unbounded, RecvError, TryRecvError};
+use crate::pixelbox::{AggregationDevice, ComputeBackend, CpuBackend, PixelBoxConfig, PolygonPair};
+use crossbeam::channel::{bounded, unbounded, TryRecvError};
 use parking_lot::Mutex;
 use sccg_datagen::TilePair;
 use sccg_geometry::text::{parse_polygon_file, PolygonRecord};
@@ -59,6 +57,13 @@ pub struct PipelineConfig {
     /// Maximum number of filtered tasks the aggregator groups into one GPU
     /// batch (input data batching, §4.1).
     pub aggregator_batch: usize,
+    /// Substrate the aggregator stage dispatches batches to.
+    pub device: AggregationDevice,
+    /// CPU worker threads used when `device` involves the CPU.
+    pub cpu_workers: usize,
+    /// GPU share of each batch when `device` is
+    /// [`AggregationDevice::Hybrid`] (clamped to `[0, 1]`).
+    pub hybrid_gpu_fraction: f64,
 }
 
 impl Default for PipelineConfig {
@@ -70,6 +75,9 @@ impl Default for PipelineConfig {
             enable_migration: true,
             gpu: DeviceConfig::gtx580(),
             aggregator_batch: 8,
+            device: AggregationDevice::Gpu,
+            cpu_workers: crate::parallel::default_workers(),
+            hybrid_gpu_fraction: 0.5,
         }
     }
 }
@@ -254,17 +262,14 @@ impl Pipeline {
                 let parse_rx = parse_rx.clone();
                 let build_tx = build_tx.clone();
                 let shared = Arc::clone(&shared);
-                scope.spawn(move || loop {
-                    match parse_rx.recv() {
-                        Ok(task) => {
-                            let started = Instant::now();
-                            let parsed = parse_task(&task);
-                            SharedState::add_nanos(&shared.parse_nanos, started);
-                            if build_tx.send(parsed).is_err() {
-                                break;
-                            }
+                scope.spawn(move || {
+                    while let Ok(task) = parse_rx.recv() {
+                        let started = Instant::now();
+                        let parsed = parse_task(&task);
+                        SharedState::add_nanos(&shared.parse_nanos, started);
+                        if build_tx.send(parsed).is_err() {
+                            break;
                         }
-                        Err(RecvError) => break,
                     }
                 });
             }
@@ -282,8 +287,7 @@ impl Pipeline {
                     if agg_probe.is_empty() {
                         match parse_rx.try_recv() {
                             Ok(task) => {
-                                let bytes =
-                                    (task.first_text.len() + task.second_text.len()) as u64;
+                                let bytes = (task.first_text.len() + task.second_text.len()) as u64;
                                 // The GPU parser produces the same records;
                                 // bill the transfer of the raw text to the
                                 // device to account for its use.
@@ -373,42 +377,54 @@ impl Pipeline {
                 let agg_rx = agg_rx.clone();
                 let shared = Arc::clone(&shared);
                 let pixelbox = self.config.pixelbox;
-                scope.spawn(move || loop {
-                    // GPU congestion indication: the aggregator's input
-                    // buffer has filled up (§4.2).
-                    if agg_rx.len() >= capacity {
-                        match agg_rx.try_recv() {
-                            Ok(task) => {
-                                let started = Instant::now();
-                                let areas = compute_batch_cpu(&task.pairs, &pixelbox, 1);
-                                shared.fold_batch(&areas, 1);
-                                shared.migrated_to_cpu.fetch_add(1, Ordering::Relaxed);
-                                SharedState::add_nanos(
-                                    &shared.aggregate_migrated_nanos,
-                                    started,
-                                );
+                scope.spawn(move || {
+                    // The migration target is always a single-worker CPU
+                    // backend: the thread itself is the extra core (§4.2).
+                    let migration_backend = CpuBackend::new(1);
+                    loop {
+                        // GPU congestion indication: the aggregator's input
+                        // buffer has filled up (§4.2). When idle, probe only
+                        // for disconnection — but a task stolen by the probe
+                        // race must still be computed, never dropped.
+                        let congested = agg_rx.len() >= capacity;
+                        if congested || agg_rx.is_empty() {
+                            match agg_rx.try_recv() {
+                                Ok(task) => {
+                                    let started = Instant::now();
+                                    let batch =
+                                        migration_backend.compute_batch(&task.pairs, &pixelbox);
+                                    shared.fold_batch(&batch.areas, 1);
+                                    // A task stolen by the idle disconnect
+                                    // probe is computed (never lost) but is
+                                    // not a congestion migration, so only
+                                    // congested steals count as migrated.
+                                    if congested {
+                                        shared.migrated_to_cpu.fetch_add(1, Ordering::Relaxed);
+                                        SharedState::add_nanos(
+                                            &shared.aggregate_migrated_nanos,
+                                            started,
+                                        );
+                                    }
+                                }
+                                Err(TryRecvError::Empty) => {
+                                    std::thread::sleep(std::time::Duration::from_micros(100));
+                                }
+                                Err(TryRecvError::Disconnected) => break,
                             }
-                            Err(TryRecvError::Empty) => {}
-                            Err(TryRecvError::Disconnected) => break,
+                        } else {
+                            std::thread::sleep(std::time::Duration::from_micros(100));
                         }
-                    } else if agg_rx.is_empty() {
-                        if let Err(TryRecvError::Disconnected) = agg_rx.try_recv() {
-                            break;
-                        }
-                        std::thread::sleep(std::time::Duration::from_micros(100));
-                    } else {
-                        std::thread::sleep(std::time::Duration::from_micros(100));
                     }
                 });
             }
 
             // --- Aggregator (runs on the caller's thread) -------------------
-            let gpu_engine = GpuPixelBox::new(Arc::clone(&self.device));
-            loop {
-                let first = match agg_rx.recv() {
-                    Ok(task) => task,
-                    Err(RecvError) => break,
-                };
+            let backend = self.config.device.backend(
+                Arc::clone(&self.device),
+                self.config.cpu_workers,
+                self.config.hybrid_gpu_fraction,
+            );
+            while let Ok(first) = agg_rx.recv() {
                 // Batch additional tasks that are already waiting (§4.1).
                 let mut batch_pairs = first.pairs;
                 let mut batch_tiles = 1u64;
@@ -422,7 +438,7 @@ impl Pipeline {
                     }
                 }
                 let started = Instant::now();
-                let result = gpu_engine.compute_batch(&batch_pairs, &self.config.pixelbox);
+                let result = backend.compute_batch(&batch_pairs, &self.config.pixelbox);
                 shared.fold_batch(&result.areas, batch_tiles);
                 SharedState::add_nanos(&shared.aggregate_host_nanos, started);
             }
@@ -481,7 +497,11 @@ mod tests {
     }
 
     fn tasks_of(dataset: &sccg_datagen::Dataset) -> Vec<ParseTask> {
-        dataset.tiles.iter().map(ParseTask::from_tile_pair).collect()
+        dataset
+            .tiles
+            .iter()
+            .map(ParseTask::from_tile_pair)
+            .collect()
     }
 
     #[test]
@@ -535,6 +555,38 @@ mod tests {
         );
         assert!((with.similarity() - without.similarity()).abs() < 1e-12);
         assert_eq!(with.tiles, without.tiles);
+    }
+
+    #[test]
+    fn pipeline_aggregation_devices_agree() {
+        // The aggregator must produce the same similarity regardless of the
+        // substrate it dispatches to — CPU, GPU or the hybrid split.
+        let dataset = small_dataset();
+        let reference = Pipeline::new(PipelineConfig {
+            enable_migration: false,
+            ..PipelineConfig::default()
+        })
+        .run(tasks_of(&dataset));
+        for device in [AggregationDevice::Cpu, AggregationDevice::Hybrid] {
+            let report = Pipeline::new(PipelineConfig {
+                enable_migration: false,
+                device,
+                ..PipelineConfig::default()
+            })
+            .run(tasks_of(&dataset));
+            assert_eq!(
+                report.summary.candidate_pairs, reference.summary.candidate_pairs,
+                "{device:?}"
+            );
+            assert_eq!(
+                report.summary.intersecting_pairs, reference.summary.intersecting_pairs,
+                "{device:?}"
+            );
+            assert!(
+                (report.similarity() - reference.similarity()).abs() < 1e-12,
+                "{device:?}"
+            );
+        }
     }
 
     #[test]

@@ -158,10 +158,8 @@ impl CostParams {
             parse_cpu: stats.text_bytes as f64 * self.parse_per_byte,
             parse_gpu: stats.text_bytes as f64 * self.gpu_parse_per_byte,
             build: stats.polygons as f64 * self.build_per_polygon,
-            filter: stats.polygons as f64 * self.filter_per_polygon
-                + pairs * self.filter_per_pair,
-            aggregate_gpu: kernel
-                + self.gpu_launch_overhead / self.aggregator_batch_tiles.max(1.0),
+            filter: stats.polygons as f64 * self.filter_per_polygon + pairs * self.filter_per_pair,
+            aggregate_gpu: kernel + self.gpu_launch_overhead / self.aggregator_batch_tiles.max(1.0),
             aggregate_gpu_unbatched: kernel + self.gpu_launch_overhead,
             aggregate_cpu: pairs * self.pixelbox_cpu_per_pair,
             aggregate_geos: pairs * self.geos_per_pair,
@@ -318,10 +316,7 @@ impl PipelineModel {
             Scheme::NoPipeS => costs
                 .iter()
                 .map(|c| {
-                    c.parse_cpu
-                        + c.build
-                        + c.filter
-                        + self.gpu_time(c.aggregate_gpu_unbatched)
+                    c.parse_cpu + c.build + c.filter + self.gpu_time(c.aggregate_gpu_unbatched)
                 })
                 .sum(),
             Scheme::NoPipeM { streams } => self.simulate_multi_stream(&costs, streams),
@@ -395,8 +390,7 @@ impl PipelineModel {
             // GPU congested: move a fraction `y` of the aggregation work onto
             // the CPU workers until both sides finish at the same time:
             //   A(1-y)/gpus = (P + Ac*y)/slots
-            let y = ((agg_stage - parse_stage)
-                / (total_agg_cpu / slots + total_agg_gpu / gpus))
+            let y = ((agg_stage - parse_stage) / (total_agg_cpu / slots + total_agg_gpu / gpus))
                 .clamp(0.0, 1.0);
             agg_stage = total_agg_gpu * (1.0 - y) / gpus;
             parse_stage = (total_parse_cpu + total_agg_cpu * y) / slots;
@@ -504,7 +498,10 @@ mod tests {
         let nopipe_s = model.simulate(Scheme::NoPipeS, &tiles, false);
         let nopipe_m = model.simulate(Scheme::NoPipeM { streams: 4 }, &tiles, false);
         let pipelined = model.simulate(Scheme::Pipelined, &tiles, false);
-        assert!(postgis > nopipe_s * 10.0, "postgis {postgis} nopipe_s {nopipe_s}");
+        assert!(
+            postgis > nopipe_s * 10.0,
+            "postgis {postgis} nopipe_s {nopipe_s}"
+        );
         assert!(nopipe_s > nopipe_m);
         assert!(nopipe_m > pipelined);
     }

@@ -103,12 +103,7 @@ fn shoelace(poly: &RectilinearPolygon, trace: &mut Trace) -> i64 {
 
 /// Exhaustive pixelization of a region: classifies every pixel against both
 /// polygons (the `PixelOnly` path, and the tail phase of the full algorithm).
-fn pixelize_region(
-    region: &Rect,
-    pair: &PolygonPair,
-    lanes: u32,
-    trace: &mut Trace,
-) -> PairAreas {
+fn pixelize_region(region: &Rect, pair: &PolygonPair, lanes: u32, trace: &mut Trace) -> PairAreas {
     let mut intersection = 0i64;
     let mut union = 0i64;
     let p_edges = pair.p.vertex_count() as u64;
@@ -210,8 +205,7 @@ fn sampling_box_scan(
             let pos_p = box_position(&sub, &pair.p);
             let pos_q = box_position(&sub, &pair.q);
             trace.box_tests += 2;
-            trace.box_edge_ops +=
-                pair.p.vertex_count() as u64 + pair.q.vertex_count() as u64;
+            trace.box_edge_ops += pair.p.vertex_count() as u64 + pair.q.vertex_count() as u64;
 
             let inter_c = intersection_contribution(pos_p, pos_q);
             let union_c = union_contribution(pos_p, pos_q);
@@ -313,7 +307,8 @@ mod tests {
         // once polygons are large.
         let p = l_shape(0, 96);
         let q = l_shape(10, 96);
-        let (_, t_pixel) = compute_pair(&pair(p.clone(), q.clone()), 1 << 30, 64, Variant::PixelOnly);
+        let (_, t_pixel) =
+            compute_pair(&pair(p.clone(), q.clone()), 1 << 30, 64, Variant::PixelOnly);
         let (_, t_full) = compute_pair(&pair(p, q), 2048, 64, Variant::Full);
         assert!(
             t_full.pixel_tests * 2 < t_pixel.pixel_tests,

@@ -1,0 +1,374 @@
+//! Unified dispatch for PixelBox batch execution: the [`ComputeBackend`]
+//! trait and its three implementations.
+//!
+//! The paper's system runs the aggregation (area-computation) workload on
+//! whichever substrate is available: the GPU kernel (§3), the multi-core CPU
+//! port (§4.2), or *both at once* under the hybrid execution of §5. Before
+//! this module existed, every caller — the engine, the pipeline aggregator,
+//! the benches — re-implemented that choice as a two-arm `match`. Now the
+//! choice is made once, behind one trait:
+//!
+//! * [`CpuBackend`] — `PixelBox-CPU` on a work-sharing thread pool.
+//! * [`GpuBackend`] — the PixelBox kernel on a simulated SIMT device.
+//! * [`HybridBackend`] — splits every batch between the GPU and the CPU by a
+//!   configurable fraction and merges the results in input order.
+//!
+//! [`AggregationDevice::backend`] maps the legacy enum to a backend, so
+//! existing configuration keeps working.
+
+use super::cpu::compute_batch_cpu;
+use super::gpu::GpuPixelBox;
+use super::{AggregationDevice, PairAreas, PixelBoxConfig, PolygonPair};
+use sccg_gpu_sim::{Device, LaunchStats};
+use std::fmt;
+use std::sync::Arc;
+
+/// Result of executing one batch of polygon pairs on a backend.
+#[derive(Debug, Clone, Default)]
+pub struct BackendBatch {
+    /// Areas of intersection and union per input pair, in input order.
+    pub areas: Vec<PairAreas>,
+    /// Simulated kernel launch statistics, when a GPU executed (part of) the
+    /// batch.
+    pub launch: Option<LaunchStats>,
+    /// Simulated GPU seconds (transfers + kernel), when a GPU executed (part
+    /// of) the batch.
+    pub simulated_seconds: Option<f64>,
+}
+
+impl BackendBatch {
+    /// Simulated kernel time in seconds; `0.0` when no GPU was involved.
+    pub fn kernel_seconds(&self) -> f64 {
+        self.launch.map_or(0.0, |launch| launch.time_seconds)
+    }
+
+    /// Simulated total GPU seconds; `0.0` when no GPU was involved.
+    pub fn total_simulated_seconds(&self) -> f64 {
+        self.simulated_seconds.unwrap_or(0.0)
+    }
+}
+
+/// A substrate that can compute the areas of a batch of polygon pairs.
+///
+/// Implementations must return one [`PairAreas`] per input pair, in input
+/// order, and all implementations must agree bit-for-bit on the areas — the
+/// substrate choice is a performance decision, never a correctness one
+/// (asserted by the backend-agreement tests).
+pub trait ComputeBackend: fmt::Debug + Send + Sync {
+    /// Short human-readable backend name (e.g. for logs and bench labels).
+    fn name(&self) -> &'static str;
+
+    /// Computes the areas of intersection and union for every pair.
+    fn compute_batch(&self, pairs: &[PolygonPair], config: &PixelBoxConfig) -> BackendBatch;
+}
+
+/// `PixelBox-CPU`: the multi-core CPU port (§4.2) as a backend.
+#[derive(Debug, Clone)]
+pub struct CpuBackend {
+    workers: usize,
+}
+
+impl CpuBackend {
+    /// Creates a CPU backend using `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        CpuBackend {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Number of worker threads used per batch.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+impl Default for CpuBackend {
+    fn default() -> Self {
+        CpuBackend::new(crate::parallel::default_workers())
+    }
+}
+
+impl ComputeBackend for CpuBackend {
+    fn name(&self) -> &'static str {
+        "pixelbox-cpu"
+    }
+
+    fn compute_batch(&self, pairs: &[PolygonPair], config: &PixelBoxConfig) -> BackendBatch {
+        BackendBatch {
+            areas: compute_batch_cpu(pairs, config, self.workers),
+            launch: None,
+            simulated_seconds: None,
+        }
+    }
+}
+
+/// PixelBox on the simulated SIMT GPU (§3) as a backend.
+#[derive(Debug, Clone)]
+pub struct GpuBackend {
+    engine: GpuPixelBox,
+}
+
+impl GpuBackend {
+    /// Creates a GPU backend bound to an existing simulated device.
+    pub fn new(device: Arc<Device>) -> Self {
+        GpuBackend {
+            engine: GpuPixelBox::new(device),
+        }
+    }
+
+    /// The underlying simulated device.
+    pub fn device(&self) -> &Arc<Device> {
+        self.engine.device()
+    }
+}
+
+impl ComputeBackend for GpuBackend {
+    fn name(&self) -> &'static str {
+        "pixelbox-gpu"
+    }
+
+    fn compute_batch(&self, pairs: &[PolygonPair], config: &PixelBoxConfig) -> BackendBatch {
+        if pairs.is_empty() {
+            // No kernel is launched for an empty batch, so `launch` stays
+            // `None` — `launch.is_some()` means "the GPU actually ran".
+            return BackendBatch::default();
+        }
+        let result = self.engine.compute_batch(pairs, config);
+        let total = result.total_seconds();
+        BackendBatch {
+            areas: result.areas,
+            launch: Some(result.launch),
+            simulated_seconds: Some(total),
+        }
+    }
+}
+
+/// Hybrid CPU+GPU execution (§5): each batch is split by a configurable
+/// fraction; the GPU computes the prefix while the CPU computes the suffix
+/// on a separate thread, and the results are merged back in input order.
+#[derive(Debug, Clone)]
+pub struct HybridBackend {
+    gpu: GpuBackend,
+    cpu: CpuBackend,
+    gpu_fraction: f64,
+}
+
+/// The single normalization policy for a GPU fraction: `NaN` falls back to
+/// an even split, everything else is clamped to `[0, 1]`.
+fn normalize_gpu_fraction(gpu_fraction: f64) -> f64 {
+    if gpu_fraction.is_nan() {
+        0.5
+    } else {
+        gpu_fraction.clamp(0.0, 1.0)
+    }
+}
+
+/// Index at which a `len`-pair batch is split between the GPU (prefix) and
+/// the CPU (suffix) for a given GPU fraction. The fraction is clamped to
+/// `[0, 1]`, so the split is always within bounds: `0.0` sends everything to
+/// the CPU, `1.0` everything to the GPU.
+pub fn hybrid_split_point(len: usize, gpu_fraction: f64) -> usize {
+    let fraction = normalize_gpu_fraction(gpu_fraction);
+    ((len as f64 * fraction).round() as usize).min(len)
+}
+
+impl HybridBackend {
+    /// Creates a hybrid backend: `gpu_fraction` of every batch (clamped to
+    /// `[0, 1]`) runs on the simulated device, the rest on `cpu_workers`
+    /// CPU threads.
+    pub fn new(device: Arc<Device>, cpu_workers: usize, gpu_fraction: f64) -> Self {
+        HybridBackend {
+            gpu: GpuBackend::new(device),
+            cpu: CpuBackend::new(cpu_workers),
+            gpu_fraction: normalize_gpu_fraction(gpu_fraction),
+        }
+    }
+
+    /// The fraction of each batch sent to the GPU.
+    pub fn gpu_fraction(&self) -> f64 {
+        self.gpu_fraction
+    }
+
+    /// The underlying simulated device.
+    pub fn device(&self) -> &Arc<Device> {
+        self.gpu.device()
+    }
+
+    /// Where a batch of `len` pairs splits between GPU prefix and CPU suffix.
+    pub fn split_point(&self, len: usize) -> usize {
+        hybrid_split_point(len, self.gpu_fraction)
+    }
+}
+
+impl ComputeBackend for HybridBackend {
+    fn name(&self) -> &'static str {
+        "pixelbox-hybrid"
+    }
+
+    fn compute_batch(&self, pairs: &[PolygonPair], config: &PixelBoxConfig) -> BackendBatch {
+        let split = self.split_point(pairs.len());
+        let (gpu_pairs, cpu_pairs) = pairs.split_at(split);
+
+        // The CPU share runs on its own thread while this thread drives the
+        // simulated GPU — the two substrates genuinely overlap, as in §5.
+        // Empty shares skip their substrate entirely (no kernel launch, no
+        // thread spawn).
+        let (gpu_batch, cpu_batch) = if cpu_pairs.is_empty() {
+            (
+                self.gpu.compute_batch(gpu_pairs, config),
+                BackendBatch::default(),
+            )
+        } else {
+            std::thread::scope(|scope| {
+                let cpu_handle = scope.spawn(|| self.cpu.compute_batch(cpu_pairs, config));
+                let gpu_batch = self.gpu.compute_batch(gpu_pairs, config);
+                (gpu_batch, cpu_handle.join().expect("cpu share panicked"))
+            })
+        };
+
+        let mut areas = gpu_batch.areas;
+        areas.extend(cpu_batch.areas);
+        BackendBatch {
+            areas,
+            launch: gpu_batch.launch,
+            simulated_seconds: gpu_batch.simulated_seconds,
+        }
+    }
+}
+
+impl AggregationDevice {
+    /// Maps the legacy device enum to a [`ComputeBackend`] — the one place
+    /// where the substrate choice is made. `device` is the simulated GPU for
+    /// the GPU and hybrid variants (the CPU variant ignores it),
+    /// `cpu_workers` sizes the CPU pool, and `hybrid_gpu_fraction` is the
+    /// GPU share of each batch under [`AggregationDevice::Hybrid`].
+    pub fn backend(
+        self,
+        device: Arc<Device>,
+        cpu_workers: usize,
+        hybrid_gpu_fraction: f64,
+    ) -> Arc<dyn ComputeBackend> {
+        match self {
+            AggregationDevice::Gpu => Arc::new(GpuBackend::new(device)),
+            AggregationDevice::Cpu => Arc::new(CpuBackend::new(cpu_workers)),
+            AggregationDevice::Hybrid => {
+                Arc::new(HybridBackend::new(device, cpu_workers, hybrid_gpu_fraction))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sccg_geometry::{Rect, RectilinearPolygon};
+    use sccg_gpu_sim::DeviceConfig;
+
+    fn device() -> Arc<Device> {
+        Arc::new(Device::new(DeviceConfig::gtx580()))
+    }
+
+    fn sample_pairs(n: i32) -> Vec<PolygonPair> {
+        (0..n)
+            .map(|i| {
+                let p =
+                    RectilinearPolygon::rectangle(Rect::new(2 * i, i, 2 * i + 11 + (i % 5), i + 9))
+                        .unwrap();
+                let q =
+                    RectilinearPolygon::rectangle(Rect::new(2 * i + 3, i + 2, 2 * i + 15, i + 12))
+                        .unwrap();
+                PolygonPair::new(p, q)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_backends_agree_bit_for_bit() {
+        let pairs = sample_pairs(33);
+        let config = PixelBoxConfig::paper_default();
+        let cpu = CpuBackend::new(2).compute_batch(&pairs, &config);
+        let gpu = GpuBackend::new(device()).compute_batch(&pairs, &config);
+        let hybrid = HybridBackend::new(device(), 2, 0.5).compute_batch(&pairs, &config);
+        assert_eq!(cpu.areas, gpu.areas);
+        assert_eq!(cpu.areas, hybrid.areas);
+        assert!(cpu.launch.is_none() && cpu.simulated_seconds.is_none());
+        assert!(gpu.launch.is_some() && gpu.simulated_seconds.is_some());
+        assert!(hybrid.launch.is_some(), "hybrid ran a GPU share");
+    }
+
+    #[test]
+    fn hybrid_actually_splits_across_both_substrates() {
+        let pairs = sample_pairs(20);
+        let config = PixelBoxConfig::paper_default();
+        let dev = device();
+        let hybrid = HybridBackend::new(Arc::clone(&dev), 1, 0.5);
+        assert_eq!(hybrid.split_point(pairs.len()), 10);
+
+        let launches_before = dev.stats().launches;
+        let batch = hybrid.compute_batch(&pairs, &config);
+        let launches_after = dev.stats().launches;
+
+        // The GPU saw exactly one launch for its half...
+        assert_eq!(launches_after - launches_before, 1);
+        // ...whose stats cover 10 pairs' worth of work, while the full batch
+        // still produced every result: the other 10 ran on the CPU.
+        assert_eq!(batch.areas.len(), pairs.len());
+        let gpu_only = GpuBackend::new(device()).compute_batch(&pairs[..10], &config);
+        assert_eq!(
+            batch.launch.unwrap().cycles,
+            gpu_only.launch.unwrap().cycles
+        );
+    }
+
+    #[test]
+    fn hybrid_fraction_extremes_degenerate_cleanly() {
+        let pairs = sample_pairs(12);
+        let config = PixelBoxConfig::paper_default();
+        let all_cpu = HybridBackend::new(device(), 2, 0.0).compute_batch(&pairs, &config);
+        assert!(all_cpu.launch.is_none(), "fraction 0 never touches the GPU");
+        let all_gpu = HybridBackend::new(device(), 2, 1.0).compute_batch(&pairs, &config);
+        assert!(all_gpu.launch.is_some());
+        assert_eq!(all_cpu.areas, all_gpu.areas);
+    }
+
+    #[test]
+    fn split_point_is_clamped_and_bounded() {
+        assert_eq!(hybrid_split_point(10, -3.0), 0);
+        assert_eq!(hybrid_split_point(10, 0.0), 0);
+        assert_eq!(hybrid_split_point(10, 1.0), 10);
+        assert_eq!(hybrid_split_point(10, 7.5), 10);
+        assert_eq!(hybrid_split_point(10, 0.5), 5);
+        assert_eq!(hybrid_split_point(0, 0.5), 0);
+        assert_eq!(hybrid_split_point(10, f64::NAN), 5);
+    }
+
+    #[test]
+    fn aggregation_device_constructs_matching_backends() {
+        let names: Vec<&str> = [
+            AggregationDevice::Gpu,
+            AggregationDevice::Cpu,
+            AggregationDevice::Hybrid,
+        ]
+        .into_iter()
+        .map(|d| d.backend(device(), 2, 0.5).name())
+        .collect();
+        assert_eq!(
+            names,
+            vec!["pixelbox-gpu", "pixelbox-cpu", "pixelbox-hybrid"]
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_empty_on_every_backend() {
+        let config = PixelBoxConfig::paper_default();
+        for backend in [
+            AggregationDevice::Gpu.backend(device(), 2, 0.5),
+            AggregationDevice::Cpu.backend(device(), 2, 0.5),
+            AggregationDevice::Hybrid.backend(device(), 2, 0.5),
+        ] {
+            let batch = backend.compute_batch(&[], &config);
+            assert!(batch.areas.is_empty(), "{}", backend.name());
+            assert_eq!(batch.kernel_seconds(), 0.0, "{}", backend.name());
+        }
+    }
+}

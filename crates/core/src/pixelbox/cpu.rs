@@ -18,10 +18,7 @@ pub fn compute_pair_cpu(pair: &PolygonPair, config: &PixelBoxConfig) -> PairArea
 
 /// Computes the areas of one pair on the CPU, also returning the execution
 /// trace (used by benchmarks and the performance model).
-pub fn compute_pair_cpu_traced(
-    pair: &PolygonPair,
-    config: &PixelBoxConfig,
-) -> (PairAreas, Trace) {
+pub fn compute_pair_cpu_traced(pair: &PolygonPair, config: &PixelBoxConfig) -> (PairAreas, Trace) {
     compute_pair(pair, config.threshold, config.cpu_fanout, config.variant)
 }
 
@@ -45,8 +42,7 @@ mod tests {
         let mut pairs = Vec::new();
         for i in 0..12i32 {
             let p = RectilinearPolygon::rectangle(Rect::new(i, i, i + 10 + i % 3, i + 8)).unwrap();
-            let q =
-                RectilinearPolygon::rectangle(Rect::new(i + 3, i + 2, i + 14, i + 11)).unwrap();
+            let q = RectilinearPolygon::rectangle(Rect::new(i + 3, i + 2, i + 14, i + 11)).unwrap();
             pairs.push(PolygonPair::new(p, q));
         }
         pairs

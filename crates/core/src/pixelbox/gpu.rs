@@ -66,11 +66,7 @@ impl GpuPixelBox {
     /// Computes the areas of intersection and union for a batch of polygon
     /// pairs with one kernel launch (plus the host↔device transfers for the
     /// batch), mirroring the aggregator stage's batched invocation (§4.1).
-    pub fn compute_batch(
-        &self,
-        pairs: &[PolygonPair],
-        config: &PixelBoxConfig,
-    ) -> GpuBatchResult {
+    pub fn compute_batch(&self, pairs: &[PolygonPair], config: &PixelBoxConfig) -> GpuBatchResult {
         let mut areas = vec![PairAreas::default(); pairs.len()];
         let mut trace_total = Trace::default();
         if pairs.is_empty() {
@@ -86,9 +82,7 @@ impl GpuPixelBox {
         // the per-thread partial areas (block_size values per pair).
         let input_bytes: u64 = pairs
             .iter()
-            .map(|pair| {
-                8 * (pair.p.vertex_count() + pair.q.vertex_count()) as u64 + 16
-            })
+            .map(|pair| 8 * (pair.p.vertex_count() + pair.q.vertex_count()) as u64 + 16)
             .sum();
         let output_bytes = 8 * u64::from(config.block_size) * pairs.len() as u64;
         let mut transfer_seconds = self.device.transfer(input_bytes);
@@ -119,8 +113,7 @@ impl GpuPixelBox {
                 pair_idx += grid_dim as usize;
             }
         });
-        drop(areas_cell);
-        drop(trace_cell);
+        let (_, _) = (areas_cell, trace_cell); // end the interior borrows
 
         transfer_seconds += self.device.transfer(output_bytes);
         GpuBatchResult {
@@ -238,8 +231,8 @@ fn charge_pair(
 mod tests {
     use super::*;
     use crate::pixelbox::{OptimizationFlags, Variant};
-    use sccg_gpu_sim::DeviceConfig;
     use sccg_geometry::{raster, Rect, RectilinearPolygon};
+    use sccg_gpu_sim::DeviceConfig;
 
     fn device() -> Arc<Device> {
         Arc::new(Device::new(DeviceConfig::gtx580()))

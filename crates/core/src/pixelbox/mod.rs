@@ -26,12 +26,16 @@
 //! * [`cpu`] — `PixelBox-CPU`: the multi-core CPU port (§4.2).
 //! * [`gpu`] — the CUDA-style kernel executed on the `sccg-gpu-sim` device,
 //!   including the implementation-optimization toggles evaluated in Figure 9.
+//! * [`backend`] — the [`ComputeBackend`] dispatch trait unifying the CPU,
+//!   GPU and hybrid CPU+GPU substrates behind one interface.
 
 pub mod algorithm;
+pub mod backend;
 pub mod cpu;
 pub mod gpu;
 pub mod position;
 
+pub use backend::{BackendBatch, ComputeBackend, CpuBackend, GpuBackend, HybridBackend};
 pub use sccg_clip::PairAreas;
 use sccg_geometry::RectilinearPolygon;
 
@@ -114,6 +118,10 @@ impl Default for OptimizationFlags {
 }
 
 /// Which device executes the aggregation (area computation) work.
+///
+/// This enum is the configuration-level name of a substrate; the actual
+/// dispatch happens through the [`ComputeBackend`] it constructs via
+/// [`AggregationDevice::backend`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AggregationDevice {
     /// The simulated GPU (PixelBox kernel).
@@ -121,6 +129,10 @@ pub enum AggregationDevice {
     Gpu,
     /// The host CPU (PixelBox-CPU).
     Cpu,
+    /// Both at once: each batch splits between GPU and CPU (§5 hybrid
+    /// execution); the split ratio is configured alongside (e.g.
+    /// `EngineConfig::hybrid_gpu_fraction`).
+    Hybrid,
 }
 
 /// Tunable parameters of PixelBox.

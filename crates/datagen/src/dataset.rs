@@ -160,10 +160,7 @@ mod tests {
         let spec = catalog()[0].clone();
         let ds = generate_dataset(&spec);
         assert_eq!(ds.tiles.len(), spec.tiles as usize);
-        assert_eq!(
-            ds.first_polygon_count() as u64,
-            spec.expected_polygons()
-        );
+        assert_eq!(ds.first_polygon_count() as u64, spec.expected_polygons());
         assert!(ds.second_polygon_count() > 0);
         assert!(ds.text_size_bytes() > 0);
     }

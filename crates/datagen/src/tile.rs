@@ -101,9 +101,8 @@ pub fn generate_tile_pair(spec: &TileSpec) -> TilePair {
 
     let mut first = Vec::with_capacity(count as usize);
     let mut second = Vec::with_capacity(count as usize);
-    let mut next_id: u64 = 1;
 
-    for &cell_idx in &cells {
+    for (next_id, &cell_idx) in (1_u64..).zip(cells.iter()) {
         let col = (cell_idx as i32) % cols;
         let row = (cell_idx as i32) / cols;
         let margin = spec.nucleus.radius_x.max(spec.nucleus.radius_y) as i32 + 2;
@@ -120,11 +119,19 @@ pub fn generate_tile_pair(spec: &TileSpec) -> TilePair {
         // differently; sometimes misses it entirely.
         if rng.gen_bool(1.0 - spec.dropout) {
             let shift = spec.max_shift as i32;
-            let dx = if shift > 0 { rng.gen_range(-shift..=shift) } else { 0 };
-            let dy = if shift > 0 { rng.gen_range(-shift..=shift) } else { 0 };
+            let dx = if shift > 0 {
+                rng.gen_range(-shift..=shift)
+            } else {
+                0
+            };
+            let dy = if shift > 0 {
+                rng.gen_range(-shift..=shift)
+            } else {
+                0
+            };
             let jittered = NucleusParams {
-                radius_x: (spec.nucleus.radius_x as i32 + rng.gen_range(-1..=1)).max(2) as u32,
-                radius_y: (spec.nucleus.radius_y as i32 + rng.gen_range(-1..=1)).max(2) as u32,
+                radius_x: (spec.nucleus.radius_x as i32 + rng.gen_range(-1i32..=1)).max(2) as u32,
+                radius_y: (spec.nucleus.radius_y as i32 + rng.gen_range(-1i32..=1)).max(2) as u32,
                 boundary_jitter: spec.nucleus.boundary_jitter,
             };
             let poly_b = generate_nucleus(cx + dx, cy + dy, &jittered, &mut rng);
@@ -143,7 +150,6 @@ pub fn generate_tile_pair(spec: &TileSpec) -> TilePair {
                 polygon: poly_s,
             });
         }
-        next_id += 1;
     }
 
     TilePair {
@@ -192,14 +198,13 @@ mod tests {
     fn polygons_lie_within_tile_bounds() {
         let spec = small_spec();
         let pair = generate_tile_pair(&spec);
-        let bounds = Rect::new(
-            -8,
-            -8,
-            spec.width as i32 + 8,
-            spec.height as i32 + 8,
-        );
+        let bounds = Rect::new(-8, -8, spec.width as i32 + 8, spec.height as i32 + 8);
         for rec in pair.first.iter().chain(pair.second.iter()) {
-            assert!(bounds.contains_rect(&rec.polygon.mbr()), "{:?}", rec.polygon.mbr());
+            assert!(
+                bounds.contains_rect(&rec.polygon.mbr()),
+                "{:?}",
+                rec.polygon.mbr()
+            );
         }
     }
 
@@ -247,9 +252,6 @@ mod tests {
     #[test]
     fn polygon_count_helper() {
         let pair = generate_tile_pair(&small_spec());
-        assert_eq!(
-            pair.polygon_count(),
-            pair.first.len() + pair.second.len()
-        );
+        assert_eq!(pair.polygon_count(), pair.first.len() + pair.second.len());
     }
 }

@@ -75,7 +75,10 @@ mod tests {
         let cases: Vec<(GeometryError, &str)> = vec![
             (GeometryError::TooFewVertices { got: 2 }, "at least 4"),
             (GeometryError::ZeroLengthEdge { index: 3 }, "zero-length"),
-            (GeometryError::NonRectilinearEdge { index: 1 }, "axis-aligned"),
+            (
+                GeometryError::NonRectilinearEdge { index: 1 },
+                "axis-aligned",
+            ),
             (GeometryError::CollinearVertex { index: 5 }, "collinear"),
             (GeometryError::ZeroArea, "zero area"),
             (

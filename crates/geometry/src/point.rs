@@ -120,10 +120,7 @@ mod tests {
 
     #[test]
     fn checked_scale_detects_overflow() {
-        assert_eq!(
-            Point::new(2, 3).checked_scale(10),
-            Some(Point::new(20, 30))
-        );
+        assert_eq!(Point::new(2, 3).checked_scale(10), Some(Point::new(20, 30)));
         assert_eq!(Point::new(i32::MAX, 0).checked_scale(2), None);
     }
 

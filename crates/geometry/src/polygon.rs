@@ -85,10 +85,7 @@ impl Edge {
                 } else {
                     (other, self)
                 };
-                v.fixed() > h.lo()
-                    && v.fixed() < h.hi()
-                    && h.fixed() > v.lo()
-                    && h.fixed() < v.hi()
+                v.fixed() > h.lo() && v.fixed() < h.hi() && h.fixed() > v.lo() && h.fixed() < v.hi()
             }
             _ => false,
         }
@@ -181,8 +178,8 @@ impl RectilinearPolygon {
                 let prev = cleaned[(i + n - 1) % n];
                 let cur = cleaned[i];
                 let next = cleaned[(i + 1) % n];
-                let collinear = (prev.x == cur.x && cur.x == next.x)
-                    || (prev.y == cur.y && cur.y == next.y);
+                let collinear =
+                    (prev.x == cur.x && cur.x == next.x) || (prev.y == cur.y && cur.y == next.y);
                 if collinear {
                     removed = true;
                 } else {
@@ -312,9 +309,7 @@ impl RectilinearPolygon {
         let vertices = self
             .vertices
             .iter()
-            .map(|v| {
-                Some(Point::new(v.x.checked_add(dx)?, v.y.checked_add(dy)?))
-            })
+            .map(|v| Some(Point::new(v.x.checked_add(dx)?, v.y.checked_add(dy)?)))
             .collect::<Option<Vec<_>>>()
             .ok_or(GeometryError::CoordinateOverflow)?;
         Self::new(vertices)

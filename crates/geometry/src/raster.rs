@@ -22,10 +22,7 @@ pub fn polygon_area(poly: &RectilinearPolygon) -> i64 {
 /// classifying every pixel of the pair's combined MBR (Figure 4(a)):
 /// a pixel inside both contributes to the intersection, a pixel inside at
 /// least one contributes to the union.
-pub fn intersection_union_area(
-    p: &RectilinearPolygon,
-    q: &RectilinearPolygon,
-) -> (i64, i64) {
+pub fn intersection_union_area(p: &RectilinearPolygon, q: &RectilinearPolygon) -> (i64, i64) {
     let joint = p.mbr().union(&q.mbr());
     let mut inter = 0i64;
     let mut union = 0i64;

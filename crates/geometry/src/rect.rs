@@ -282,10 +282,7 @@ mod tests {
     fn pixel_indexing_round_trips() {
         let r = Rect::new(3, 4, 6, 6); // 3 wide, 2 tall
         let pixels: Vec<_> = r.pixels().collect();
-        assert_eq!(
-            pixels,
-            vec![(3, 4), (4, 4), (5, 4), (3, 5), (4, 5), (5, 5)]
-        );
+        assert_eq!(pixels, vec![(3, 4), (4, 4), (5, 4), (3, 5), (4, 5), (5, 5)]);
         assert_eq!(r.pixel_at(0), Some((3, 4)));
         assert_eq!(r.pixel_at(5), Some((5, 5)));
         assert_eq!(r.pixel_at(6), None);

@@ -45,8 +45,7 @@ fn staircase_polygon() -> impl Strategy<Value = RectilinearPolygon> {
 }
 
 fn small_rect() -> impl Strategy<Value = Rect> {
-    (0i32..40, 0i32..40, 1i32..20, 1i32..20)
-        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+    (0i32..40, 0i32..40, 1i32..20, 1i32..20).prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
 }
 
 proptest! {

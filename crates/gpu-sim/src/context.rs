@@ -95,8 +95,7 @@ impl BlockContext {
             active.div_ceil(self.warp_size).max(1)
         };
         self.compute_cycles += ops * u64::from(issuing_warps);
-        let wasted_lanes =
-            u64::from(issuing_warps) * u64::from(self.warp_size) - u64::from(active);
+        let wasted_lanes = u64::from(issuing_warps) * u64::from(self.warp_size) - u64::from(active);
         self.divergent_lane_cycles += ops * wasted_lanes;
     }
 
@@ -107,8 +106,7 @@ impl BlockContext {
     #[inline]
     pub fn charge_loop_overhead(&mut self, iterations: u64) {
         const OVERHEAD_OPS_PER_ITERATION: u64 = 3;
-        self.compute_cycles +=
-            iterations * OVERHEAD_OPS_PER_ITERATION * u64::from(self.warps());
+        self.compute_cycles += iterations * OVERHEAD_OPS_PER_ITERATION * u64::from(self.warps());
     }
 
     /// Issues one shared-memory access per provided lane address (in 32-bit
@@ -318,14 +316,8 @@ mod tests {
         }
         let mut aggregated = ctx(64);
         aggregated.global_access_many(8, true, 10);
-        assert_eq!(
-            repeated.global_transactions,
-            aggregated.global_transactions
-        );
-        assert_eq!(
-            repeated.memory_stall_cycles,
-            aggregated.memory_stall_cycles
-        );
+        assert_eq!(repeated.global_transactions, aggregated.global_transactions);
+        assert_eq!(repeated.memory_stall_cycles, aggregated.memory_stall_cycles);
         let mut none = ctx(64);
         none.global_access_many(8, true, 0);
         assert_eq!(none.global_transactions, 0);

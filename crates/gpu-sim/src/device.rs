@@ -112,9 +112,8 @@ impl Device {
         // residual throughput cost" at `warps_to_hide_latency`.
         let resident_warps =
             (agg.blocks_per_sm * launch.warps_per_block(self.config.warp_size)).max(1);
-        let hiding = (f64::from(resident_warps)
-            / f64::from(self.config.warps_to_hide_latency))
-        .clamp(0.0, 1.0);
+        let hiding = (f64::from(resident_warps) / f64::from(self.config.warps_to_hide_latency))
+            .clamp(0.0, 1.0);
         let residual = 0.15; // even fully hidden traffic costs some throughput
         let memory_scale = (1.0 - hiding) + hiding * residual;
 
@@ -141,8 +140,7 @@ impl Device {
     /// aggregator stage batches its input (§4.1).
     pub fn transfer(&self, bytes: u64) -> f64 {
         const FIXED_OVERHEAD_SECONDS: f64 = 10.0e-6; // driver + DMA setup
-        let seconds =
-            FIXED_OVERHEAD_SECONDS + bytes as f64 / self.config.transfer_bandwidth;
+        let seconds = FIXED_OVERHEAD_SECONDS + bytes as f64 / self.config.transfer_bandwidth;
         let mut stats = self.stats.lock();
         stats.bytes_transferred += bytes;
         stats.transfer_seconds += seconds;

@@ -69,9 +69,7 @@ impl<T> HilbertRTree<T> {
                 .scan(0usize, |start, chunk| {
                     let child_start = *start;
                     *start += chunk.len();
-                    let mbr = chunk
-                        .iter()
-                        .fold(Rect::EMPTY, |acc, (r, _)| acc.union(r));
+                    let mbr = chunk.iter().fold(Rect::EMPTY, |acc, (r, _)| acc.union(r));
                     Some(Node {
                         mbr,
                         child_start,

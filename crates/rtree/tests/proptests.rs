@@ -2,8 +2,8 @@
 //! brute force on arbitrary rectangle sets.
 
 use proptest::prelude::*;
-use sccg_rtree::{mbr_join, naive_mbr_join, HilbertRTree};
 use sccg_geometry::Rect;
+use sccg_rtree::{mbr_join, naive_mbr_join, HilbertRTree};
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
     (-200i32..200, -200i32..200, 1i32..40, 1i32..40)

@@ -78,8 +78,7 @@ mod tests {
         let rows: Vec<PolygonRecord> = (0..n)
             .map(|i| PolygonRecord {
                 id: i as u64,
-                polygon: RectilinearPolygon::rectangle(Rect::new(i * 3, 0, i * 3 + 4, 5))
-                    .unwrap(),
+                polygon: RectilinearPolygon::rectangle(Rect::new(i * 3, 0, i * 3 + 4, 5)).unwrap(),
             })
             .collect();
         PolygonTable::new("sample", rows)

@@ -33,7 +33,11 @@ fn main() {
 
     // The parser stage consumes the text files a segmentation pipeline would
     // have written to disk.
-    let tasks: Vec<ParseTask> = dataset.tiles.iter().map(ParseTask::from_tile_pair).collect();
+    let tasks: Vec<ParseTask> = dataset
+        .tiles
+        .iter()
+        .map(ParseTask::from_tile_pair)
+        .collect();
 
     let pipeline = Pipeline::new(PipelineConfig {
         parser_workers: 2,

@@ -13,7 +13,6 @@
 //! cargo run --release --example parameter_sensitivity
 //! ```
 
-use sccg::pixelbox::gpu::GpuPixelBox;
 use sccg::pixelbox::{PixelBoxConfig, PolygonPair};
 use sccg::prelude::*;
 use sccg_datagen::{generate_tile_pair, TileSpec};
@@ -41,7 +40,7 @@ fn main() {
 
     // --- 2. Pixelization threshold sweep ------------------------------------
     println!("\nPixelBox threshold T vs simulated kernel time (block size 64)");
-    let gpu = GpuPixelBox::new(Arc::new(Device::new(DeviceConfig::gtx580())));
+    let gpu = GpuBackend::new(Arc::new(Device::new(DeviceConfig::gtx580())));
     let tile = generate_tile_pair(&TileSpec {
         target_polygons: 150,
         width: 1536,
@@ -66,9 +65,11 @@ fn main() {
         for t in thresholds {
             let config = PixelBoxConfig::paper_default().with_threshold(t);
             let result = gpu.compute_batch(&scaled, &config);
-            print!("  {:>7.4}s", result.launch.time_seconds);
+            print!("  {:>7.4}s", result.kernel_seconds());
         }
         println!();
     }
-    println!("\nGuidance from the paper (§3.4): choose T around n^2/2 = 2048 for 64-thread blocks.");
+    println!(
+        "\nGuidance from the paper (§3.4): choose T around n^2/2 = 2048 for 64-thread blocks."
+    );
 }

@@ -31,7 +31,10 @@ fn main() {
     let engine = CrossComparison::new(EngineConfig::default());
     let report = engine.compare_records(&tile.first, &tile.second);
 
-    println!("candidate pairs (MBR overlap):   {}", report.candidate_pairs);
+    println!(
+        "candidate pairs (MBR overlap):   {}",
+        report.candidate_pairs
+    );
     println!(
         "actually intersecting pairs:     {}",
         report.summary.intersecting_pairs

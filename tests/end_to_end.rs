@@ -57,6 +57,38 @@ fn sdbms_engine_and_pipeline_agree_on_similarity() {
 }
 
 #[test]
+fn cpu_gpu_and_hybrid_backends_agree_bit_for_bit_end_to_end() {
+    // Backend agreement across the whole stack: the same tile pushed through
+    // every substrate — including the §5 hybrid split — must yield
+    // bit-identical per-pair areas and the identical J'.
+    let tile = test_tile();
+    let reports: Vec<CrossComparisonReport> = [
+        AggregationDevice::Gpu,
+        AggregationDevice::Cpu,
+        AggregationDevice::Hybrid,
+    ]
+    .into_iter()
+    .map(|device| {
+        CrossComparison::new(EngineConfig {
+            device,
+            ..EngineConfig::default()
+        })
+        .compare_records(&tile.first, &tile.second)
+    })
+    .collect();
+    let [gpu, cpu, hybrid] = <[CrossComparisonReport; 3]>::try_from(reports).unwrap();
+    assert_eq!(gpu.pair_areas, cpu.pair_areas);
+    assert_eq!(gpu.pair_areas, hybrid.pair_areas);
+    assert_eq!(gpu.summary, cpu.summary);
+    assert_eq!(gpu.summary, hybrid.summary);
+    assert_eq!(gpu.similarity, hybrid.similarity);
+    // And the hybrid run demonstrably touched both substrates: its GPU
+    // launch covers only part of the batch.
+    assert!(hybrid.gpu_launch.is_some());
+    assert!(hybrid.gpu_launch.unwrap().cycles < gpu.gpu_launch.unwrap().cycles);
+}
+
+#[test]
 fn unoptimized_and_optimized_sdbms_plans_agree_with_parallel_execution() {
     let tile = test_tile();
     let a = PolygonTable::new("a", tile.first);

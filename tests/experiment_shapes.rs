@@ -3,7 +3,7 @@
 //! crossovers fall — independent of absolute numbers.
 
 use sccg::pipeline::model::{PipelineModel, PlatformConfig, Scheme, TileStats};
-use sccg::pixelbox::gpu::GpuPixelBox;
+use sccg::pixelbox::{ComputeBackend, GpuBackend};
 use sccg::pixelbox::{OptimizationFlags, PixelBoxConfig, PolygonPair, Variant};
 use sccg_datagen::{generate_dataset, generate_tile_pair, DatasetSpec, TileSpec};
 use sccg_gpu_sim::{Device, DeviceConfig};
@@ -32,8 +32,8 @@ fn scaled_pairs(scale: i32) -> Vec<PolygonPair> {
         .collect()
 }
 
-fn gpu() -> GpuPixelBox {
-    GpuPixelBox::new(Arc::new(Device::new(DeviceConfig::gtx580())))
+fn gpu() -> GpuBackend {
+    GpuBackend::new(Arc::new(Device::new(DeviceConfig::gtx580())))
 }
 
 /// Figure 2 shape: area-of-intersection dominates the optimized query; the
@@ -64,11 +64,10 @@ fn figure2_shape_intersection_dominates_optimized_query() {
 fn figure8_shape_sampling_boxes_flatten_scaling() {
     let engine = gpu();
     let base = PixelBoxConfig::paper_default();
-    let mut times = |variant: Variant, scale: i32| {
+    let times = |variant: Variant, scale: i32| {
         engine
             .compute_batch(&scaled_pairs(scale), &base.with_variant(variant))
-            .launch
-            .time_seconds
+            .kernel_seconds()
     };
     let pixel_only_1 = times(Variant::PixelOnly, 1);
     let pixel_only_5 = times(Variant::PixelOnly, 5);
@@ -92,8 +91,9 @@ fn figure9_shape_optimizations_monotonically_help() {
     let noopt = engine.compute_batch(&pairs, &base.with_opts(OptimizationFlags::none()));
     let all = engine.compute_batch(&pairs, &base.with_opts(OptimizationFlags::all()));
     assert_eq!(noopt.areas, all.areas);
-    assert!(all.launch.cycles < noopt.launch.cycles);
-    assert!(all.launch.bank_conflicts <= noopt.launch.bank_conflicts);
+    let (all_launch, noopt_launch) = (all.launch.unwrap(), noopt.launch.unwrap());
+    assert!(all_launch.cycles < noopt_launch.cycles);
+    assert!(all_launch.bank_conflicts <= noopt_launch.bank_conflicts);
 }
 
 /// Figure 10 shape: the recommended threshold region (around n²/2) is no
@@ -109,13 +109,15 @@ fn figure10_shape_threshold_sweet_spot() {
                 &pairs,
                 &PixelBoxConfig::paper_default().with_threshold(threshold),
             )
-            .launch
-            .time_seconds
+            .kernel_seconds()
     };
     let tiny = time_for(8);
     let recommended = time_for(2048);
     let huge = time_for(1 << 22);
-    assert!(recommended <= tiny * 1.05, "recommended {recommended} tiny {tiny}");
+    assert!(
+        recommended <= tiny * 1.05,
+        "recommended {recommended} tiny {tiny}"
+    );
     assert!(recommended < huge, "recommended {recommended} huge {huge}");
 }
 
@@ -158,6 +160,7 @@ fn system_experiment_shapes_hold_on_generated_datasets() {
     // overheads weigh more than in the full-size study, so the bar here is
     // "several times faster"; the full 18-data-set comparison is produced by
     // `reproduce -- fig12`.
-    let speedup = postgis_m.sdbms_parallel(&tiles) / model.simulate(Scheme::Pipelined, &tiles, true);
+    let speedup =
+        postgis_m.sdbms_parallel(&tiles) / model.simulate(Scheme::Pipelined, &tiles, true);
     assert!(speedup > 3.0, "speedup {speedup}");
 }

@@ -1,0 +1,375 @@
+//! Offline shim for `crossbeam`, implementing the subset of the API used by
+//! this workspace over [`std::sync`] primitives:
+//!
+//! * [`channel`] — multi-producer multi-consumer bounded/unbounded channels
+//!   with crossbeam's disconnection semantics (`recv` fails once every sender
+//!   is gone and the buffer is drained; `send` fails once every receiver is
+//!   gone).
+//! * [`queue`] — [`queue::SegQueue`], an unbounded concurrent FIFO.
+//!
+//! The real crate is lock-free; this shim uses a mutex + condvars, which
+//! preserves ordering and blocking behaviour (what the pipeline relies on) at
+//! some throughput cost.
+
+pub mod channel {
+    //! MPMC channels mirroring `crossbeam::channel`.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and all
+    /// senders have disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty but senders remain connected.
+        Empty,
+        /// The channel is empty and all senders have disconnected.
+        Disconnected,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers have
+    /// disconnected; gives the unsent message back.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        capacity: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.state.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// The sending half of a channel. Clonable (multi-producer).
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel. Clonable (multi-consumer).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a bounded channel: `send` blocks while `capacity` messages are
+    /// buffered.
+    ///
+    /// # Panics
+    ///
+    /// Unlike real crossbeam, this shim does not implement zero-capacity
+    /// rendezvous channels; `bounded(0)` panics instead of silently behaving
+    /// like `bounded(1)` (which would deadlock-differently once the shim is
+    /// swapped for the real crate).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(
+            capacity > 0,
+            "crossbeam shim: zero-capacity rendezvous channels are not implemented"
+        );
+        with_capacity(Some(capacity))
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            capacity,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while a bounded channel is full. Fails only
+        /// when every receiver has disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.lock();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                let full = self
+                    .shared
+                    .capacity
+                    .is_some_and(|cap| state.queue.len() >= cap);
+                if !full {
+                    state.queue.push_back(value);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self
+                    .shared
+                    .not_full
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.lock();
+            state.senders -= 1;
+            if state.senders == 0 {
+                // Wake receivers blocked in recv so they observe disconnect.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives a message, blocking until one is available. Fails only
+        /// when the channel is empty and every sender has disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.lock();
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .shared
+                    .not_empty
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Receives a message if one is immediately available.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.lock();
+            if let Some(value) = state.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                Ok(value)
+            } else if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Number of messages currently buffered.
+        pub fn len(&self) -> usize {
+            self.shared.lock().queue.len()
+        }
+
+        /// Whether the buffer is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.shared.lock().queue.is_empty()
+        }
+
+        /// A blocking iterator that yields until the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.lock();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                // Wake senders blocked on a full buffer so they observe it.
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    /// Iterator over received messages; ends on disconnection.
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+}
+
+pub mod queue {
+    //! Concurrent queues mirroring `crossbeam::queue`.
+
+    use std::collections::VecDeque;
+    use std::sync::{Mutex, PoisonError};
+
+    /// An unbounded concurrent FIFO queue (mutex-backed in this shim).
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub const fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes `value` to the back of the queue.
+        pub fn push(&self, value: T) {
+            self.inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(value);
+        }
+
+        /// Pops from the front of the queue, if non-empty.
+        pub fn pop(&self) -> Option<T> {
+            self.inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front()
+        }
+
+        /// Number of queued values.
+        pub fn len(&self) -> usize {
+            self.inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvError, TryRecvError};
+    use super::queue::SegQueue;
+
+    #[test]
+    fn unbounded_fifo_and_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_and_disconnected() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let handle = std::thread::spawn(move || {
+            tx.send(2).unwrap(); // blocks until the first recv
+        });
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "rendezvous")]
+    fn bounded_zero_is_rejected() {
+        let _ = bounded::<u8>(0);
+    }
+
+    #[test]
+    fn send_fails_after_all_receivers_drop() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert!(tx.send(5).is_err());
+    }
+
+    #[test]
+    fn iter_drains_until_disconnect() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn multi_consumer_receives_every_message_once() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let h = std::thread::spawn(move || rx2.iter().count());
+        let a = rx.iter().count();
+        let b = h.join().unwrap();
+        assert_eq!(a + b, 100);
+    }
+
+    #[test]
+    fn seg_queue_fifo() {
+        let q = SegQueue::new();
+        assert!(q.is_empty());
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+}
