@@ -1,14 +1,20 @@
 //! Ablation micro-benchmarks of the substrates: Hilbert R-tree join vs naive
-//! join, exact overlay vs Monte-Carlo estimation, text parsing throughput.
+//! join, exact overlay vs Monte-Carlo estimation, text parsing throughput,
+//! and the hybrid CPU/GPU split — static fractions vs the adaptive
+//! controller, on deliberately asymmetric substrate speeds (a single CPU
+//! worker against the simulated GTX 580).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sccg_bench::representative_tile;
+use sccg::pixelbox::{ComputeBackend, HybridBackend, PixelBoxConfig, SplitConfig};
+use sccg_bench::{filtered_pairs, representative_tile};
 use sccg_clip::{monte_carlo_areas, pair_areas};
 use sccg_geometry::text::{parse_polygon_file, write_polygon_file};
 use sccg_geometry::Rect;
+use sccg_gpu_sim::{Device, DeviceConfig};
 use sccg_rtree::{mbr_join, naive_mbr_join};
+use std::sync::Arc;
 
 fn bench(c: &mut Criterion) {
     let tile = representative_tile(300);
@@ -38,6 +44,32 @@ fn bench(c: &mut Criterion) {
     group.bench_function("parse_polygon_file", |bench| {
         bench.iter(|| parse_polygon_file(&text).unwrap())
     });
+
+    // Hybrid split ablation: the same pair stream chunked into batches, run
+    // through static GPU fractions and the adaptive controller. The backend
+    // (and so the controller's learned state) persists across iterations, so
+    // the adaptive rows report converged behavior; the acceptance target is
+    // adaptive wall-clock ≤ the best static fraction within 10%.
+    let pairs = filtered_pairs(&tile);
+    let pixelbox = PixelBoxConfig::paper_default();
+    for (label, split) in [
+        ("hybrid_split_static_0.25", SplitConfig::fixed(0.25)),
+        ("hybrid_split_static_0.50", SplitConfig::fixed(0.50)),
+        ("hybrid_split_static_0.75", SplitConfig::fixed(0.75)),
+        ("hybrid_split_adaptive", SplitConfig::adaptive(0.5)),
+    ] {
+        let backend =
+            HybridBackend::with_split(Arc::new(Device::new(DeviceConfig::gtx580())), 1, split);
+        group.bench_function(label, |bench| {
+            bench.iter(|| {
+                let mut computed = 0usize;
+                for chunk in pairs.chunks(64) {
+                    computed += backend.compute_batch(chunk, &pixelbox).areas.len();
+                }
+                computed
+            })
+        });
+    }
     group.finish();
 }
 

@@ -7,6 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sccg::pipeline::{ParseTask, Pipeline, PipelineConfig};
+use sccg::pixelbox::{AggregationDevice, SplitPolicy};
 use sccg_bench::system_dataset;
 
 fn bench(c: &mut Criterion) {
@@ -36,6 +37,24 @@ fn bench(c: &mut Criterion) {
             .run(tasks.clone())
         })
     });
+    // The hybrid aggregator, with the split pinned at the seed vs steered by
+    // the adaptive controller (the AggregationDevice::Hybrid default).
+    for (label, split_policy) in [
+        ("pipelined_hybrid_static", SplitPolicy::Static),
+        ("pipelined_hybrid_adaptive", SplitPolicy::Adaptive),
+    ] {
+        group.bench_function(label, |bench| {
+            bench.iter(|| {
+                Pipeline::new(PipelineConfig {
+                    enable_migration: true,
+                    device: AggregationDevice::Hybrid,
+                    split_policy,
+                    ..PipelineConfig::default()
+                })
+                .run(tasks.clone())
+            })
+        });
+    }
     group.finish();
 }
 

@@ -10,7 +10,10 @@
 //! user reaches for first.
 
 use crate::jaccard::{JaccardAccumulator, JaccardSummary};
-use crate::pixelbox::{AggregationDevice, ComputeBackend, PairAreas, PixelBoxConfig, PolygonPair};
+use crate::pixelbox::{
+    AggregationDevice, ComputeBackend, PairAreas, PixelBoxConfig, PolygonPair, SplitConfig,
+    SplitController, SplitPolicy,
+};
 use sccg_geometry::text::PolygonRecord;
 use sccg_geometry::Rect;
 use sccg_gpu_sim::{Device, DeviceConfig, LaunchStats};
@@ -28,9 +31,14 @@ pub struct EngineConfig {
     pub gpu: DeviceConfig,
     /// CPU worker threads to use when `device` involves the CPU.
     pub cpu_workers: usize,
-    /// Fraction of each batch sent to the GPU when `device` is
-    /// [`AggregationDevice::Hybrid`] (clamped to `[0, 1]`).
+    /// Seed GPU fraction when `device` is [`AggregationDevice::Hybrid`]
+    /// (clamped to `[0, 1]`): the warm-up/fallback fraction under
+    /// [`SplitPolicy::Adaptive`], the permanent fraction under
+    /// [`SplitPolicy::Static`].
     pub hybrid_gpu_fraction: f64,
+    /// How the hybrid split evolves across batches: adaptive timing feedback
+    /// (default) or pinned at `hybrid_gpu_fraction`.
+    pub split_policy: SplitPolicy,
 }
 
 impl Default for EngineConfig {
@@ -41,7 +49,15 @@ impl Default for EngineConfig {
             gpu: DeviceConfig::gtx580(),
             cpu_workers: crate::parallel::default_workers(),
             hybrid_gpu_fraction: 0.5,
+            split_policy: SplitPolicy::default(),
         }
+    }
+}
+
+impl EngineConfig {
+    /// The hybrid split configuration this engine config describes.
+    pub fn split_config(&self) -> SplitConfig {
+        SplitConfig::adaptive(self.hybrid_gpu_fraction).with_policy(self.split_policy)
     }
 }
 
@@ -70,6 +86,7 @@ pub struct CrossComparison {
     config: EngineConfig,
     gpu: Arc<Device>,
     backend: Arc<dyn ComputeBackend>,
+    split_controller: Option<Arc<SplitController>>,
 }
 
 impl CrossComparison {
@@ -82,15 +99,16 @@ impl CrossComparison {
 
     /// Creates an engine sharing an existing simulated device.
     pub fn with_device(config: EngineConfig, gpu: Arc<Device>) -> Self {
-        let backend = config.device.backend(
+        let (backend, split_controller) = config.device.backend_with_controller(
             Arc::clone(&gpu),
             config.cpu_workers,
-            config.hybrid_gpu_fraction,
+            config.split_config(),
         );
         CrossComparison {
             config,
             gpu,
             backend,
+            split_controller,
         }
     }
 
@@ -107,6 +125,13 @@ impl CrossComparison {
     /// The compute backend this engine dispatches area computations to.
     pub fn backend(&self) -> &Arc<dyn ComputeBackend> {
         &self.backend
+    }
+
+    /// The hybrid split controller, when `device` is
+    /// [`AggregationDevice::Hybrid`] — exposes per-batch split telemetry
+    /// ([`SplitController::trace`]) and observed substrate rates.
+    pub fn split_controller(&self) -> Option<&Arc<SplitController>> {
+        self.split_controller.as_ref()
     }
 
     /// Filters candidate pairs of two record sets by MBR intersection,
@@ -198,7 +223,8 @@ mod tests {
     #[test]
     fn cpu_gpu_and_hybrid_engines_agree_exactly() {
         // The backend-agreement invariant at the engine level: every
-        // substrate produces bit-identical per-pair areas and J'.
+        // substrate — including both hybrid split policies — produces
+        // bit-identical per-pair areas and J'.
         let tile = tile();
         let gpu_report =
             engine_on(AggregationDevice::Gpu).compare_records(&tile.first, &tile.second);
@@ -206,14 +232,46 @@ mod tests {
             engine_on(AggregationDevice::Cpu).compare_records(&tile.first, &tile.second);
         let hybrid_report =
             engine_on(AggregationDevice::Hybrid).compare_records(&tile.first, &tile.second);
+        let static_hybrid_report = CrossComparison::new(EngineConfig {
+            device: AggregationDevice::Hybrid,
+            split_policy: SplitPolicy::Static,
+            ..EngineConfig::default()
+        })
+        .compare_records(&tile.first, &tile.second);
         assert_eq!(gpu_report.pair_areas, cpu_report.pair_areas);
         assert_eq!(gpu_report.pair_areas, hybrid_report.pair_areas);
+        assert_eq!(gpu_report.pair_areas, static_hybrid_report.pair_areas);
         assert_eq!(gpu_report.similarity, cpu_report.similarity);
         assert_eq!(gpu_report.similarity, hybrid_report.similarity);
         assert_eq!(gpu_report.summary, hybrid_report.summary);
+        assert_eq!(gpu_report.summary, static_hybrid_report.summary);
         assert!(cpu_report.gpu_launch.is_none());
         // The hybrid engine really used the GPU for its share.
         assert!(hybrid_report.gpu_launch.is_some());
+    }
+
+    #[test]
+    fn hybrid_engine_exposes_split_telemetry() {
+        let tile = tile();
+        let engine = engine_on(AggregationDevice::Hybrid);
+        assert!(engine.split_controller().is_some());
+        assert!(engine_on(AggregationDevice::Gpu)
+            .split_controller()
+            .is_none());
+        // Repeated comparisons feed the controller; the trace grows and every
+        // recorded fraction stays in bounds while results stay identical.
+        let first = engine.compare_records(&tile.first, &tile.second);
+        for _ in 0..3 {
+            let again = engine.compare_records(&tile.first, &tile.second);
+            assert_eq!(first.pair_areas, again.pair_areas);
+        }
+        let controller = engine.split_controller().unwrap();
+        assert_eq!(controller.batches_recorded(), 4);
+        assert!(controller
+            .trace()
+            .samples()
+            .iter()
+            .all(|s| (0.0..=1.0).contains(&s.next_fraction)));
     }
 
     #[test]

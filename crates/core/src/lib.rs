@@ -50,10 +50,13 @@ pub use jaccard::{JaccardAccumulator, JaccardSummary};
 pub mod prelude {
     pub use crate::engine::{CrossComparison, CrossComparisonReport, EngineConfig};
     pub use crate::jaccard::{JaccardAccumulator, JaccardSummary};
-    pub use crate::pipeline::model::{PipelineModel, PlatformConfig, Scheme};
+    pub use crate::pipeline::model::{
+        HybridPipelineReport, HybridSplitMode, PipelineModel, PlatformConfig, Scheme,
+    };
     pub use crate::pipeline::{Pipeline, PipelineConfig, PipelineReport};
     pub use crate::pixelbox::{
         AggregationDevice, BackendBatch, ComputeBackend, CpuBackend, GpuBackend, HybridBackend,
-        PairAreas, PixelBoxConfig, PolygonPair, Variant,
+        PairAreas, PixelBoxConfig, PolygonPair, SplitConfig, SplitController, SplitPolicy,
+        SplitTrace, Variant,
     };
 }

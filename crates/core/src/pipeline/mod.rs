@@ -29,7 +29,10 @@
 pub mod model;
 
 use crate::jaccard::{JaccardAccumulator, JaccardSummary};
-use crate::pixelbox::{AggregationDevice, ComputeBackend, CpuBackend, PixelBoxConfig, PolygonPair};
+use crate::pixelbox::{
+    AggregationDevice, ComputeBackend, CpuBackend, PixelBoxConfig, PolygonPair, SplitConfig,
+    SplitPolicy,
+};
 use crossbeam::channel::{bounded, unbounded, TryRecvError};
 use parking_lot::Mutex;
 use sccg_datagen::TilePair;
@@ -61,9 +64,14 @@ pub struct PipelineConfig {
     pub device: AggregationDevice,
     /// CPU worker threads used when `device` involves the CPU.
     pub cpu_workers: usize,
-    /// GPU share of each batch when `device` is
-    /// [`AggregationDevice::Hybrid`] (clamped to `[0, 1]`).
+    /// Seed GPU share of each batch when `device` is
+    /// [`AggregationDevice::Hybrid`] (clamped to `[0, 1]`): the
+    /// warm-up/fallback fraction under [`SplitPolicy::Adaptive`], the
+    /// permanent fraction under [`SplitPolicy::Static`].
     pub hybrid_gpu_fraction: f64,
+    /// How the hybrid split evolves across aggregator batches: adaptive
+    /// timing feedback (default) or pinned at `hybrid_gpu_fraction`.
+    pub split_policy: SplitPolicy,
 }
 
 impl Default for PipelineConfig {
@@ -78,7 +86,15 @@ impl Default for PipelineConfig {
             device: AggregationDevice::Gpu,
             cpu_workers: crate::parallel::default_workers(),
             hybrid_gpu_fraction: 0.5,
+            split_policy: SplitPolicy::default(),
         }
+    }
+}
+
+impl PipelineConfig {
+    /// The hybrid split configuration this pipeline config describes.
+    pub fn split_config(&self) -> SplitConfig {
+        SplitConfig::adaptive(self.hybrid_gpu_fraction).with_policy(self.split_policy)
     }
 }
 
@@ -159,6 +175,9 @@ pub struct PipelineReport {
     pub migrated_to_gpu: u64,
     /// Per-stage busy times.
     pub stage_seconds: StageSeconds,
+    /// Per-batch hybrid split decisions, when the aggregator dispatched to
+    /// [`AggregationDevice::Hybrid`] (`None` for single-substrate runs).
+    pub split_trace: Option<crate::pixelbox::SplitTrace>,
 }
 
 impl PipelineReport {
@@ -167,6 +186,13 @@ impl PipelineReport {
         self.summary.similarity
     }
 }
+
+/// Target busy time of one CPU migration batch. The migration thread pulls
+/// congested aggregation tasks until their estimated single-worker compute
+/// time (from the split controller's observed CPU rate) fills this slice, so
+/// each migration amortizes the steal overhead without holding work hostage
+/// from a GPU that may drain the congestion first.
+const MIGRATION_SLICE_SECONDS: f64 = 0.02;
 
 /// The pipelined cross-comparing framework.
 #[derive(Debug)]
@@ -244,6 +270,16 @@ impl Pipeline {
         let submitted = tasks.len();
         let shared = Arc::new(SharedState::new());
         let gpu_busy_before = self.device.stats().busy_seconds;
+
+        // The aggregator's backend (and, for the hybrid substrate, its split
+        // controller) exists before any thread starts: the migration thread
+        // consults the controller's observed rates while the aggregator
+        // feeds it per-batch timings.
+        let (backend, split_controller) = self.config.device.backend_with_controller(
+            Arc::clone(&self.device),
+            self.config.cpu_workers,
+            self.config.split_config(),
+        );
 
         let capacity = self.config.buffer_capacity.max(1);
         let (parse_tx, parse_rx) = unbounded::<ParseTask>();
@@ -377,6 +413,7 @@ impl Pipeline {
                 let agg_rx = agg_rx.clone();
                 let shared = Arc::clone(&shared);
                 let pixelbox = self.config.pixelbox;
+                let controller = split_controller.clone();
                 scope.spawn(move || {
                     // The migration target is always a single-worker CPU
                     // backend: the thread itself is the extra core (§4.2).
@@ -391,15 +428,49 @@ impl Pipeline {
                             match agg_rx.try_recv() {
                                 Ok(task) => {
                                     let started = Instant::now();
-                                    let batch =
-                                        migration_backend.compute_batch(&task.pairs, &pixelbox);
-                                    shared.fold_batch(&batch.areas, 1);
+                                    let mut pairs = task.pairs;
+                                    let mut tiles = 1u64;
+                                    if congested {
+                                        // Size the migration batch from the
+                                        // controller's observed per-worker
+                                        // CPU rate: keep pulling congested
+                                        // tasks until the accumulated pairs
+                                        // fill one migration time slice,
+                                        // instead of the fixed one-task
+                                        // quantum. Without an observed rate
+                                        // (single-substrate aggregator, or no
+                                        // data yet) the quantum stays one
+                                        // task.
+                                        let quantum_pairs = controller
+                                            .as_ref()
+                                            .and_then(|c| c.observed_cpu_rate_per_worker())
+                                            .map_or(0.0, |rate| rate * MIGRATION_SLICE_SECONDS);
+                                        while (pairs.len() as f64) < quantum_pairs
+                                            && agg_rx.len() >= capacity.div_ceil(2)
+                                        {
+                                            match agg_rx.try_recv() {
+                                                Ok(extra) => {
+                                                    pairs.extend(extra.pairs);
+                                                    tiles += 1;
+                                                }
+                                                Err(_) => break,
+                                            }
+                                        }
+                                    }
+                                    let batch = migration_backend.compute_batch(&pairs, &pixelbox);
+                                    let seconds = started.elapsed().as_secs_f64();
+                                    shared.fold_batch(&batch.areas, tiles);
+                                    // Every migrated run is a valid sample of
+                                    // the single-worker CPU rate.
+                                    if let Some(controller) = &controller {
+                                        controller.record_cpu_sample(pairs.len(), seconds, 1);
+                                    }
                                     // A task stolen by the idle disconnect
                                     // probe is computed (never lost) but is
                                     // not a congestion migration, so only
                                     // congested steals count as migrated.
                                     if congested {
-                                        shared.migrated_to_cpu.fetch_add(1, Ordering::Relaxed);
+                                        shared.migrated_to_cpu.fetch_add(tiles, Ordering::Relaxed);
                                         SharedState::add_nanos(
                                             &shared.aggregate_migrated_nanos,
                                             started,
@@ -419,11 +490,6 @@ impl Pipeline {
             }
 
             // --- Aggregator (runs on the caller's thread) -------------------
-            let backend = self.config.device.backend(
-                Arc::clone(&self.device),
-                self.config.cpu_workers,
-                self.config.hybrid_gpu_fraction,
-            );
             while let Ok(first) = agg_rx.recv() {
                 // Batch additional tasks that are already waiting (§4.1).
                 let mut batch_pairs = first.pairs;
@@ -462,6 +528,7 @@ impl Pipeline {
                     as f64
                     * 1e-9,
             },
+            split_trace: split_controller.map(|controller| controller.trace()),
         };
         // Defensive clamp: every submitted task is processed exactly once.
         report.tiles = report.tiles.min(submitted);
@@ -567,25 +634,42 @@ mod tests {
             ..PipelineConfig::default()
         })
         .run(tasks_of(&dataset));
-        for device in [AggregationDevice::Cpu, AggregationDevice::Hybrid] {
+        assert!(reference.split_trace.is_none(), "GPU runs carry no trace");
+        for (device, split_policy) in [
+            (AggregationDevice::Cpu, SplitPolicy::Adaptive),
+            (AggregationDevice::Hybrid, SplitPolicy::Adaptive),
+            (AggregationDevice::Hybrid, SplitPolicy::Static),
+        ] {
             let report = Pipeline::new(PipelineConfig {
                 enable_migration: false,
                 device,
+                split_policy,
                 ..PipelineConfig::default()
             })
             .run(tasks_of(&dataset));
             assert_eq!(
                 report.summary.candidate_pairs, reference.summary.candidate_pairs,
-                "{device:?}"
+                "{device:?}/{split_policy:?}"
             );
             assert_eq!(
                 report.summary.intersecting_pairs, reference.summary.intersecting_pairs,
-                "{device:?}"
+                "{device:?}/{split_policy:?}"
             );
             assert!(
                 (report.similarity() - reference.similarity()).abs() < 1e-12,
-                "{device:?}"
+                "{device:?}/{split_policy:?}"
             );
+            if device == AggregationDevice::Hybrid {
+                let trace = report.split_trace.as_ref().expect("hybrid runs trace");
+                assert!(!trace.is_empty());
+                assert!(trace
+                    .samples()
+                    .iter()
+                    .all(|s| (0.0..=1.0).contains(&s.next_fraction)));
+                if split_policy == SplitPolicy::Static {
+                    assert!(trace.samples().iter().all(|s| s.next_fraction == 0.5));
+                }
+            }
         }
     }
 

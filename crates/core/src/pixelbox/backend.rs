@@ -16,12 +16,14 @@
 //! [`AggregationDevice::backend`] maps the legacy enum to a backend, so
 //! existing configuration keeps working.
 
+use super::adaptive::{normalize_fraction, BatchObservation, SplitConfig, SplitController};
 use super::cpu::compute_batch_cpu;
 use super::gpu::GpuPixelBox;
 use super::{AggregationDevice, PairAreas, PixelBoxConfig, PolygonPair};
 use sccg_gpu_sim::{Device, LaunchStats};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Result of executing one batch of polygon pairs on a backend.
 #[derive(Debug, Clone, Default)]
@@ -143,24 +145,17 @@ impl ComputeBackend for GpuBackend {
     }
 }
 
-/// Hybrid CPU+GPU execution (§5): each batch is split by a configurable
-/// fraction; the GPU computes the prefix while the CPU computes the suffix
-/// on a separate thread, and the results are merged back in input order.
+/// Hybrid CPU+GPU execution (§5): each batch is split between the GPU
+/// (prefix) and the CPU (suffix, on a separate thread) and merged back in
+/// input order. The split fraction comes from a [`SplitController`]: either
+/// pinned at a configured value ([`super::adaptive::SplitPolicy::Static`],
+/// the legacy behavior) or steered per batch toward the timing-balanced
+/// split by the feedback loop of [`super::adaptive`] (the default).
 #[derive(Debug, Clone)]
 pub struct HybridBackend {
     gpu: GpuBackend,
     cpu: CpuBackend,
-    gpu_fraction: f64,
-}
-
-/// The single normalization policy for a GPU fraction: `NaN` falls back to
-/// an even split, everything else is clamped to `[0, 1]`.
-fn normalize_gpu_fraction(gpu_fraction: f64) -> f64 {
-    if gpu_fraction.is_nan() {
-        0.5
-    } else {
-        gpu_fraction.clamp(0.0, 1.0)
-    }
+    controller: Arc<SplitController>,
 }
 
 /// Index at which a `len`-pair batch is split between the GPU (prefix) and
@@ -168,25 +163,47 @@ fn normalize_gpu_fraction(gpu_fraction: f64) -> f64 {
 /// `[0, 1]`, so the split is always within bounds: `0.0` sends everything to
 /// the CPU, `1.0` everything to the GPU.
 pub fn hybrid_split_point(len: usize, gpu_fraction: f64) -> usize {
-    let fraction = normalize_gpu_fraction(gpu_fraction);
+    let fraction = normalize_fraction(gpu_fraction);
     ((len as f64 * fraction).round() as usize).min(len)
 }
 
 impl HybridBackend {
-    /// Creates a hybrid backend: `gpu_fraction` of every batch (clamped to
-    /// `[0, 1]`) runs on the simulated device, the rest on `cpu_workers`
-    /// CPU threads.
+    /// Creates a hybrid backend with a *static* split: `gpu_fraction` of
+    /// every batch (clamped to `[0, 1]`) runs on the simulated device, the
+    /// rest on `cpu_workers` CPU threads. Use [`HybridBackend::with_split`]
+    /// for the adaptive controller.
     pub fn new(device: Arc<Device>, cpu_workers: usize, gpu_fraction: f64) -> Self {
+        Self::with_split(device, cpu_workers, SplitConfig::fixed(gpu_fraction))
+    }
+
+    /// Creates a hybrid backend whose per-batch GPU fraction is governed by a
+    /// fresh [`SplitController`] built from `split`.
+    pub fn with_split(device: Arc<Device>, cpu_workers: usize, split: SplitConfig) -> Self {
+        Self::with_controller(device, cpu_workers, Arc::new(SplitController::new(split)))
+    }
+
+    /// Creates a hybrid backend sharing an existing controller (so callers
+    /// can read its telemetry, or several backends can pool observations).
+    pub fn with_controller(
+        device: Arc<Device>,
+        cpu_workers: usize,
+        controller: Arc<SplitController>,
+    ) -> Self {
         HybridBackend {
             gpu: GpuBackend::new(device),
             cpu: CpuBackend::new(cpu_workers),
-            gpu_fraction: normalize_gpu_fraction(gpu_fraction),
+            controller,
         }
     }
 
-    /// The fraction of each batch sent to the GPU.
+    /// The GPU fraction the *next* batch will be split at.
     pub fn gpu_fraction(&self) -> f64 {
-        self.gpu_fraction
+        self.controller.next_fraction()
+    }
+
+    /// The split controller governing this backend.
+    pub fn controller(&self) -> &Arc<SplitController> {
+        &self.controller
     }
 
     /// The underlying simulated device.
@@ -194,9 +211,26 @@ impl HybridBackend {
         self.gpu.device()
     }
 
-    /// Where a batch of `len` pairs splits between GPU prefix and CPU suffix.
+    /// Where a batch of `len` pairs would currently split between GPU prefix
+    /// and CPU suffix.
     pub fn split_point(&self, len: usize) -> usize {
-        hybrid_split_point(len, self.gpu_fraction)
+        self.observable_split_point(len, self.controller.next_fraction())
+    }
+
+    /// The split point for `fraction`, with the adaptive policy's
+    /// observability guarantee applied: rounding must not hand the minority
+    /// substrate zero pairs (on a small batch, `round(len · 0.95) == len`),
+    /// or its rate EWMA would go stale and the controller could never react
+    /// to a later speed change — the absorbing state [`super::adaptive`]'s
+    /// probe band exists to prevent. Static splits keep the pure rounding so
+    /// pinned extremes still send everything to one substrate.
+    fn observable_split_point(&self, len: usize, fraction: f64) -> usize {
+        let split = hybrid_split_point(len, fraction);
+        if self.controller.config().policy == super::adaptive::SplitPolicy::Adaptive && len >= 2 {
+            split.clamp(1, len - 1)
+        } else {
+            split
+        }
     }
 }
 
@@ -206,25 +240,54 @@ impl ComputeBackend for HybridBackend {
     }
 
     fn compute_batch(&self, pairs: &[PolygonPair], config: &PixelBoxConfig) -> BackendBatch {
-        let split = self.split_point(pairs.len());
+        let fraction = self.controller.next_fraction();
+        let split = self.observable_split_point(pairs.len(), fraction);
         let (gpu_pairs, cpu_pairs) = pairs.split_at(split);
 
         // The CPU share runs on its own thread while this thread drives the
         // simulated GPU — the two substrates genuinely overlap, as in §5.
         // Empty shares skip their substrate entirely (no kernel launch, no
-        // thread spawn).
-        let (gpu_batch, cpu_batch) = if cpu_pairs.is_empty() {
-            (
-                self.gpu.compute_batch(gpu_pairs, config),
-                BackendBatch::default(),
-            )
+        // thread spawn). Each side's wall-clock is measured so the controller
+        // can steer the next batch's split toward simultaneous finish.
+        let (gpu_batch, gpu_seconds, cpu_batch, cpu_seconds) = if cpu_pairs.is_empty() {
+            let started = Instant::now();
+            let gpu_batch = self.gpu.compute_batch(gpu_pairs, config);
+            let gpu_seconds = started.elapsed().as_secs_f64();
+            (gpu_batch, gpu_seconds, BackendBatch::default(), 0.0)
         } else {
             std::thread::scope(|scope| {
-                let cpu_handle = scope.spawn(|| self.cpu.compute_batch(cpu_pairs, config));
+                let cpu_handle = scope.spawn(|| {
+                    let started = Instant::now();
+                    let batch = self.cpu.compute_batch(cpu_pairs, config);
+                    (batch, started.elapsed().as_secs_f64())
+                });
+                let started = Instant::now();
                 let gpu_batch = self.gpu.compute_batch(gpu_pairs, config);
-                (gpu_batch, cpu_handle.join().expect("cpu share panicked"))
+                let gpu_seconds = started.elapsed().as_secs_f64();
+                let (cpu_batch, cpu_seconds) = cpu_handle.join().expect("cpu share panicked");
+                (gpu_batch, gpu_seconds, cpu_batch, cpu_seconds)
             })
         };
+
+        if !pairs.is_empty() {
+            // The GPU timing signal is the *larger* of the host wall-clock of
+            // driving the device and the simulated device seconds. On a real
+            // GPU the two coincide (the host waits out the kernel); here the
+            // functional simulation runs at host speed regardless of the
+            // modelled device, so a deliberately slowed device
+            // (`DeviceConfig::slowed_down`, §5.6) must still be able to push
+            // the split toward the CPU.
+            let gpu_simulated = gpu_batch.total_simulated_seconds();
+            self.controller.record(BatchObservation {
+                gpu_pairs: gpu_pairs.len(),
+                gpu_seconds: gpu_seconds.max(gpu_simulated),
+                gpu_simulated_seconds: gpu_simulated,
+                cpu_pairs: cpu_pairs.len(),
+                cpu_seconds,
+                cpu_workers: self.cpu.workers(),
+                fraction_used: Some(fraction),
+            });
+        }
 
         let mut areas = gpu_batch.areas;
         areas.extend(cpu_batch.areas);
@@ -240,19 +303,36 @@ impl AggregationDevice {
     /// Maps the legacy device enum to a [`ComputeBackend`] — the one place
     /// where the substrate choice is made. `device` is the simulated GPU for
     /// the GPU and hybrid variants (the CPU variant ignores it),
-    /// `cpu_workers` sizes the CPU pool, and `hybrid_gpu_fraction` is the
-    /// GPU share of each batch under [`AggregationDevice::Hybrid`].
+    /// `cpu_workers` sizes the CPU pool, and `split` governs how each batch
+    /// divides between the substrates under [`AggregationDevice::Hybrid`]
+    /// (adaptive feedback by default, or a pinned static fraction).
     pub fn backend(
         self,
         device: Arc<Device>,
         cpu_workers: usize,
-        hybrid_gpu_fraction: f64,
+        split: SplitConfig,
     ) -> Arc<dyn ComputeBackend> {
+        self.backend_with_controller(device, cpu_workers, split).0
+    }
+
+    /// Like [`AggregationDevice::backend`], additionally returning the
+    /// hybrid variant's [`SplitController`] so callers can read per-batch
+    /// split telemetry and observed substrate rates (`None` for the
+    /// single-substrate variants).
+    pub fn backend_with_controller(
+        self,
+        device: Arc<Device>,
+        cpu_workers: usize,
+        split: SplitConfig,
+    ) -> (Arc<dyn ComputeBackend>, Option<Arc<SplitController>>) {
         match self {
-            AggregationDevice::Gpu => Arc::new(GpuBackend::new(device)),
-            AggregationDevice::Cpu => Arc::new(CpuBackend::new(cpu_workers)),
+            AggregationDevice::Gpu => (Arc::new(GpuBackend::new(device)), None),
+            AggregationDevice::Cpu => (Arc::new(CpuBackend::new(cpu_workers)), None),
             AggregationDevice::Hybrid => {
-                Arc::new(HybridBackend::new(device, cpu_workers, hybrid_gpu_fraction))
+                let controller = Arc::new(SplitController::new(split));
+                let backend =
+                    HybridBackend::with_controller(device, cpu_workers, Arc::clone(&controller));
+                (Arc::new(backend), Some(controller))
             }
         }
     }
@@ -350,7 +430,7 @@ mod tests {
             AggregationDevice::Hybrid,
         ]
         .into_iter()
-        .map(|d| d.backend(device(), 2, 0.5).name())
+        .map(|d| d.backend(device(), 2, SplitConfig::default()).name())
         .collect();
         assert_eq!(
             names,
@@ -359,12 +439,111 @@ mod tests {
     }
 
     #[test]
+    fn only_the_hybrid_backend_has_a_controller() {
+        for (device_kind, expect_controller) in [
+            (AggregationDevice::Gpu, false),
+            (AggregationDevice::Cpu, false),
+            (AggregationDevice::Hybrid, true),
+        ] {
+            let (_, controller) =
+                device_kind.backend_with_controller(device(), 2, SplitConfig::default());
+            assert_eq!(controller.is_some(), expect_controller, "{device_kind:?}");
+        }
+    }
+
+    #[test]
+    fn adaptive_hybrid_agrees_across_batches_and_records_telemetry() {
+        let pairs = sample_pairs(48);
+        let config = PixelBoxConfig::paper_default();
+        let reference = CpuBackend::new(2).compute_batch(&pairs, &config);
+        let (backend, controller) = AggregationDevice::Hybrid.backend_with_controller(
+            device(),
+            2,
+            SplitConfig::adaptive(0.5),
+        );
+        let controller = controller.unwrap();
+        // Run several batches so the controller has observations to act on;
+        // whatever fraction it picks, results must stay bit-identical.
+        for _ in 0..5 {
+            let batch = backend.compute_batch(&pairs, &config);
+            assert_eq!(batch.areas, reference.areas);
+        }
+        assert_eq!(controller.batches_recorded(), 5);
+        let trace = controller.trace();
+        assert_eq!(trace.len(), 5);
+        assert!(trace
+            .samples()
+            .iter()
+            .all(|s| (0.0..=1.0).contains(&s.next_fraction)));
+        assert!(controller.observed_gpu_rate().is_some());
+        assert!(controller.observed_cpu_rate_per_worker().is_some());
+    }
+
+    #[test]
+    fn adaptive_small_batches_never_starve_a_substrate() {
+        // At the probe-band edge (0.95), round(8 * 0.95) == 8 would hand the
+        // CPU zero pairs and freeze its rate EWMA; the adaptive split point
+        // must keep at least one pair on each side of any 2+-pair batch.
+        let adaptive = HybridBackend::with_split(device(), 1, SplitConfig::adaptive(0.95));
+        for len in 2..=12usize {
+            let split = adaptive.split_point(len);
+            assert!((1..len).contains(&split), "len {len} split {split}");
+        }
+        assert_eq!(adaptive.split_point(1), 1, "single pair goes to one side");
+        // Both substrates are observed even on a tiny batch at the edge.
+        let batch = adaptive.compute_batch(&sample_pairs(8), &PixelBoxConfig::paper_default());
+        assert_eq!(batch.areas.len(), 8);
+        assert!(adaptive.controller().observed_gpu_rate().is_some());
+        assert!(adaptive
+            .controller()
+            .observed_cpu_rate_per_worker()
+            .is_some());
+        // Static splits keep pure rounding: pinned extremes stay one-sided.
+        let pinned = HybridBackend::new(device(), 1, 1.0);
+        assert_eq!(pinned.split_point(8), 8);
+    }
+
+    #[test]
+    fn modelled_slow_device_pushes_the_adaptive_split_toward_the_cpu() {
+        // The functional simulation runs at host speed, but the GPU timing
+        // signal takes the simulated seconds when larger — so a device
+        // slowed by §5.6's Config-III trick must drain the GPU share even
+        // though the host cost of simulating it is unchanged.
+        let slow_device = Arc::new(Device::new(DeviceConfig::gtx580().slowed_down(1.0e6)));
+        let hybrid = HybridBackend::with_split(slow_device, 2, SplitConfig::adaptive(0.5));
+        let pairs = sample_pairs(40);
+        let config = PixelBoxConfig::paper_default();
+        let reference = CpuBackend::new(1).compute_batch(&pairs, &config);
+        for _ in 0..12 {
+            let batch = hybrid.compute_batch(&pairs, &config);
+            assert_eq!(batch.areas, reference.areas);
+        }
+        let fraction = hybrid.gpu_fraction();
+        assert!(
+            fraction <= 0.2,
+            "slowed device must collapse the GPU share, got {fraction}"
+        );
+    }
+
+    #[test]
+    fn static_backend_records_but_never_moves() {
+        let pairs = sample_pairs(30);
+        let config = PixelBoxConfig::paper_default();
+        let hybrid = HybridBackend::new(device(), 2, 0.5);
+        for _ in 0..4 {
+            hybrid.compute_batch(&pairs, &config);
+        }
+        assert_eq!(hybrid.gpu_fraction(), 0.5);
+        assert_eq!(hybrid.controller().batches_recorded(), 4);
+    }
+
+    #[test]
     fn empty_batch_is_empty_on_every_backend() {
         let config = PixelBoxConfig::paper_default();
         for backend in [
-            AggregationDevice::Gpu.backend(device(), 2, 0.5),
-            AggregationDevice::Cpu.backend(device(), 2, 0.5),
-            AggregationDevice::Hybrid.backend(device(), 2, 0.5),
+            AggregationDevice::Gpu.backend(device(), 2, SplitConfig::default()),
+            AggregationDevice::Cpu.backend(device(), 2, SplitConfig::default()),
+            AggregationDevice::Hybrid.backend(device(), 2, SplitConfig::default()),
         ] {
             let batch = backend.compute_batch(&[], &config);
             assert!(batch.areas.is_empty(), "{}", backend.name());

@@ -28,13 +28,20 @@
 //!   including the implementation-optimization toggles evaluated in Figure 9.
 //! * [`backend`] — the [`ComputeBackend`] dispatch trait unifying the CPU,
 //!   GPU and hybrid CPU+GPU substrates behind one interface.
+//! * [`adaptive`] — the timing-feedback [`SplitController`] that steers the
+//!   hybrid backend's per-batch CPU/GPU split (the paper's §4 migration
+//!   heuristic generalized to intra-batch splits).
 
+pub mod adaptive;
 pub mod algorithm;
 pub mod backend;
 pub mod cpu;
 pub mod gpu;
 pub mod position;
 
+pub use adaptive::{
+    BatchObservation, SplitConfig, SplitController, SplitPolicy, SplitSample, SplitTrace,
+};
 pub use backend::{BackendBatch, ComputeBackend, CpuBackend, GpuBackend, HybridBackend};
 pub use sccg_clip::PairAreas;
 use sccg_geometry::RectilinearPolygon;
@@ -130,8 +137,10 @@ pub enum AggregationDevice {
     /// The host CPU (PixelBox-CPU).
     Cpu,
     /// Both at once: each batch splits between GPU and CPU (§5 hybrid
-    /// execution); the split ratio is configured alongside (e.g.
-    /// `EngineConfig::hybrid_gpu_fraction`).
+    /// execution). The split is governed by a [`SplitController`] — adaptive
+    /// timing feedback by default, or pinned at the configured seed fraction
+    /// (e.g. `EngineConfig::hybrid_gpu_fraction`) under
+    /// [`SplitPolicy::Static`].
     Hybrid,
 }
 

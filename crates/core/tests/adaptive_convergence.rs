@@ -1,0 +1,130 @@
+//! Convergence integration test for the adaptive hybrid split.
+//!
+//! Drives the real feedback loop — [`SplitController`] decisions, the
+//! hybrid prefix/suffix split, and a real [`GpuBackend`] whose *simulated*
+//! seconds are the GPU timing signal — against a CPU substrate with a fixed
+//! synthetic per-pair cost. The simulated device is deterministic, so the
+//! whole trajectory is reproducible bit-for-bit: the test asserts the
+//! convergence behavior itself (where the fraction goes and how fast), not
+//! just final answers.
+//!
+//! The trajectory assertions are wall-clock independent but the workload is
+//! larger than a unit test, so the test is `#[ignore]`d in the default local
+//! loop and run by CI's release-mode `--include-ignored` pass.
+
+use sccg::pixelbox::backend::hybrid_split_point;
+use sccg::pixelbox::{
+    BatchObservation, ComputeBackend, GpuBackend, PixelBoxConfig, PolygonPair, SplitConfig,
+    SplitController,
+};
+use sccg_geometry::{Rect, RectilinearPolygon};
+use sccg_gpu_sim::{Device, DeviceConfig};
+use std::sync::Arc;
+
+fn batch_pairs(n: i32) -> Vec<PolygonPair> {
+    (0..n)
+        .map(|i| {
+            let x = (i * 7) % 900;
+            let y = (i * 13) % 900;
+            let p =
+                RectilinearPolygon::rectangle(Rect::new(x, y, x + 12 + (i % 6), y + 10)).unwrap();
+            let q = RectilinearPolygon::rectangle(Rect::new(x + 3, y + 2, x + 17, y + 13)).unwrap();
+            PolygonPair::new(p, q)
+        })
+        .collect()
+}
+
+/// Runs `batches` controller-steered hybrid batches: the GPU share executes
+/// on `gpu` (its simulated seconds are the GPU timing), the CPU share costs
+/// `cpu_seconds_per_pair` per pair. Returns nothing — state accumulates in
+/// the controller's trace.
+fn run_batches(
+    controller: &SplitController,
+    gpu: &GpuBackend,
+    pairs: &[PolygonPair],
+    config: &PixelBoxConfig,
+    cpu_seconds_per_pair: f64,
+    batches: usize,
+) {
+    for _ in 0..batches {
+        let fraction = controller.next_fraction();
+        let split = hybrid_split_point(pairs.len(), fraction);
+        let (gpu_share, cpu_share) = pairs.split_at(split);
+        let gpu_batch = gpu.compute_batch(gpu_share, config);
+        controller.record(BatchObservation {
+            gpu_pairs: gpu_share.len(),
+            gpu_seconds: gpu_batch.total_simulated_seconds(),
+            gpu_simulated_seconds: gpu_batch.total_simulated_seconds(),
+            cpu_pairs: cpu_share.len(),
+            cpu_seconds: cpu_share.len() as f64 * cpu_seconds_per_pair,
+            cpu_workers: 1,
+            fraction_used: Some(fraction),
+        });
+    }
+}
+
+#[test]
+#[ignore = "slow convergence trajectory; CI runs it via --include-ignored in release mode"]
+fn adaptive_split_converges_then_reconverges_after_a_speed_flip() {
+    let pairs = batch_pairs(200);
+    let config = PixelBoxConfig::paper_default();
+
+    // Calibrate the simulated GPU's per-pair cost on this workload, then
+    // make the CPU substrate ~4x slower per pair.
+    let fast_gpu = GpuBackend::new(Arc::new(Device::new(DeviceConfig::gtx580())));
+    let calibration = fast_gpu.compute_batch(&pairs, &config);
+    let gpu_seconds_per_pair = calibration.total_simulated_seconds() / pairs.len() as f64;
+    let cpu_seconds_per_pair = 4.0 * gpu_seconds_per_pair;
+
+    let controller = SplitController::new(SplitConfig::adaptive(0.5));
+    assert_eq!(controller.next_fraction(), 0.5, "starts at the seed");
+
+    // Phase 1: GPU ~4x faster → the balanced fraction is ≈0.8. The trace
+    // must move from the 0.5 seed above 0.7 within 12 batches.
+    run_batches(
+        &controller,
+        &fast_gpu,
+        &pairs,
+        &config,
+        cpu_seconds_per_pair,
+        12,
+    );
+    let phase1 = controller.trace();
+    assert_eq!(phase1.len(), 12);
+    let reached = phase1
+        .first_within(0.8, 0.1)
+        .expect("GPU fraction must reach the 0.7..0.9 neighborhood");
+    assert!(reached < 12, "reached only at batch {reached}");
+    let converged = controller.next_fraction();
+    assert!(converged > 0.7, "converged fraction {converged}");
+    // Convergence was gradual: no step exceeded the configured clamp.
+    assert!(phase1.max_step_taken() <= controller.config().max_step + 1e-12);
+
+    // Phase 2: the GPU is now shared/slowed 16x (§5.6's Config-III trick),
+    // flipping the speed ratio to CPU ~4x faster. The controller must
+    // re-converge the other way, below the 0.5 seed.
+    let slow_gpu = GpuBackend::new(Arc::new(Device::new(
+        DeviceConfig::gtx580().slowed_down(16.0),
+    )));
+    run_batches(
+        &controller,
+        &slow_gpu,
+        &pairs,
+        &config,
+        cpu_seconds_per_pair,
+        25,
+    );
+    let final_fraction = controller.next_fraction();
+    assert!(
+        final_fraction < 0.4,
+        "after the flip the GPU share must collapse, got {final_fraction}"
+    );
+    assert!(final_fraction < converged - 0.3);
+
+    // The full trajectory stayed inside the unit interval throughout.
+    let trace = controller.trace();
+    assert!(trace
+        .samples()
+        .iter()
+        .all(|s| (0.0..=1.0).contains(&s.fraction) && (0.0..=1.0).contains(&s.next_fraction)));
+}

@@ -5,7 +5,9 @@
 
 use proptest::prelude::*;
 use sccg::pixelbox::backend::hybrid_split_point;
-use sccg::pixelbox::{ComputeBackend, CpuBackend, HybridBackend, PixelBoxConfig, PolygonPair};
+use sccg::pixelbox::{
+    ComputeBackend, CpuBackend, HybridBackend, PixelBoxConfig, PolygonPair, SplitConfig,
+};
 use sccg_geometry::{Rect, RectilinearPolygon};
 use sccg_gpu_sim::{Device, DeviceConfig};
 use std::sync::Arc;
@@ -86,6 +88,47 @@ proptest! {
         // Clamped extremes.
         prop_assert_eq!(hybrid_split_point(len, 0.0), 0);
         prop_assert_eq!(hybrid_split_point(len, 1.0), len);
+    }
+
+    #[test]
+    fn adaptive_split_agrees_bit_for_bit_across_consecutive_batches(
+        pairs in pair_batch(),
+        seed in 0.0f64..1.0,
+        batches in 1usize..5,
+    ) {
+        // Whatever trajectory the controller takes from any seed, the merged
+        // results of every batch must stay bit-identical to the CPU
+        // reference — adaptation is a performance decision, never a
+        // correctness one.
+        let config = PixelBoxConfig::paper_default();
+        let reference = CpuBackend::new(1).compute_batch(&pairs, &config);
+        let backend = HybridBackend::with_split(
+            Arc::new(Device::new(DeviceConfig::gtx580())),
+            2,
+            SplitConfig {
+                warmup_batches: 0,
+                ..SplitConfig::adaptive(seed)
+            },
+        );
+        for _ in 0..batches {
+            let batch = backend.compute_batch(&pairs, &config);
+            prop_assert_eq!(&batch.areas, &reference.areas);
+        }
+        // Telemetry invariants: one sample per nonempty batch, fractions in
+        // bounds, steps within the clamp.
+        let trace = backend.controller().trace();
+        if pairs.is_empty() {
+            prop_assert!(trace.is_empty());
+        } else {
+            prop_assert_eq!(trace.len(), batches);
+        }
+        for sample in trace.samples() {
+            prop_assert!((0.0..=1.0).contains(&sample.fraction));
+            prop_assert!((0.0..=1.0).contains(&sample.next_fraction));
+        }
+        prop_assert!(
+            trace.max_step_taken() <= backend.controller().config().max_step + 1e-12
+        );
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Backend dispatch demo: the same tile cross-compared on every substrate —
-//! GPU, CPU and the §5 hybrid split — through the `ComputeBackend` seam.
+//! GPU, CPU, the §5 hybrid split pinned at a static fraction, and the
+//! adaptive timing-feedback split (the `AggregationDevice::Hybrid` default)
+//! — through the `ComputeBackend` seam.
 //!
 //! ```text
 //! cargo run --release --example hybrid_backends
@@ -17,22 +19,32 @@ fn main() {
         ..TileSpec::default()
     });
 
-    println!("device      backend          J'        pairs   sim GPU seconds");
+    println!("device            backend          J'        pairs   sim GPU seconds");
     let mut reports = Vec::new();
-    for device in [
-        AggregationDevice::Gpu,
-        AggregationDevice::Cpu,
-        AggregationDevice::Hybrid,
+    for (label, device, split_policy) in [
+        ("Gpu", AggregationDevice::Gpu, SplitPolicy::Static),
+        ("Cpu", AggregationDevice::Cpu, SplitPolicy::Static),
+        (
+            "Hybrid/static",
+            AggregationDevice::Hybrid,
+            SplitPolicy::Static,
+        ),
+        (
+            "Hybrid/adaptive",
+            AggregationDevice::Hybrid,
+            SplitPolicy::Adaptive,
+        ),
     ] {
         let engine = CrossComparison::new(EngineConfig {
             device,
             hybrid_gpu_fraction: 0.5,
+            split_policy,
             ..EngineConfig::default()
         });
         let report = engine.compare_records(&tile.first, &tile.second);
         println!(
-            "{:<11} {:<16} {:.6}  {:>5}   {}",
-            format!("{device:?}"),
+            "{:<17} {:<16} {:.6}  {:>5}   {}",
+            label,
             engine.backend().name(),
             report.similarity,
             report.candidate_pairs,
@@ -43,15 +55,47 @@ fn main() {
         reports.push(report);
     }
 
-    // Every substrate agrees bit-for-bit; the hybrid's GPU share is smaller.
+    // Every substrate agrees bit-for-bit; the hybrids' GPU share is smaller.
     assert!(reports
         .windows(2)
         .all(|w| w[0].pair_areas == w[1].pair_areas));
     let gpu_cycles = reports[0].gpu_launch.unwrap().cycles;
     let hybrid_cycles = reports[2].gpu_launch.unwrap().cycles;
     println!(
-        "\nhybrid GPU launch covered {hybrid_cycles} cycles vs {gpu_cycles} all-GPU \
+        "\nstatic hybrid GPU launch covered {hybrid_cycles} cycles vs {gpu_cycles} all-GPU \
          ({}% of the batch on the GPU)",
         (100.0 * hybrid_cycles as f64 / gpu_cycles as f64).round()
+    );
+
+    // The adaptive controller at work: repeated batches through one engine,
+    // each steering the next batch's GPU fraction toward the split where
+    // both substrates finish simultaneously.
+    let engine = CrossComparison::new(EngineConfig {
+        device: AggregationDevice::Hybrid,
+        ..EngineConfig::default()
+    });
+    let reference = engine.compare_records(&tile.first, &tile.second);
+    for _ in 0..7 {
+        let report = engine.compare_records(&tile.first, &tile.second);
+        assert_eq!(report.pair_areas, reference.pair_areas);
+    }
+    let controller = engine.split_controller().expect("hybrid engine");
+    println!("\nadaptive split trace (batch: fraction used -> fraction chosen):");
+    for sample in controller.trace().samples() {
+        println!(
+            "  batch {:>2}: {:.3} -> {:.3}   gpu {:>4} pairs / {:>8.6} s   cpu {:>4} pairs / {:>8.6} s",
+            sample.batch,
+            sample.fraction,
+            sample.next_fraction,
+            sample.gpu_pairs,
+            sample.gpu_seconds,
+            sample.cpu_pairs,
+            sample.cpu_seconds,
+        );
+    }
+    println!(
+        "observed rates: gpu {:.0} pairs/s, cpu {:.0} pairs/s per worker",
+        controller.observed_gpu_rate().unwrap_or(0.0),
+        controller.observed_cpu_rate_per_worker().unwrap_or(0.0),
     );
 }

@@ -57,35 +57,100 @@ fn sdbms_engine_and_pipeline_agree_on_similarity() {
 }
 
 #[test]
-fn cpu_gpu_and_hybrid_backends_agree_bit_for_bit_end_to_end() {
+fn cpu_gpu_and_both_hybrid_modes_agree_bit_for_bit_end_to_end() {
     // Backend agreement across the whole stack: the same tile pushed through
-    // every substrate — including the §5 hybrid split — must yield
-    // bit-identical per-pair areas and the identical J'.
+    // every substrate — CPU, GPU, the static §5 hybrid split AND the
+    // adaptive timing-feedback split — must yield bit-identical per-pair
+    // areas and the identical J'.
     let tile = test_tile();
     let reports: Vec<CrossComparisonReport> = [
-        AggregationDevice::Gpu,
-        AggregationDevice::Cpu,
-        AggregationDevice::Hybrid,
+        (AggregationDevice::Gpu, SplitPolicy::Static),
+        (AggregationDevice::Cpu, SplitPolicy::Static),
+        (AggregationDevice::Hybrid, SplitPolicy::Static),
+        (AggregationDevice::Hybrid, SplitPolicy::Adaptive),
     ]
     .into_iter()
-    .map(|device| {
-        CrossComparison::new(EngineConfig {
+    .map(|(device, split_policy)| {
+        let engine = CrossComparison::new(EngineConfig {
             device,
+            split_policy,
             ..EngineConfig::default()
-        })
-        .compare_records(&tile.first, &tile.second)
+        });
+        // Several comparisons so the adaptive controller actually moves; the
+        // returned report is the last one.
+        engine.compare_records(&tile.first, &tile.second);
+        engine.compare_records(&tile.first, &tile.second);
+        engine.compare_records(&tile.first, &tile.second)
     })
     .collect();
-    let [gpu, cpu, hybrid] = <[CrossComparisonReport; 3]>::try_from(reports).unwrap();
+    let [gpu, cpu, hybrid, adaptive] = <[CrossComparisonReport; 4]>::try_from(reports).unwrap();
     assert_eq!(gpu.pair_areas, cpu.pair_areas);
     assert_eq!(gpu.pair_areas, hybrid.pair_areas);
+    assert_eq!(gpu.pair_areas, adaptive.pair_areas);
     assert_eq!(gpu.summary, cpu.summary);
     assert_eq!(gpu.summary, hybrid.summary);
+    assert_eq!(gpu.summary, adaptive.summary);
     assert_eq!(gpu.similarity, hybrid.similarity);
-    // And the hybrid run demonstrably touched both substrates: its GPU
-    // launch covers only part of the batch.
+    assert_eq!(gpu.similarity, adaptive.similarity);
+    // And the static hybrid run demonstrably touched both substrates: its
+    // GPU launch covers only part of the batch.
     assert!(hybrid.gpu_launch.is_some());
     assert!(hybrid.gpu_launch.unwrap().cycles < gpu.gpu_launch.unwrap().cycles);
+}
+
+#[test]
+fn adaptive_pipeline_traces_its_splits_and_matches_static_results() {
+    // The pipelined framework under AggregationDevice::Hybrid defaults to
+    // the adaptive split and reports a per-batch SplitTrace; similarity is
+    // identical to the static-split run on the same tiles.
+    let dataset = generate_dataset(&DatasetSpec {
+        name: "adaptive-e2e".into(),
+        tiles: 8,
+        polygons_per_tile: 50,
+        tile_size: 512,
+        seed: 99,
+        nucleus_radius: 6,
+    });
+    let tasks = || -> Vec<ParseTask> {
+        dataset
+            .tiles
+            .iter()
+            .map(ParseTask::from_tile_pair)
+            .collect()
+    };
+    let adaptive = Pipeline::new(PipelineConfig {
+        device: AggregationDevice::Hybrid,
+        aggregator_batch: 2,
+        enable_migration: false,
+        ..PipelineConfig::default()
+    })
+    .run(tasks());
+    let pinned = Pipeline::new(PipelineConfig {
+        device: AggregationDevice::Hybrid,
+        aggregator_batch: 2,
+        enable_migration: false,
+        split_policy: SplitPolicy::Static,
+        ..PipelineConfig::default()
+    })
+    .run(tasks());
+    assert!((adaptive.similarity() - pinned.similarity()).abs() < 1e-12);
+    assert_eq!(
+        adaptive.summary.candidate_pairs,
+        pinned.summary.candidate_pairs
+    );
+    let trace = adaptive.split_trace.as_ref().expect("hybrid trace");
+    assert!(!trace.is_empty());
+    assert!(trace
+        .samples()
+        .iter()
+        .all(|s| (0.0..=1.0).contains(&s.next_fraction)));
+    assert!(pinned
+        .split_trace
+        .as_ref()
+        .expect("static hybrid trace")
+        .samples()
+        .iter()
+        .all(|s| s.next_fraction == 0.5));
 }
 
 #[test]
