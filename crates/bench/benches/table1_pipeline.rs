@@ -21,20 +21,12 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("pipelined_no_migration", |bench| {
         bench.iter(|| {
-            Pipeline::new(PipelineConfig {
-                enable_migration: false,
-                ..PipelineConfig::default()
-            })
-            .run(tasks.clone())
+            Pipeline::new(PipelineConfig::default().with_migration(false)).run(tasks.clone())
         })
     });
     group.bench_function("pipelined_with_migration", |bench| {
         bench.iter(|| {
-            Pipeline::new(PipelineConfig {
-                enable_migration: true,
-                ..PipelineConfig::default()
-            })
-            .run(tasks.clone())
+            Pipeline::new(PipelineConfig::default().with_migration(true)).run(tasks.clone())
         })
     });
     // The hybrid aggregator, with the split pinned at the seed vs steered by
@@ -45,12 +37,12 @@ fn bench(c: &mut Criterion) {
     ] {
         group.bench_function(label, |bench| {
             bench.iter(|| {
-                Pipeline::new(PipelineConfig {
-                    enable_migration: true,
-                    device: AggregationDevice::Hybrid,
-                    split_policy,
-                    ..PipelineConfig::default()
-                })
+                Pipeline::new(
+                    PipelineConfig::default()
+                        .with_migration(true)
+                        .with_device(AggregationDevice::Hybrid)
+                        .with_split_policy(split_policy),
+                )
                 .run(tasks.clone())
             })
         });

@@ -1,8 +1,10 @@
-//! Regenerates every table and figure of the paper's evaluation section.
+//! Regenerates every table and figure of the paper's evaluation section,
+//! plus a demo of the serving layer (`serve`).
 //!
 //! ```text
 //! cargo run -p sccg-bench --release --bin reproduce -- all
 //! cargo run -p sccg-bench --release --bin reproduce -- fig8 fig10 table1
+//! cargo run -p sccg-bench --release --bin reproduce -- serve
 //! ```
 //!
 //! Each experiment prints the same rows/series the paper reports. Absolute
@@ -12,14 +14,18 @@
 
 use sccg::pipeline::model::{HybridSplitMode, PipelineModel, PlatformConfig, Scheme};
 use sccg::pixelbox::{
-    ComputeBackend, CpuBackend, GpuBackend, HybridBackend, OptimizationFlags, PixelBoxConfig,
-    Variant,
+    AggregationDevice, ComputeBackend, CpuBackend, GpuBackend, HybridBackend, OptimizationFlags,
+    PixelBoxConfig, Variant,
 };
+use sccg::EngineConfig;
 use sccg_bench::{dataset_tile_stats, representative_pairs, study_datasets, system_dataset};
 use sccg_clip::pair_areas;
 use sccg_datagen::generate_tile_pair;
 use sccg_gpu_sim::{Device, DeviceConfig};
 use sccg_sdbms::{execute_cross_comparison, PolygonTable, QueryPlan};
+use sccg_serve::{
+    json, ComparisonService, QueryPriority, QueryRequest, QueryResponse, ServiceConfig, SlideStore,
+};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -54,6 +60,9 @@ fn main() {
     }
     if want("fig12") {
         figure12();
+    }
+    if want("serve") {
+        serve();
     }
 }
 
@@ -292,6 +301,122 @@ fn table1() {
         adaptive.trace.last_fraction().unwrap_or(0.5),
         adaptive.trace.len()
     );
+}
+
+/// Serving-layer demo: a `SlideStore` + `ComparisonService` answering
+/// concurrent mixed-device whole-slide queries, with response caching,
+/// admission control and pooled hybrid split telemetry exported as JSON.
+fn serve() {
+    println!("\n[Serve] SlideStore + ComparisonService (sharded engine pool)");
+    let dataset = sccg_datagen::generate_dataset(&sccg_datagen::DatasetSpec {
+        name: "serve-demo".into(),
+        tiles: 12,
+        polygons_per_tile: 80,
+        tile_size: 512,
+        seed: 12,
+        nucleus_radius: 6,
+    });
+    let store = SlideStore::new();
+    let first = store.register_slide(
+        "serve-demo-algo-a",
+        dataset.tiles.iter().map(|t| t.first.clone()).collect(),
+    );
+    let second = store.register_slide(
+        "serve-demo-algo-b",
+        dataset.tiles.iter().map(|t| t.second.clone()).collect(),
+    );
+
+    let bound = 2;
+    let service = ComparisonService::new(
+        store,
+        ServiceConfig::default()
+            .with_engines(vec![
+                EngineConfig::default(),
+                EngineConfig::default().with_device(AggregationDevice::Cpu),
+                EngineConfig::default().with_device(AggregationDevice::Hybrid),
+                EngineConfig::default().with_device(AggregationDevice::Hybrid),
+            ])
+            .with_max_in_flight(bound),
+    )
+    .expect("service starts");
+    println!(
+        "  engine pool {:?}, admission bound {bound}, {} tiles per slide",
+        service.engine_devices(),
+        dataset.tiles.len()
+    );
+
+    // Concurrent mixed-device queries: unrestricted, CPU-pinned,
+    // hybrid-pinned, and a high-priority tile subset.
+    let started = Instant::now();
+    let responses: Vec<QueryResponse> = std::thread::scope(|scope| {
+        let requests = vec![
+            ("any-device ", QueryRequest::new(first, second)),
+            (
+                "cpu-pinned ",
+                QueryRequest::new(first, second).on_device(AggregationDevice::Cpu),
+            ),
+            (
+                "hybrid     ",
+                QueryRequest::new(first, second).on_device(AggregationDevice::Hybrid),
+            ),
+            (
+                "subset/high",
+                QueryRequest::new(first, second)
+                    .tiles(vec![0, 1, 2, 3])
+                    .priority(QueryPriority::High),
+            ),
+        ];
+        let handles: Vec<_> = requests
+            .into_iter()
+            .map(|(label, request)| {
+                let service = &service;
+                scope.spawn(move || (label, service.submit(request).unwrap().wait().unwrap()))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| {
+                let (label, response) = handle.join().expect("query thread");
+                println!(
+                    "  {label}  J' {:.6}  {:>2} shards  backends {:?}",
+                    response.similarity(),
+                    response.shards,
+                    response.backends_used()
+                );
+                response
+            })
+            .collect()
+    });
+    println!(
+        "  {} concurrent queries in {:.3} s",
+        responses.len(),
+        started.elapsed().as_secs_f64()
+    );
+    assert_eq!(
+        responses[0].summary, responses[1].summary,
+        "sharding and device choice never change the answer"
+    );
+
+    // Resubmission: served from the cache, no backend work.
+    let batches_before = service.stats().backend_batches;
+    let repeat = service
+        .submit(QueryRequest::new(first, second))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(repeat.cache_hit && service.stats().backend_batches == batches_before);
+    println!("  resubmission: cache hit (backend batches still {batches_before})");
+
+    let stats = service.stats();
+    println!("  stats: {}", json::stats_to_json(&stats));
+    println!("  response: {}", json::response_to_json(&repeat));
+    if let Some(trace) = service.split_trace() {
+        println!(
+            "  pooled split trace ({} hybrid batches): {}",
+            trace.len(),
+            json::split_trace_to_json(&trace)
+        );
+    }
 }
 
 /// Figure 11: throughput benefit of dynamic task migration.

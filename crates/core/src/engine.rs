@@ -11,8 +11,8 @@
 
 use crate::jaccard::{JaccardAccumulator, JaccardSummary};
 use crate::pixelbox::{
-    AggregationDevice, ComputeBackend, PairAreas, PixelBoxConfig, PolygonPair, SplitConfig,
-    SplitController, SplitPolicy,
+    AggregationDevice, ComputeBackend, HybridBackend, PairAreas, PixelBoxConfig, PolygonPair,
+    SplitConfig, SplitController, SplitPolicy,
 };
 use sccg_geometry::text::PolygonRecord;
 use sccg_geometry::Rect;
@@ -21,7 +21,12 @@ use sccg_rtree::mbr_join;
 use std::sync::Arc;
 
 /// Configuration of a [`CrossComparison`] engine.
+///
+/// Marked `#[non_exhaustive]` so future fields are not breaking changes:
+/// construct it with [`EngineConfig::default`] and the `with_*` builder
+/// methods rather than a struct literal.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct EngineConfig {
     /// PixelBox parameters.
     pub pixelbox: PixelBoxConfig,
@@ -58,6 +63,43 @@ impl EngineConfig {
     /// The hybrid split configuration this engine config describes.
     pub fn split_config(&self) -> SplitConfig {
         SplitConfig::adaptive(self.hybrid_gpu_fraction).with_policy(self.split_policy)
+    }
+
+    /// Returns a copy with different PixelBox parameters.
+    pub fn with_pixelbox(mut self, pixelbox: PixelBoxConfig) -> Self {
+        self.pixelbox = pixelbox;
+        self
+    }
+
+    /// Returns a copy dispatching to a different substrate.
+    pub fn with_device(mut self, device: AggregationDevice) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Returns a copy with a different simulated GPU configuration.
+    pub fn with_gpu(mut self, gpu: DeviceConfig) -> Self {
+        self.gpu = gpu;
+        self
+    }
+
+    /// Returns a copy with a different CPU worker count.
+    pub fn with_cpu_workers(mut self, cpu_workers: usize) -> Self {
+        self.cpu_workers = cpu_workers;
+        self
+    }
+
+    /// Returns a copy with a different seed GPU fraction for the hybrid
+    /// split.
+    pub fn with_hybrid_gpu_fraction(mut self, fraction: f64) -> Self {
+        self.hybrid_gpu_fraction = fraction;
+        self
+    }
+
+    /// Returns a copy with a different hybrid split policy.
+    pub fn with_split_policy(mut self, policy: SplitPolicy) -> Self {
+        self.split_policy = policy;
+        self
     }
 }
 
@@ -109,6 +151,35 @@ impl CrossComparison {
             gpu,
             backend,
             split_controller,
+        }
+    }
+
+    /// Creates an engine sharing an existing simulated device *and* an
+    /// existing hybrid [`SplitController`], so a fleet of engines serving
+    /// concurrent queries pools its timing observations: a fresh engine
+    /// starts from the fleet's learned split instead of re-running warm-up.
+    ///
+    /// Only [`AggregationDevice::Hybrid`] consults a controller; for the
+    /// single-substrate devices this behaves exactly like
+    /// [`CrossComparison::with_device`] and the controller is ignored.
+    pub fn with_shared_controller(
+        config: EngineConfig,
+        gpu: Arc<Device>,
+        controller: Arc<SplitController>,
+    ) -> Self {
+        if config.device != AggregationDevice::Hybrid {
+            return Self::with_device(config, gpu);
+        }
+        let backend: Arc<dyn ComputeBackend> = Arc::new(HybridBackend::with_controller(
+            Arc::clone(&gpu),
+            config.cpu_workers,
+            Arc::clone(&controller),
+        ));
+        CrossComparison {
+            config,
+            gpu,
+            backend,
+            split_controller: Some(controller),
         }
     }
 
@@ -166,9 +237,34 @@ impl CrossComparison {
         self.compare_pairs(&pairs)
     }
 
+    /// Like [`CrossComparison::compare_records`] but with an explicit
+    /// PixelBox configuration overriding the engine's own — the serving layer
+    /// uses this so every engine of a pool computes a query under the *same*
+    /// per-request configuration (variant, threshold), keeping sharded
+    /// results bit-identical regardless of which engine served each shard.
+    pub fn compare_records_with(
+        &self,
+        first: &[PolygonRecord],
+        second: &[PolygonRecord],
+        pixelbox: &PixelBoxConfig,
+    ) -> CrossComparisonReport {
+        let pairs = self.filter_pairs(first, second);
+        self.compare_pairs_with(&pairs, pixelbox)
+    }
+
     /// Cross-compares an already-filtered batch of polygon pairs.
     pub fn compare_pairs(&self, pairs: &[PolygonPair]) -> CrossComparisonReport {
-        let batch = self.backend.compute_batch(pairs, &self.config.pixelbox);
+        self.compare_pairs_with(pairs, &self.config.pixelbox)
+    }
+
+    /// Like [`CrossComparison::compare_pairs`] but with an explicit PixelBox
+    /// configuration overriding the engine's own.
+    pub fn compare_pairs_with(
+        &self,
+        pairs: &[PolygonPair],
+        pixelbox: &PixelBoxConfig,
+    ) -> CrossComparisonReport {
+        let batch = self.backend.compute_batch(pairs, pixelbox);
 
         let mut acc = JaccardAccumulator::new();
         for areas in &batch.areas {

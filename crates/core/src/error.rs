@@ -1,0 +1,152 @@
+//! The unified error type of the request-serving route.
+//!
+//! The one-shot entry points ([`crate::CrossComparison`],
+//! [`crate::pipeline::Pipeline`]) historically treated bad input as either a
+//! panic or a silently-empty
+//! result — acceptable for a batch reproduction, not for a query service
+//! where a malformed request must fail *that request* with a diagnosable
+//! reason and leave the service healthy. Everything on the serving route
+//! (the `sccg-serve` crate's `SlideStore` / `ComparisonService`) returns
+//! [`SccgError`] instead.
+
+use crate::pixelbox::AggregationDevice;
+use std::fmt;
+
+/// Unified error for the cross-comparison serving route.
+///
+/// Marked `#[non_exhaustive]`: new failure modes may be added without a
+/// breaking change, so downstream matches need a wildcard arm.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SccgError {
+    /// A polygon file failed to parse while registering slide data.
+    Parse {
+        /// Human-readable parse failure detail.
+        detail: String,
+    },
+    /// A request referenced a slide id that was never registered.
+    UnknownSlide {
+        /// The unresolved slide id.
+        slide: u64,
+    },
+    /// A request referenced a tile index beyond a slide's registered tiles.
+    UnknownTile {
+        /// The slide the tile was looked up in.
+        slide: u64,
+        /// The out-of-range tile index.
+        tile: usize,
+        /// Number of tiles the slide actually has.
+        tiles: usize,
+    },
+    /// A whole-slide comparison was requested for two slides with different
+    /// tile counts.
+    TileCountMismatch {
+        /// Tile count of the first slide.
+        first: usize,
+        /// Tile count of the second slide.
+        second: usize,
+    },
+    /// A request pinned a device no engine in the service's pool provides.
+    NoEligibleEngine {
+        /// The requested aggregation device.
+        device: AggregationDevice,
+    },
+    /// A service was configured with an empty engine pool.
+    EmptyEnginePool,
+    /// Admission control rejected the request because the in-flight bound
+    /// was reached (returned by non-blocking submission only).
+    Overloaded {
+        /// Queries currently in flight.
+        in_flight: usize,
+        /// The configured admission bound.
+        bound: usize,
+    },
+    /// The service shut down before the query resolved.
+    ShutDown,
+    /// The request was structurally invalid (for example an empty or
+    /// duplicated tile selection).
+    InvalidRequest {
+        /// Human-readable request defect.
+        detail: String,
+    },
+    /// A worker failed internally (for example a panic while computing a
+    /// shard). The service stays healthy; only the affected query fails.
+    Internal {
+        /// Human-readable failure detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SccgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SccgError::Parse { detail } => write!(f, "polygon file parse error: {detail}"),
+            SccgError::UnknownSlide { slide } => write!(f, "unknown slide id {slide}"),
+            SccgError::UnknownTile { slide, tile, tiles } => {
+                write!(
+                    f,
+                    "slide {slide} has {tiles} tiles; tile {tile} does not exist"
+                )
+            }
+            SccgError::TileCountMismatch { first, second } => write!(
+                f,
+                "whole-slide comparison requires equal tile counts, got {first} vs {second}"
+            ),
+            SccgError::NoEligibleEngine { device } => {
+                write!(f, "no engine in the pool serves device {device:?}")
+            }
+            SccgError::EmptyEnginePool => write!(f, "service configured with no engines"),
+            SccgError::Overloaded { in_flight, bound } => write!(
+                f,
+                "admission control rejected the query: {in_flight} in flight at bound {bound}"
+            ),
+            SccgError::ShutDown => write!(f, "service shut down before the query resolved"),
+            SccgError::InvalidRequest { detail } => write!(f, "invalid request: {detail}"),
+            SccgError::Internal { detail } => write!(f, "internal service failure: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SccgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let variants = [
+            SccgError::Parse {
+                detail: "bad vertex".into(),
+            },
+            SccgError::UnknownSlide { slide: 7 },
+            SccgError::UnknownTile {
+                slide: 7,
+                tile: 9,
+                tiles: 4,
+            },
+            SccgError::TileCountMismatch {
+                first: 3,
+                second: 5,
+            },
+            SccgError::NoEligibleEngine {
+                device: AggregationDevice::Gpu,
+            },
+            SccgError::EmptyEnginePool,
+            SccgError::Overloaded {
+                in_flight: 4,
+                bound: 4,
+            },
+            SccgError::ShutDown,
+            SccgError::InvalidRequest {
+                detail: "empty tile set".into(),
+            },
+            SccgError::Internal {
+                detail: "shard worker panicked".into(),
+            },
+        ];
+        for error in variants {
+            assert!(!error.to_string().is_empty(), "{error:?}");
+        }
+    }
+}

@@ -82,6 +82,18 @@ pub struct JaccardSummary {
 }
 
 impl JaccardSummary {
+    /// The `J'` similarity guarded against degenerate values: a summary with
+    /// no intersecting pairs (or one hand-built with a zero-denominator
+    /// ratio) reports `0.0`, never `NaN` or an infinity. Every ratio
+    /// accessor on the request route goes through this guard.
+    pub fn similarity_or_zero(&self) -> f64 {
+        if self.similarity.is_finite() {
+            self.similarity
+        } else {
+            0.0
+        }
+    }
+
     /// The aggregate-area Jaccard coefficient `Σ‖p∩q‖ / Σ‖p∪q‖`, the `J`
     /// variant mentioned in §2.1 (useful as a cross-check on `J'`).
     pub fn aggregate_jaccard(&self) -> f64 {

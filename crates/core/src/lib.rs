@@ -38,17 +38,20 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod error;
 pub mod jaccard;
 pub mod parallel;
 pub mod pipeline;
 pub mod pixelbox;
 
 pub use engine::{CrossComparison, CrossComparisonReport, EngineConfig};
+pub use error::SccgError;
 pub use jaccard::{JaccardAccumulator, JaccardSummary};
 
 /// Convenient re-exports for application code.
 pub mod prelude {
     pub use crate::engine::{CrossComparison, CrossComparisonReport, EngineConfig};
+    pub use crate::error::SccgError;
     pub use crate::jaccard::{JaccardAccumulator, JaccardSummary};
     pub use crate::pipeline::model::{
         HybridPipelineReport, HybridSplitMode, PipelineModel, PlatformConfig, Scheme,

@@ -45,7 +45,12 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration of the pipelined framework.
+///
+/// Marked `#[non_exhaustive]` so future fields are not breaking changes:
+/// construct it with [`PipelineConfig::default`] and the `with_*` builder
+/// methods rather than a struct literal.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct PipelineConfig {
     /// Number of parser worker threads.
     pub parser_workers: usize,
@@ -95,6 +100,67 @@ impl PipelineConfig {
     /// The hybrid split configuration this pipeline config describes.
     pub fn split_config(&self) -> SplitConfig {
         SplitConfig::adaptive(self.hybrid_gpu_fraction).with_policy(self.split_policy)
+    }
+
+    /// Returns a copy with a different parser worker count.
+    pub fn with_parser_workers(mut self, parser_workers: usize) -> Self {
+        self.parser_workers = parser_workers;
+        self
+    }
+
+    /// Returns a copy with a different inter-stage buffer capacity.
+    pub fn with_buffer_capacity(mut self, buffer_capacity: usize) -> Self {
+        self.buffer_capacity = buffer_capacity;
+        self
+    }
+
+    /// Returns a copy with different PixelBox parameters.
+    pub fn with_pixelbox(mut self, pixelbox: PixelBoxConfig) -> Self {
+        self.pixelbox = pixelbox;
+        self
+    }
+
+    /// Returns a copy with dynamic task migration enabled or disabled.
+    pub fn with_migration(mut self, enable_migration: bool) -> Self {
+        self.enable_migration = enable_migration;
+        self
+    }
+
+    /// Returns a copy with a different simulated GPU configuration.
+    pub fn with_gpu(mut self, gpu: DeviceConfig) -> Self {
+        self.gpu = gpu;
+        self
+    }
+
+    /// Returns a copy with a different aggregator batch size.
+    pub fn with_aggregator_batch(mut self, aggregator_batch: usize) -> Self {
+        self.aggregator_batch = aggregator_batch;
+        self
+    }
+
+    /// Returns a copy dispatching the aggregator to a different substrate.
+    pub fn with_device(mut self, device: AggregationDevice) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Returns a copy with a different CPU worker count.
+    pub fn with_cpu_workers(mut self, cpu_workers: usize) -> Self {
+        self.cpu_workers = cpu_workers;
+        self
+    }
+
+    /// Returns a copy with a different seed GPU fraction for the hybrid
+    /// split.
+    pub fn with_hybrid_gpu_fraction(mut self, fraction: f64) -> Self {
+        self.hybrid_gpu_fraction = fraction;
+        self
+    }
+
+    /// Returns a copy with a different hybrid split policy.
+    pub fn with_split_policy(mut self, policy: SplitPolicy) -> Self {
+        self.split_policy = policy;
+        self
     }
 }
 
@@ -181,9 +247,12 @@ pub struct PipelineReport {
 }
 
 impl PipelineReport {
-    /// The final `J'` similarity.
+    /// The final `J'` similarity. Guarded against degenerate summaries
+    /// ([`JaccardSummary::similarity_or_zero`]): a run with no intersecting
+    /// pairs (or a hand-built report whose ratio denominator was zero)
+    /// reports `0.0`, never `NaN`.
     pub fn similarity(&self) -> f64 {
-        self.summary.similarity
+        self.summary.similarity_or_zero()
     }
 }
 
@@ -679,6 +748,19 @@ mod tests {
         let report = pipeline.run(Vec::new());
         assert_eq!(report.tiles, 0);
         assert_eq!(report.candidate_pairs, 0);
+        assert_eq!(report.similarity(), 0.0);
+    }
+
+    #[test]
+    fn similarity_accessor_guards_degenerate_summaries() {
+        // An empty run reports 0.0, and even a hand-built report whose
+        // summary carries a NaN ratio (zero denominator upstream) must not
+        // leak the NaN through the accessor.
+        let mut report = Pipeline::new(PipelineConfig::default()).run(Vec::new());
+        assert_eq!(report.similarity(), 0.0);
+        report.summary.similarity = f64::NAN;
+        assert_eq!(report.similarity(), 0.0);
+        report.summary.similarity = f64::INFINITY;
         assert_eq!(report.similarity(), 0.0);
     }
 

@@ -35,6 +35,7 @@
 //! just final answers.
 
 use parking_lot::Mutex;
+use serde::Serialize;
 use std::collections::VecDeque;
 
 /// How the hybrid backend chooses each batch's GPU fraction.
@@ -72,7 +73,13 @@ fn probe_clamp(fraction: f64) -> f64 {
 }
 
 /// Configuration of a [`SplitController`].
+///
+/// Marked `#[non_exhaustive]` so future fields are not breaking changes:
+/// construct it with [`SplitConfig::default`], [`SplitConfig::adaptive`] or
+/// [`SplitConfig::fixed`] and the `with_*` builder methods rather than a
+/// struct literal.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct SplitConfig {
     /// Split policy (adaptive feedback vs the static seed fraction).
     pub policy: SplitPolicy,
@@ -115,6 +122,36 @@ impl SplitConfig {
     /// Returns a copy with a different split policy.
     pub fn with_policy(mut self, policy: SplitPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Returns a copy with a different seed GPU fraction.
+    pub fn with_seed_gpu_fraction(mut self, fraction: f64) -> Self {
+        self.seed_gpu_fraction = normalize_fraction(fraction);
+        self
+    }
+
+    /// Returns a copy with a different warm-up batch count.
+    pub fn with_warmup_batches(mut self, warmup_batches: u32) -> Self {
+        self.warmup_batches = warmup_batches;
+        self
+    }
+
+    /// Returns a copy with a different EWMA smoothing factor.
+    pub fn with_ewma_alpha(mut self, ewma_alpha: f64) -> Self {
+        self.ewma_alpha = ewma_alpha;
+        self
+    }
+
+    /// Returns a copy with a different per-batch step clamp.
+    pub fn with_max_step(mut self, max_step: f64) -> Self {
+        self.max_step = max_step;
+        self
+    }
+
+    /// Returns a copy with a different trace capacity.
+    pub fn with_trace_capacity(mut self, trace_capacity: usize) -> Self {
+        self.trace_capacity = trace_capacity;
         self
     }
 }
@@ -162,7 +199,7 @@ pub struct BatchObservation {
 }
 
 /// One entry of the controller's decision log.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct SplitSample {
     /// Zero-based index of the recorded batch.
     pub batch: u64,
@@ -182,7 +219,7 @@ pub struct SplitSample {
 
 /// Snapshot of the controller's per-batch decision log (bounded to the most
 /// recent [`SplitConfig::trace_capacity`] batches).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct SplitTrace {
     samples: Vec<SplitSample>,
 }

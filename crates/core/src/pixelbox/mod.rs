@@ -129,7 +129,7 @@ impl Default for OptimizationFlags {
 /// This enum is the configuration-level name of a substrate; the actual
 /// dispatch happens through the [`ComputeBackend`] it constructs via
 /// [`AggregationDevice::backend`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum AggregationDevice {
     /// The simulated GPU (PixelBox kernel).
     #[default]

@@ -105,10 +105,7 @@ proptest! {
         let backend = HybridBackend::with_split(
             Arc::new(Device::new(DeviceConfig::gtx580())),
             2,
-            SplitConfig {
-                warmup_batches: 0,
-                ..SplitConfig::adaptive(seed)
-            },
+            SplitConfig::adaptive(seed).with_warmup_batches(0),
         );
         for _ in 0..batches {
             let batch = backend.compute_batch(&pairs, &config);

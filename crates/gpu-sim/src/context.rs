@@ -84,7 +84,7 @@ impl BlockContext {
     /// Charges `ops` instructions on a *divergent* region where only
     /// `active_lanes` of the block's threads do useful work. The whole warp
     /// still issues every instruction (SIMT lock-step), so the cycle cost is
-    /// identical to [`charge_alu`]; the wasted lane-cycles are recorded so the
+    /// identical to [`Self::charge_alu`]; the wasted lane-cycles are recorded so the
     /// divergence penalty is observable in statistics.
     pub fn charge_alu_divergent(&mut self, ops: u64, active_lanes: u32) {
         let active = active_lanes.min(self.block_dim);

@@ -1,6 +1,6 @@
 //! Hilbert space-filling curve.
 //!
-//! The Hilbert R-tree (Kamel & Faloutsos, VLDB 1994 — reference [20] of the
+//! The Hilbert R-tree (Kamel & Faloutsos, VLDB 1994 — reference \[20\] of the
 //! paper) orders rectangle entries by the Hilbert value of their centre and
 //! then packs them into leaves in that order. The curve preserves spatial
 //! locality well, which keeps the bounding rectangles of packed leaves tight.

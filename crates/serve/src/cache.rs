@@ -1,0 +1,145 @@
+//! Bounded LRU cache of query responses.
+//!
+//! Repeated analytics over the same slide pair dominate real serving
+//! workloads (re-rendered viewers, dashboards, parameter sweeps that revisit
+//! a baseline), so the service memoizes full [`crate::QueryResponse`]s. The
+//! key captures everything that determines the result *and* the response
+//! shape: the slide pair, the resolved tile index list (in merge order), the
+//! effective PixelBox configuration fingerprint, and the device preference
+//! (results are bit-identical across devices, but the response records which
+//! substrate served it, so preferences cache separately).
+
+use crate::store::SlideId;
+use sccg::pixelbox::{AggregationDevice, PixelBoxConfig};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+
+/// Cache key of one query's response.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    pub first: SlideId,
+    pub second: SlideId,
+    /// Resolved tile indices in merge order.
+    pub tiles: Vec<usize>,
+    /// Fingerprint of the effective [`PixelBoxConfig`].
+    pub config: u64,
+    pub device: Option<AggregationDevice>,
+}
+
+/// Stable-within-process fingerprint of a PixelBox configuration.
+///
+/// `PixelBoxConfig` intentionally does not implement `Hash` (it carries
+/// tuning floats in some forks); its `Debug` rendering covers every field,
+/// so hashing that rendering fingerprints the configuration without adding
+/// trait obligations to the core crate.
+pub(crate) fn config_fingerprint(config: &PixelBoxConfig) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    format!("{config:?}").hash(&mut hasher);
+    hasher.finish()
+}
+
+/// A bounded map with least-recently-used eviction. Capacity `0` disables
+/// caching entirely.
+#[derive(Debug)]
+pub(crate) struct LruCache<V> {
+    capacity: usize,
+    map: HashMap<CacheKey, V>,
+    /// Keys from least- to most-recently used.
+    order: VecDeque<CacheKey>,
+}
+
+impl<V: Clone> LruCache<V> {
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn touch(&mut self, key: &CacheKey) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            let key = self.order.remove(pos).expect("position is in bounds");
+            self.order.push_back(key);
+        }
+    }
+
+    pub fn get(&mut self, key: &CacheKey) -> Option<V> {
+        let value = self.map.get(key).cloned()?;
+        self.touch(key);
+        Some(value)
+    }
+
+    pub fn insert(&mut self, key: CacheKey, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(key.clone(), value).is_some() {
+            self.touch(&key);
+            return;
+        }
+        self.order.push_back(key);
+        while self.map.len() > self.capacity {
+            let evicted = self.order.pop_front().expect("map and order in sync");
+            self.map.remove(&evicted);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tile: usize) -> CacheKey {
+        CacheKey {
+            first: SlideId(0),
+            second: SlideId(1),
+            tiles: vec![tile],
+            config: 7,
+            device: None,
+        }
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let mut cache = LruCache::new(2);
+        cache.insert(key(0), "a");
+        cache.insert(key(1), "b");
+        assert_eq!(cache.get(&key(0)), Some("a")); // 0 becomes most recent
+        cache.insert(key(2), "c"); // evicts 1
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&key(1)), None);
+        assert_eq!(cache.get(&key(0)), Some("a"));
+        assert_eq!(cache.get(&key(2)), Some("c"));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = LruCache::new(0);
+        cache.insert(key(0), "a");
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.get(&key(0)), None);
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_growth() {
+        let mut cache = LruCache::new(2);
+        cache.insert(key(0), "a");
+        cache.insert(key(0), "b");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&key(0)), Some("b"));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let base = PixelBoxConfig::paper_default();
+        let other = base.with_variant(sccg::pixelbox::Variant::NoSep);
+        assert_eq!(config_fingerprint(&base), config_fingerprint(&base));
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&other));
+    }
+}

@@ -1,0 +1,870 @@
+//! The persistent comparison service: pooled engines, sharding, caching and
+//! admission control.
+//!
+//! A [`ComparisonService`] owns a pool of [`CrossComparison`] engines (a
+//! CPU/GPU/hybrid mix, one worker thread each) bound to a single simulated
+//! GPU device. A submitted [`QueryRequest`] is resolved against the
+//! [`SlideStore`], split into per-tile *shards*, and dispatched over a
+//! priority job queue from which every eligible engine pulls work — so a
+//! whole-slide query is computed by however many engines are free, and
+//! concurrent queries interleave at shard granularity.
+//!
+//! Three properties make this a serving layer rather than a batch loop:
+//!
+//! * **Determinism** — every shard runs under the query's effective PixelBox
+//!   configuration, backends agree bit-for-bit, and per-tile accumulators
+//!   are merged in tile order; the response is bit-identical to a
+//!   sequential single-engine run no matter how shards were scheduled.
+//! * **Caching** — responses are memoized keyed by slide pair, resolved tile
+//!   list, configuration fingerprint and device preference; a repeat query
+//!   answers from memory without touching any backend.
+//! * **Admission control** — at most `max_in_flight` queries execute at
+//!   once; [`ComparisonService::submit`] blocks for a slot,
+//!   [`ComparisonService::try_submit`] fails fast with
+//!   [`SccgError::Overloaded`].
+//!
+//! All hybrid engines in the pool share one [`SplitController`], pooling
+//! timing observations across engines (the PR-2 seam): a freshly scheduled
+//! shard starts from the fleet's learned CPU/GPU split instead of warming up
+//! from the seed fraction.
+
+use crate::cache::{config_fingerprint, CacheKey, LruCache};
+use crate::request::{QueryPriority, QueryRequest, TileSelection};
+use crate::store::{SlideId, SlideStore};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use sccg::pixelbox::{AggregationDevice, PixelBoxConfig, SplitConfig, SplitController, SplitTrace};
+use sccg::{CrossComparison, EngineConfig, JaccardAccumulator, JaccardSummary, SccgError};
+use sccg_geometry::text::PolygonRecord;
+use sccg_gpu_sim::{Device, DeviceConfig};
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// Locks a mutex, recovering the data if a previous holder panicked (the
+/// service must stay serviceable even if one shard computation panics).
+///
+/// This module deliberately uses `std::sync` primitives rather than the
+/// `parking_lot` used elsewhere in the workspace: the job queue and the
+/// admission semaphore need a [`Condvar`] paired with their mutex, `std`'s
+/// `Condvar` only pairs with `std`'s `Mutex`, and the offline `parking_lot`
+/// shim provides no `Condvar` at all. One consistent locking idiom per
+/// module beats mixing two.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Configuration of a [`ComparisonService`].
+///
+/// Marked `#[non_exhaustive]` so future fields are not breaking changes:
+/// construct it with [`ServiceConfig::default`] and the `with_*` builder
+/// methods rather than a struct literal.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ServiceConfig {
+    /// Engine pool: one [`CrossComparison`] engine and worker thread per
+    /// entry. Each entry's `device` and `cpu_workers` are honored; the
+    /// per-engine `gpu` and `pixelbox` fields are superseded by the
+    /// service-level [`ServiceConfig::gpu`] and [`ServiceConfig::pixelbox`]
+    /// (one physical device, one effective algorithm configuration — the
+    /// determinism invariant), and the per-engine `hybrid_gpu_fraction` /
+    /// `split_policy` by [`ServiceConfig::split`] (every hybrid engine
+    /// shares the one *pooled* controller; a per-engine split would defeat
+    /// the fleet-level pooling).
+    pub engines: Vec<EngineConfig>,
+    /// PixelBox parameters every query runs under (per-query
+    /// [`QueryRequest::variant`] overrides the variant only).
+    pub pixelbox: PixelBoxConfig,
+    /// The simulated GPU shared by every GPU-touching engine of the pool.
+    pub gpu: DeviceConfig,
+    /// Split configuration of the *pooled* hybrid [`SplitController`] shared
+    /// by every hybrid engine.
+    pub split: SplitConfig,
+    /// Admission bound: maximum queries executing concurrently (at least 1).
+    pub max_in_flight: usize,
+    /// Response cache capacity in entries; `0` disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    /// A mixed pool — one GPU engine, one CPU engine, two hybrid engines
+    /// sharing the pooled split controller — with admission bound 4 and a
+    /// 64-entry response cache.
+    fn default() -> Self {
+        ServiceConfig {
+            engines: vec![
+                EngineConfig::default(),
+                EngineConfig::default().with_device(AggregationDevice::Cpu),
+                EngineConfig::default().with_device(AggregationDevice::Hybrid),
+                EngineConfig::default().with_device(AggregationDevice::Hybrid),
+            ],
+            pixelbox: PixelBoxConfig::paper_default(),
+            gpu: DeviceConfig::gtx580(),
+            split: SplitConfig::default(),
+            max_in_flight: 4,
+            cache_capacity: 64,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Returns a copy with a different engine pool.
+    pub fn with_engines(mut self, engines: Vec<EngineConfig>) -> Self {
+        self.engines = engines;
+        self
+    }
+
+    /// Returns a copy with different PixelBox parameters.
+    pub fn with_pixelbox(mut self, pixelbox: PixelBoxConfig) -> Self {
+        self.pixelbox = pixelbox;
+        self
+    }
+
+    /// Returns a copy with a different simulated GPU configuration.
+    pub fn with_gpu(mut self, gpu: DeviceConfig) -> Self {
+        self.gpu = gpu;
+        self
+    }
+
+    /// Returns a copy with a different pooled split configuration.
+    pub fn with_split(mut self, split: SplitConfig) -> Self {
+        self.split = split;
+        self
+    }
+
+    /// Returns a copy with a different admission bound.
+    pub fn with_max_in_flight(mut self, max_in_flight: usize) -> Self {
+        self.max_in_flight = max_in_flight;
+        self
+    }
+
+    /// Returns a copy with a different response cache capacity.
+    pub fn with_cache_capacity(mut self, cache_capacity: usize) -> Self {
+        self.cache_capacity = cache_capacity;
+        self
+    }
+}
+
+/// One tile's share of a query response.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TileReport {
+    /// Tile index within both slides.
+    pub tile: usize,
+    /// Pool index of the engine that computed this tile.
+    pub engine: usize,
+    /// Backend name of that engine (e.g. `pixelbox-hybrid`).
+    pub backend: String,
+    /// Candidate pairs the MBR join produced for this tile.
+    pub candidate_pairs: usize,
+    /// This tile's Jaccard aggregation summary.
+    pub summary: JaccardSummary,
+}
+
+/// Resolved result of one query.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct QueryResponse {
+    /// First slide of the compared pair.
+    pub first: SlideId,
+    /// Second slide of the compared pair.
+    pub second: SlideId,
+    /// Per-tile reports, in merge (tile) order.
+    pub tiles: Vec<TileReport>,
+    /// Whole-query Jaccard summary: per-tile accumulators merged in tile
+    /// order.
+    pub summary: JaccardSummary,
+    /// Number of shards the query was split into.
+    pub shards: usize,
+    /// Whether this response was answered from the cache.
+    pub cache_hit: bool,
+    /// Priority the query ran at.
+    pub priority: QueryPriority,
+    /// The request's device preference.
+    pub device: Option<AggregationDevice>,
+}
+
+impl QueryResponse {
+    /// The `J'` similarity, guarded against degenerate summaries
+    /// ([`JaccardSummary::similarity_or_zero`]): an empty query reports
+    /// `0.0`, never `NaN`.
+    pub fn similarity(&self) -> f64 {
+        self.summary.similarity_or_zero()
+    }
+
+    /// Distinct backend names that served this query's shards.
+    pub fn backends_used(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tiles.iter().map(|t| t.backend.clone()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+}
+
+/// Snapshot of the service's lifetime counters.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+#[non_exhaustive]
+pub struct ServiceStats {
+    /// Requests accepted by `submit`/`try_submit` (including cache hits and
+    /// empty queries; excluding requests that failed validation).
+    pub submitted: u64,
+    /// Sharded queries that ran to completion on the engine pool.
+    pub completed: u64,
+    /// Requests answered from the response cache.
+    pub cache_hits: u64,
+    /// Shards computed by any backend (one engine batch each).
+    pub backend_batches: u64,
+    /// Queries currently executing.
+    pub in_flight: usize,
+    /// High-water mark of concurrently executing queries.
+    pub peak_in_flight: usize,
+    /// Shards computed per engine, by pool index.
+    pub shards_per_engine: Vec<u64>,
+    /// Responses currently held by the cache.
+    pub cache_entries: usize,
+}
+
+/// One tile's computed partial: the public report plus the exact accumulator
+/// needed for bit-identical merging.
+struct TilePartial {
+    report: TileReport,
+    accumulator: JaccardAccumulator,
+}
+
+/// Echoed request metadata carried through to the response.
+struct QueryMeta {
+    first: SlideId,
+    second: SlideId,
+    priority: QueryPriority,
+    device: Option<AggregationDevice>,
+}
+
+/// Shared state of one in-flight query.
+struct QueryState {
+    key: CacheKey,
+    meta: QueryMeta,
+    pixelbox: PixelBoxConfig,
+    partials: Mutex<Vec<Option<TilePartial>>>,
+    remaining: AtomicUsize,
+    /// First shard failure (a panic in a backend), if any: the query fails
+    /// with [`SccgError::Internal`] instead of wedging the service.
+    failure: Mutex<Option<String>>,
+    responder: Sender<Result<QueryResponse, SccgError>>,
+}
+
+/// One unit of engine work: a single tile of a query.
+struct ShardJob {
+    query: Arc<QueryState>,
+    /// Index into the query's merge-ordered tile list.
+    position: usize,
+    /// Original tile index (reported to the caller).
+    tile_index: usize,
+    first: Arc<Vec<PolygonRecord>>,
+    second: Arc<Vec<PolygonRecord>>,
+    /// Device restriction copied from the request.
+    device: Option<AggregationDevice>,
+}
+
+impl ShardJob {
+    fn eligible(&self, worker_device: AggregationDevice) -> bool {
+        self.device.is_none_or(|d| d == worker_device)
+    }
+}
+
+/// Priority-laned job queue shared by every worker.
+struct JobQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+}
+
+struct QueueState {
+    /// One FIFO lane per [`QueryPriority`], most urgent first.
+    lanes: [VecDeque<ShardJob>; 3],
+    closed: bool,
+}
+
+impl JobQueue {
+    fn new() -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: ShardJob, lane: usize) {
+        let mut state = lock(&self.state);
+        state.lanes[lane].push_back(job);
+        drop(state);
+        // Eligibility differs per worker, so every worker re-scans.
+        self.available.notify_all();
+    }
+
+    /// Pops the most urgent job `worker_device` may serve, blocking while
+    /// none is available. Returns `None` once the queue is closed and no
+    /// eligible work remains (pending work is drained before shutdown).
+    fn pop(&self, worker_device: AggregationDevice) -> Option<ShardJob> {
+        let mut state = lock(&self.state);
+        loop {
+            for lane in state.lanes.iter_mut() {
+                if let Some(pos) = lane.iter().position(|job| job.eligible(worker_device)) {
+                    return lane.remove(pos);
+                }
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn close(&self) {
+        lock(&self.state).closed = true;
+        self.available.notify_all();
+    }
+}
+
+/// Counting semaphore bounding in-flight queries, tracking the high-water
+/// mark for observability.
+struct Admission {
+    state: Mutex<AdmissionState>,
+    released: Condvar,
+}
+
+struct AdmissionState {
+    available: usize,
+    in_flight: usize,
+    peak: usize,
+}
+
+impl Admission {
+    fn new(bound: usize) -> Self {
+        Admission {
+            state: Mutex::new(AdmissionState {
+                available: bound,
+                in_flight: 0,
+                peak: 0,
+            }),
+            released: Condvar::new(),
+        }
+    }
+
+    fn admit(state: &mut AdmissionState) {
+        state.available -= 1;
+        state.in_flight += 1;
+        state.peak = state.peak.max(state.in_flight);
+    }
+
+    /// Blocks until a slot is free, then takes it.
+    fn acquire(&self) {
+        let mut state = lock(&self.state);
+        while state.available == 0 {
+            state = self
+                .released
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        Self::admit(&mut state);
+    }
+
+    /// Takes a slot if one is free; otherwise reports the current load.
+    fn try_acquire(&self) -> Result<(), usize> {
+        let mut state = lock(&self.state);
+        if state.available == 0 {
+            return Err(state.in_flight);
+        }
+        Self::admit(&mut state);
+        Ok(())
+    }
+
+    fn release(&self) {
+        let mut state = lock(&self.state);
+        state.available += 1;
+        state.in_flight -= 1;
+        drop(state);
+        self.released.notify_one();
+    }
+
+    fn snapshot(&self) -> (usize, usize) {
+        let state = lock(&self.state);
+        (state.in_flight, state.peak)
+    }
+}
+
+/// Lifetime counters, lock-free.
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    cache_hits: AtomicU64,
+    backend_batches: AtomicU64,
+    shards_per_engine: Vec<AtomicU64>,
+}
+
+/// State shared between the service handle and its worker threads.
+struct ServiceInner {
+    queue: JobQueue,
+    admission: Admission,
+    cache: Mutex<LruCache<QueryResponse>>,
+    counters: Counters,
+}
+
+impl ServiceInner {
+    fn finalize(&self, query: &QueryState) {
+        // A query with a failed shard resolves to an error; the admission
+        // slot is still returned so the service stays serviceable.
+        if let Some(detail) = lock(&query.failure).take() {
+            self.admission.release();
+            let _ = query.responder.send(Err(SccgError::Internal { detail }));
+            return;
+        }
+        let mut total = JaccardAccumulator::new();
+        let tiles: Vec<TileReport> = {
+            let partials = lock(&query.partials);
+            partials
+                .iter()
+                .map(|slot| {
+                    let partial = slot.as_ref().expect("query finalized with all shards done");
+                    total.merge(&partial.accumulator);
+                    partial.report.clone()
+                })
+                .collect()
+        };
+        let response = QueryResponse {
+            first: query.meta.first,
+            second: query.meta.second,
+            shards: tiles.len(),
+            tiles,
+            summary: total.summary(),
+            cache_hit: false,
+            priority: query.meta.priority,
+            device: query.meta.device,
+        };
+        lock(&self.cache).insert(query.key.clone(), response.clone());
+        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        self.admission.release();
+        // The caller may have dropped its handle; that is not an error.
+        let _ = query.responder.send(Ok(response));
+    }
+}
+
+/// Future-like handle to a submitted query.
+pub struct QueryHandle {
+    state: HandleState,
+}
+
+impl std::fmt::Debug for QueryHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match &self.state {
+            HandleState::Ready(_) => "ready",
+            HandleState::Waiting(_) => "waiting",
+        };
+        f.debug_struct("QueryHandle")
+            .field("state", &state)
+            .finish()
+    }
+}
+
+enum HandleState {
+    /// The response was available at submission (cache hit or empty query).
+    Ready(Result<QueryResponse, SccgError>),
+    /// The response arrives when the last shard completes.
+    Waiting(Receiver<Result<QueryResponse, SccgError>>),
+}
+
+impl QueryHandle {
+    fn ready(result: Result<QueryResponse, SccgError>) -> Self {
+        QueryHandle {
+            state: HandleState::Ready(result),
+        }
+    }
+
+    fn waiting(rx: Receiver<Result<QueryResponse, SccgError>>) -> Self {
+        QueryHandle {
+            state: HandleState::Waiting(rx),
+        }
+    }
+
+    /// Whether [`QueryHandle::wait`] would return without blocking.
+    pub fn is_ready(&self) -> bool {
+        match &self.state {
+            HandleState::Ready(_) => true,
+            HandleState::Waiting(rx) => !rx.is_empty(),
+        }
+    }
+
+    /// Blocks until the query resolves. Returns [`SccgError::ShutDown`] if
+    /// the service was dropped before the query completed.
+    pub fn wait(self) -> Result<QueryResponse, SccgError> {
+        match self.state {
+            HandleState::Ready(result) => result,
+            HandleState::Waiting(rx) => rx.recv().map_err(|_| SccgError::ShutDown)?,
+        }
+    }
+}
+
+/// A query's resolved inputs, ready to shard.
+struct Prepared {
+    indices: Vec<usize>,
+    first_tiles: Vec<Arc<Vec<PolygonRecord>>>,
+    second_tiles: Vec<Arc<Vec<PolygonRecord>>>,
+    pixelbox: PixelBoxConfig,
+    key: CacheKey,
+}
+
+/// The persistent slide-comparison service. See the [module docs](self).
+pub struct ComparisonService {
+    store: SlideStore,
+    config: ServiceConfig,
+    inner: Arc<ServiceInner>,
+    device: Arc<Device>,
+    controller: Option<Arc<SplitController>>,
+    engine_devices: Vec<AggregationDevice>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ComparisonService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ComparisonService")
+            .field("engines", &self.engine_devices)
+            .field("max_in_flight", &self.config.max_in_flight)
+            .finish()
+    }
+}
+
+impl ComparisonService {
+    /// Starts a service over `store` with the given configuration, spawning
+    /// one worker thread per engine.
+    pub fn new(store: SlideStore, config: ServiceConfig) -> Result<Self, SccgError> {
+        if config.engines.is_empty() {
+            return Err(SccgError::EmptyEnginePool);
+        }
+        let config = ServiceConfig {
+            max_in_flight: config.max_in_flight.max(1),
+            ..config
+        };
+        let device = Arc::new(Device::new(config.gpu.clone()));
+        let controller = config
+            .engines
+            .iter()
+            .any(|e| e.device == AggregationDevice::Hybrid)
+            .then(|| Arc::new(SplitController::new(config.split)));
+        let inner = Arc::new(ServiceInner {
+            queue: JobQueue::new(),
+            admission: Admission::new(config.max_in_flight),
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            counters: Counters {
+                submitted: AtomicU64::new(0),
+                completed: AtomicU64::new(0),
+                cache_hits: AtomicU64::new(0),
+                backend_batches: AtomicU64::new(0),
+                shards_per_engine: (0..config.engines.len())
+                    .map(|_| AtomicU64::new(0))
+                    .collect(),
+            },
+        });
+
+        let mut engine_devices = Vec::with_capacity(config.engines.len());
+        let mut workers = Vec::with_capacity(config.engines.len());
+        for (index, engine_config) in config.engines.iter().cloned().enumerate() {
+            engine_devices.push(engine_config.device);
+            let engine = match (&controller, engine_config.device) {
+                (Some(shared), AggregationDevice::Hybrid) => {
+                    CrossComparison::with_shared_controller(
+                        engine_config,
+                        Arc::clone(&device),
+                        Arc::clone(shared),
+                    )
+                }
+                _ => CrossComparison::with_device(engine_config, Arc::clone(&device)),
+            };
+            let inner = Arc::clone(&inner);
+            workers.push(std::thread::spawn(move || {
+                worker_loop(index, engine, inner)
+            }));
+        }
+
+        Ok(ComparisonService {
+            store,
+            config,
+            inner,
+            device,
+            controller,
+            engine_devices,
+            workers,
+        })
+    }
+
+    /// The slide registry this service answers queries over.
+    pub fn store(&self) -> &SlideStore {
+        &self.store
+    }
+
+    /// The service configuration (with `max_in_flight` normalized).
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The simulated GPU shared by the pool's GPU-touching engines.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// The pooled hybrid split controller, when the pool has hybrid engines.
+    pub fn split_controller(&self) -> Option<&Arc<SplitController>> {
+        self.controller.as_ref()
+    }
+
+    /// Snapshot of the pooled controller's split telemetry, when the pool
+    /// has hybrid engines.
+    pub fn split_trace(&self) -> Option<SplitTrace> {
+        self.controller.as_ref().map(|c| c.trace())
+    }
+
+    /// The pool's engine devices, by pool index.
+    pub fn engine_devices(&self) -> &[AggregationDevice] {
+        &self.engine_devices
+    }
+
+    /// Snapshot of the service's lifetime counters.
+    pub fn stats(&self) -> ServiceStats {
+        let (in_flight, peak_in_flight) = self.inner.admission.snapshot();
+        let counters = &self.inner.counters;
+        ServiceStats {
+            submitted: counters.submitted.load(Ordering::Relaxed),
+            completed: counters.completed.load(Ordering::Relaxed),
+            cache_hits: counters.cache_hits.load(Ordering::Relaxed),
+            backend_batches: counters.backend_batches.load(Ordering::Relaxed),
+            in_flight,
+            peak_in_flight,
+            shards_per_engine: counters
+                .shards_per_engine
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            cache_entries: lock(&self.inner.cache).len(),
+        }
+    }
+
+    /// Submits a query, blocking while the admission bound is reached.
+    /// Returns immediately (without taking an execution slot) for cache hits
+    /// and empty queries.
+    pub fn submit(&self, request: QueryRequest) -> Result<QueryHandle, SccgError> {
+        self.enqueue(request, true)
+    }
+
+    /// Like [`ComparisonService::submit`] but never blocks: fails with
+    /// [`SccgError::Overloaded`] when the admission bound is reached.
+    pub fn try_submit(&self, request: QueryRequest) -> Result<QueryHandle, SccgError> {
+        self.enqueue(request, false)
+    }
+
+    fn enqueue(&self, request: QueryRequest, blocking: bool) -> Result<QueryHandle, SccgError> {
+        let prepared = self.prepare(&request)?;
+        self.inner
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+
+        if let Some(mut cached) = lock(&self.inner.cache).get(&prepared.key) {
+            cached.cache_hit = true;
+            // Echo *this* request's priority (it is not part of the cache
+            // key, and the response reports the request it answered).
+            cached.priority = request.priority;
+            self.inner
+                .counters
+                .cache_hits
+                .fetch_add(1, Ordering::Relaxed);
+            return Ok(QueryHandle::ready(Ok(cached)));
+        }
+
+        if prepared.indices.is_empty() {
+            // Nothing to shard: resolve immediately, without an execution
+            // slot. The guarded similarity of the empty summary is 0.0.
+            let response = QueryResponse {
+                first: request.first,
+                second: request.second,
+                tiles: Vec::new(),
+                summary: JaccardAccumulator::new().summary(),
+                shards: 0,
+                cache_hit: false,
+                priority: request.priority,
+                device: request.device,
+            };
+            return Ok(QueryHandle::ready(Ok(response)));
+        }
+
+        if blocking {
+            self.inner.admission.acquire();
+        } else if let Err(in_flight) = self.inner.admission.try_acquire() {
+            return Err(SccgError::Overloaded {
+                in_flight,
+                bound: self.config.max_in_flight,
+            });
+        }
+
+        let shard_count = prepared.indices.len();
+        let (tx, rx) = bounded(1);
+        let query = Arc::new(QueryState {
+            key: prepared.key,
+            meta: QueryMeta {
+                first: request.first,
+                second: request.second,
+                priority: request.priority,
+                device: request.device,
+            },
+            pixelbox: prepared.pixelbox,
+            partials: Mutex::new((0..shard_count).map(|_| None).collect()),
+            remaining: AtomicUsize::new(shard_count),
+            failure: Mutex::new(None),
+            responder: tx,
+        });
+        let lane = request.priority.lane();
+        for (position, ((tile_index, first), second)) in prepared
+            .indices
+            .into_iter()
+            .zip(prepared.first_tiles)
+            .zip(prepared.second_tiles)
+            .enumerate()
+        {
+            self.inner.queue.push(
+                ShardJob {
+                    query: Arc::clone(&query),
+                    position,
+                    tile_index,
+                    first,
+                    second,
+                    device: request.device,
+                },
+                lane,
+            );
+        }
+        Ok(QueryHandle::waiting(rx))
+    }
+
+    /// Validates a request and snapshots its inputs.
+    fn prepare(&self, request: &QueryRequest) -> Result<Prepared, SccgError> {
+        if let Some(device) = request.device {
+            if !self.engine_devices.contains(&device) {
+                return Err(SccgError::NoEligibleEngine { device });
+            }
+        }
+        let first_count = self.store.tile_count(request.first)?;
+        let second_count = self.store.tile_count(request.second)?;
+        let indices: Vec<usize> = match &request.tiles {
+            TileSelection::WholeSlide => {
+                if first_count != second_count {
+                    return Err(SccgError::TileCountMismatch {
+                        first: first_count,
+                        second: second_count,
+                    });
+                }
+                (0..first_count).collect()
+            }
+            TileSelection::Tiles(list) => {
+                let mut seen = std::collections::HashSet::new();
+                for &index in list {
+                    if !seen.insert(index) {
+                        return Err(SccgError::InvalidRequest {
+                            detail: format!("tile index {index} selected twice"),
+                        });
+                    }
+                }
+                list.clone()
+            }
+        };
+        let first_tiles = self.store.snapshot(request.first, &indices)?;
+        let second_tiles = self.store.snapshot(request.second, &indices)?;
+        let pixelbox = match request.variant {
+            Some(variant) => self.config.pixelbox.with_variant(variant),
+            None => self.config.pixelbox,
+        };
+        let key = CacheKey {
+            first: request.first,
+            second: request.second,
+            tiles: indices.clone(),
+            config: config_fingerprint(&pixelbox),
+            device: request.device,
+        };
+        Ok(Prepared {
+            indices,
+            first_tiles,
+            second_tiles,
+            pixelbox,
+            key,
+        })
+    }
+}
+
+impl Drop for ComparisonService {
+    /// Drains pending shards (admitted queries complete), then stops every
+    /// worker.
+    fn drop(&mut self) {
+        self.inner.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// One engine's worker loop: pull eligible shards, compute, merge, finalize
+/// the query on its last shard.
+///
+/// A panic inside a backend is contained per shard: the query fails with
+/// [`SccgError::Internal`], its admission slot is returned, and the worker
+/// thread survives to serve the next shard — one poisoned input must not
+/// wedge the whole service.
+fn worker_loop(index: usize, engine: CrossComparison, inner: Arc<ServiceInner>) {
+    let worker_device = engine.config().device;
+    let backend_name = engine.backend().name();
+    while let Some(job) = inner.queue.pop(worker_device) {
+        let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.compare_records_with(&job.first, &job.second, &job.query.pixelbox)
+        }));
+
+        match computed {
+            Ok(report) => {
+                // Only successfully computed shards count as backend work
+                // (the cache tests diff these counters).
+                inner
+                    .counters
+                    .backend_batches
+                    .fetch_add(1, Ordering::Relaxed);
+                inner.counters.shards_per_engine[index].fetch_add(1, Ordering::Relaxed);
+                // Rebuild the exact accumulator from the per-pair areas so
+                // merging across shards is bit-identical to a sequential
+                // fold.
+                let mut accumulator = JaccardAccumulator::new();
+                for areas in &report.pair_areas {
+                    accumulator.add_pair(*areas);
+                }
+                let partial = TilePartial {
+                    report: TileReport {
+                        tile: job.tile_index,
+                        engine: index,
+                        backend: backend_name.to_string(),
+                        candidate_pairs: report.candidate_pairs,
+                        summary: report.summary,
+                    },
+                    accumulator,
+                };
+                lock(&job.query.partials)[job.position] = Some(partial);
+            }
+            Err(payload) => {
+                let detail = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "shard computation panicked".to_string());
+                lock(&job.query.failure)
+                    .get_or_insert(format!("tile {}: {detail}", job.tile_index));
+            }
+        }
+        if job.query.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            inner.finalize(&job.query);
+        }
+    }
+}

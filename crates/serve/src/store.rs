@@ -1,0 +1,294 @@
+//! The slide registry: parse once, query many times.
+//!
+//! The paper's workflow (Figure 1) registers each segmentation result as a
+//! table of polygon records before any cross-comparison query runs. The
+//! [`SlideStore`] is that registry: callers hand in parsed (or raw-text)
+//! per-tile polygon records once and get back [`SlideId`]/[`TileId`] handles;
+//! every later [`crate::QueryRequest`] references the handles, so the parse
+//! and validation cost is paid exactly once per slide rather than once per
+//! query.
+
+use parking_lot::Mutex;
+use sccg::SccgError;
+use sccg_geometry::text::{parse_polygon_file, PolygonRecord};
+use serde::Serialize;
+use std::sync::Arc;
+
+/// Handle of a registered slide (one segmentation result: a sequence of
+/// tiles of polygon records).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub struct SlideId(pub(crate) u64);
+
+impl SlideId {
+    /// The raw id value (stable for the lifetime of the store).
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a handle from a raw id value (for example one read back
+    /// from exported telemetry). Only meaningful for the store that
+    /// originally issued it; an unknown id fails lookups with
+    /// [`SccgError::UnknownSlide`] rather than panicking.
+    pub fn from_raw(value: u64) -> Self {
+        SlideId(value)
+    }
+}
+
+/// Handle of one tile within a registered slide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct TileId {
+    /// The slide the tile belongs to.
+    pub slide: SlideId,
+    /// Zero-based tile index within the slide.
+    pub index: usize,
+}
+
+/// Immutable per-slide registry entry.
+struct SlideEntry {
+    name: String,
+    tiles: Vec<Arc<Vec<PolygonRecord>>>,
+}
+
+/// Summary of one registered slide.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct SlideInfo {
+    /// The slide's handle.
+    pub id: SlideId,
+    /// The name it was registered under.
+    pub name: String,
+    /// Number of registered tiles.
+    pub tiles: usize,
+    /// Total polygon records across all tiles.
+    pub polygons: usize,
+}
+
+/// Registry of parsed slide data, shared between callers and a
+/// [`crate::ComparisonService`].
+///
+/// Cheap to clone: clones share the same underlying registry. Tiles are
+/// immutable once registered (appending new tiles is allowed and simply
+/// extends the slide), so queries can snapshot `Arc`s to tile data without
+/// copying polygons.
+#[derive(Clone, Default)]
+pub struct SlideStore {
+    inner: Arc<Mutex<Vec<SlideEntry>>>,
+}
+
+impl std::fmt::Debug for SlideStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let slides = self.inner.lock();
+        f.debug_struct("SlideStore")
+            .field("slides", &slides.len())
+            .finish()
+    }
+}
+
+impl SlideStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        SlideStore::default()
+    }
+
+    /// Registers a slide from already-parsed per-tile polygon records and
+    /// returns its handle.
+    pub fn register_slide(
+        &self,
+        name: impl Into<String>,
+        tiles: Vec<Vec<PolygonRecord>>,
+    ) -> SlideId {
+        let mut slides = self.inner.lock();
+        let id = SlideId(slides.len() as u64);
+        slides.push(SlideEntry {
+            name: name.into(),
+            tiles: tiles.into_iter().map(Arc::new).collect(),
+        });
+        id
+    }
+
+    /// Registers a slide from raw polygon-file texts (one text per tile),
+    /// parsing each tile up front. Unlike the batch pipeline — which skips
+    /// malformed tiles so one bad file cannot abort a whole-slide run — the
+    /// serving route fails registration with [`SccgError::Parse`]: a service
+    /// must not silently serve queries over partially-loaded slides.
+    pub fn register_slide_text(
+        &self,
+        name: impl Into<String>,
+        tile_texts: &[String],
+    ) -> Result<SlideId, SccgError> {
+        let mut tiles = Vec::with_capacity(tile_texts.len());
+        for (index, text) in tile_texts.iter().enumerate() {
+            let records = parse_polygon_file(text).map_err(|e| SccgError::Parse {
+                detail: format!("tile {index}: {e}"),
+            })?;
+            tiles.push(records);
+        }
+        Ok(self.register_slide(name, tiles))
+    }
+
+    /// Appends one tile's records to an existing slide, returning the new
+    /// tile's handle.
+    pub fn append_tile(
+        &self,
+        slide: SlideId,
+        records: Vec<PolygonRecord>,
+    ) -> Result<TileId, SccgError> {
+        let mut slides = self.inner.lock();
+        let entry = slides
+            .get_mut(slide.0 as usize)
+            .ok_or(SccgError::UnknownSlide { slide: slide.0 })?;
+        entry.tiles.push(Arc::new(records));
+        Ok(TileId {
+            slide,
+            index: entry.tiles.len() - 1,
+        })
+    }
+
+    /// Number of registered slides.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the store has no slides.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Summary of a registered slide.
+    pub fn slide(&self, slide: SlideId) -> Result<SlideInfo, SccgError> {
+        let slides = self.inner.lock();
+        let entry = slides
+            .get(slide.0 as usize)
+            .ok_or(SccgError::UnknownSlide { slide: slide.0 })?;
+        Ok(SlideInfo {
+            id: slide,
+            name: entry.name.clone(),
+            tiles: entry.tiles.len(),
+            polygons: entry.tiles.iter().map(|t| t.len()).sum(),
+        })
+    }
+
+    /// Number of tiles a slide currently has.
+    pub fn tile_count(&self, slide: SlideId) -> Result<usize, SccgError> {
+        Ok(self.slide(slide)?.tiles)
+    }
+
+    /// Snapshots the records of one tile (shared, no copy).
+    pub fn tile(&self, tile: TileId) -> Result<Arc<Vec<PolygonRecord>>, SccgError> {
+        let slides = self.inner.lock();
+        let entry = slides
+            .get(tile.slide.0 as usize)
+            .ok_or(SccgError::UnknownSlide {
+                slide: tile.slide.0,
+            })?;
+        entry
+            .tiles
+            .get(tile.index)
+            .cloned()
+            .ok_or(SccgError::UnknownTile {
+                slide: tile.slide.0,
+                tile: tile.index,
+                tiles: entry.tiles.len(),
+            })
+    }
+
+    /// Snapshots the tiles of `slide` at the given indices (shared `Arc`s,
+    /// no polygon copies), validating every index.
+    pub(crate) fn snapshot(
+        &self,
+        slide: SlideId,
+        indices: &[usize],
+    ) -> Result<Vec<Arc<Vec<PolygonRecord>>>, SccgError> {
+        let slides = self.inner.lock();
+        let entry = slides
+            .get(slide.0 as usize)
+            .ok_or(SccgError::UnknownSlide { slide: slide.0 })?;
+        indices
+            .iter()
+            .map(|&index| {
+                entry
+                    .tiles
+                    .get(index)
+                    .cloned()
+                    .ok_or(SccgError::UnknownTile {
+                        slide: slide.0,
+                        tile: index,
+                        tiles: entry.tiles.len(),
+                    })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> PolygonRecord {
+        parse_polygon_file("0 4 0 0 10 0 10 10 0 10")
+            .unwrap()
+            .remove(0)
+    }
+
+    #[test]
+    fn register_and_inspect_slides() {
+        let store = SlideStore::new();
+        assert!(store.is_empty());
+        let id = store.register_slide("algo-a", vec![vec![record()], vec![]]);
+        assert_eq!(store.len(), 1);
+        let info = store.slide(id).unwrap();
+        assert_eq!(info.name, "algo-a");
+        assert_eq!(info.tiles, 2);
+        assert_eq!(info.polygons, 1);
+        assert_eq!(store.tile_count(id).unwrap(), 2);
+    }
+
+    #[test]
+    fn append_tile_extends_a_slide() {
+        let store = SlideStore::new();
+        let id = store.register_slide("s", vec![]);
+        let tile = store.append_tile(id, vec![record()]).unwrap();
+        assert_eq!(tile.index, 0);
+        assert_eq!(store.tile(tile).unwrap().len(), 1);
+        assert_eq!(store.tile_count(id).unwrap(), 1);
+    }
+
+    #[test]
+    fn unknown_handles_are_errors_not_panics() {
+        let store = SlideStore::new();
+        let missing = SlideId(42);
+        assert_eq!(
+            store.slide(missing),
+            Err(SccgError::UnknownSlide { slide: 42 })
+        );
+        let id = store.register_slide("s", vec![vec![record()]]);
+        let bad_tile = TileId {
+            slide: id,
+            index: 5,
+        };
+        assert_eq!(
+            store.tile(bad_tile),
+            Err(SccgError::UnknownTile {
+                slide: id.0,
+                tile: 5,
+                tiles: 1
+            })
+        );
+        assert!(store.append_tile(missing, Vec::new()).is_err());
+    }
+
+    #[test]
+    fn text_registration_fails_on_malformed_tiles() {
+        let store = SlideStore::new();
+        let good = "0 4 0 0 10 0 10 10 0 10".to_string();
+        let id = store
+            .register_slide_text("parsed", std::slice::from_ref(&good))
+            .unwrap();
+        assert_eq!(store.tile_count(id).unwrap(), 1);
+        let err = store
+            .register_slide_text("broken", &[good, "not a polygon".to_string()])
+            .unwrap_err();
+        assert!(matches!(err, SccgError::Parse { .. }), "{err:?}");
+        // The failed registration left no partial slide behind.
+        assert_eq!(store.len(), 1);
+    }
+}

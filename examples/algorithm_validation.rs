@@ -39,12 +39,12 @@ fn main() {
         .map(ParseTask::from_tile_pair)
         .collect();
 
-    let pipeline = Pipeline::new(PipelineConfig {
-        parser_workers: 2,
-        buffer_capacity: 4,
-        enable_migration: true,
-        ..PipelineConfig::default()
-    });
+    let pipeline = Pipeline::new(
+        PipelineConfig::default()
+            .with_parser_workers(2)
+            .with_buffer_capacity(4)
+            .with_migration(true),
+    );
     let report = pipeline.run(tasks);
 
     println!("tiles processed:          {}", report.tiles);

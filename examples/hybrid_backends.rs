@@ -35,12 +35,12 @@ fn main() {
             SplitPolicy::Adaptive,
         ),
     ] {
-        let engine = CrossComparison::new(EngineConfig {
-            device,
-            hybrid_gpu_fraction: 0.5,
-            split_policy,
-            ..EngineConfig::default()
-        });
+        let engine = CrossComparison::new(
+            EngineConfig::default()
+                .with_device(device)
+                .with_hybrid_gpu_fraction(0.5)
+                .with_split_policy(split_policy),
+        );
         let report = engine.compare_records(&tile.first, &tile.second);
         println!(
             "{:<17} {:<16} {:.6}  {:>5}   {}",
@@ -70,10 +70,8 @@ fn main() {
     // The adaptive controller at work: repeated batches through one engine,
     // each steering the next batch's GPU fraction toward the split where
     // both substrates finish simultaneously.
-    let engine = CrossComparison::new(EngineConfig {
-        device: AggregationDevice::Hybrid,
-        ..EngineConfig::default()
-    });
+    let engine =
+        CrossComparison::new(EngineConfig::default().with_device(AggregationDevice::Hybrid));
     let reference = engine.compare_records(&tile.first, &tile.second);
     for _ in 0..7 {
         let report = engine.compare_records(&tile.first, &tile.second);

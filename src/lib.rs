@@ -6,6 +6,8 @@
 //!
 //! * [`sccg`] — PixelBox, the pipelined framework, task migration and the
 //!   high-level [`sccg::CrossComparison`] API (the paper's contribution).
+//! * [`sccg_serve`] — the slide-serving query API: [`sccg_serve::SlideStore`]
+//!   and [`sccg_serve::ComparisonService`] over a pooled engine fleet.
 //! * [`sccg_geometry`] — rectilinear polygon geometry.
 //! * [`sccg_rtree`] — Hilbert R-tree index and MBR join.
 //! * [`sccg_clip`] — exact overlay (the GEOS stand-in) and Monte-Carlo baseline.
@@ -22,3 +24,15 @@ pub use sccg_geometry;
 pub use sccg_gpu_sim;
 pub use sccg_rtree;
 pub use sccg_sdbms;
+pub use sccg_serve;
+
+/// One-stop prelude over the whole stack: the core engine/pipeline API
+/// (`sccg::prelude`) plus the serving layer (`sccg_serve::prelude`).
+///
+/// The serving crate sits *on top of* the core crate, so it cannot be
+/// re-exported from `sccg::prelude` itself without a dependency cycle; the
+/// umbrella crate is where the two meet.
+pub mod prelude {
+    pub use sccg::prelude::*;
+    pub use sccg_serve::prelude::*;
+}

@@ -5,8 +5,8 @@
 
 use sccg::jaccard::JaccardAccumulator;
 use sccg::pipeline::{ParseTask, Pipeline, PipelineConfig};
-use sccg::prelude::*;
 use sccg_datagen::{generate_dataset, generate_tile_pair, DatasetSpec, TileSpec};
+use sccg_repro::prelude::*;
 use sccg_sdbms::{execute_cross_comparison, execute_parallel, PolygonTable, QueryPlan};
 
 fn test_tile() -> sccg_datagen::TilePair {
@@ -33,17 +33,12 @@ fn sdbms_engine_and_pipeline_agree_on_similarity() {
     let gpu_report = engine.compare_records(&tile.first, &tile.second);
 
     // Path 3: the library engine with PixelBox-CPU.
-    let cpu_engine = CrossComparison::new(EngineConfig {
-        device: AggregationDevice::Cpu,
-        ..EngineConfig::default()
-    });
+    let cpu_engine =
+        CrossComparison::new(EngineConfig::default().with_device(AggregationDevice::Cpu));
     let cpu_report = cpu_engine.compare_records(&tile.first, &tile.second);
 
     // Path 4: the full pipelined framework from text files.
-    let pipeline = Pipeline::new(PipelineConfig {
-        enable_migration: true,
-        ..PipelineConfig::default()
-    });
+    let pipeline = Pipeline::new(PipelineConfig::default().with_migration(true));
     let pipeline_report = pipeline.run(vec![ParseTask::from_tile_pair(&tile)]);
 
     assert_eq!(sdbms.candidate_pairs as usize, gpu_report.candidate_pairs);
@@ -71,11 +66,11 @@ fn cpu_gpu_and_both_hybrid_modes_agree_bit_for_bit_end_to_end() {
     ]
     .into_iter()
     .map(|(device, split_policy)| {
-        let engine = CrossComparison::new(EngineConfig {
-            device,
-            split_policy,
-            ..EngineConfig::default()
-        });
+        let engine = CrossComparison::new(
+            EngineConfig::default()
+                .with_device(device)
+                .with_split_policy(split_policy),
+        );
         // Several comparisons so the adaptive controller actually moves; the
         // returned report is the last one.
         engine.compare_records(&tile.first, &tile.second);
@@ -118,20 +113,20 @@ fn adaptive_pipeline_traces_its_splits_and_matches_static_results() {
             .map(ParseTask::from_tile_pair)
             .collect()
     };
-    let adaptive = Pipeline::new(PipelineConfig {
-        device: AggregationDevice::Hybrid,
-        aggregator_batch: 2,
-        enable_migration: false,
-        ..PipelineConfig::default()
-    })
+    let adaptive = Pipeline::new(
+        PipelineConfig::default()
+            .with_device(AggregationDevice::Hybrid)
+            .with_aggregator_batch(2)
+            .with_migration(false),
+    )
     .run(tasks());
-    let pinned = Pipeline::new(PipelineConfig {
-        device: AggregationDevice::Hybrid,
-        aggregator_batch: 2,
-        enable_migration: false,
-        split_policy: SplitPolicy::Static,
-        ..PipelineConfig::default()
-    })
+    let pinned = Pipeline::new(
+        PipelineConfig::default()
+            .with_device(AggregationDevice::Hybrid)
+            .with_aggregator_batch(2)
+            .with_migration(false)
+            .with_split_policy(SplitPolicy::Static),
+    )
     .run(tasks());
     assert!((adaptive.similarity() - pinned.similarity()).abs() < 1e-12);
     assert_eq!(
@@ -202,6 +197,74 @@ fn pixelbox_matches_exact_overlay_per_pair_on_a_dataset() {
         }
         assert_eq!(report.summary, acc.summary());
     }
+}
+
+#[test]
+fn serving_layer_agrees_with_engine_pipeline_and_sdbms() {
+    // The fifth computation path: the persistent serving layer. A
+    // whole-slide query through a mixed-device ComparisonService must
+    // produce the same similarity as the one-shot engine, the pipelined
+    // framework and the SDBMS on the same tiles.
+    let dataset = generate_dataset(&DatasetSpec {
+        name: "serving-e2e".into(),
+        tiles: 5,
+        polygons_per_tile: 60,
+        tile_size: 512,
+        seed: 321,
+        nucleus_radius: 6,
+    });
+
+    // Reference: the one-shot engine, tile by tile.
+    let engine = CrossComparison::new(EngineConfig::default());
+    let mut acc = JaccardAccumulator::new();
+    for tile in &dataset.tiles {
+        let report = engine.compare_records(&tile.first, &tile.second);
+        let mut tile_acc = JaccardAccumulator::new();
+        for areas in &report.pair_areas {
+            tile_acc.add_pair(*areas);
+        }
+        acc.merge(&tile_acc);
+    }
+    let expected = acc.summary();
+
+    // The pipelined framework from serialized text.
+    let pipeline_report = Pipeline::new(PipelineConfig::default()).run(
+        dataset
+            .tiles
+            .iter()
+            .map(ParseTask::from_tile_pair)
+            .collect(),
+    );
+    assert!((pipeline_report.similarity() - expected.similarity).abs() < 1e-12);
+
+    // The serving layer, registered once and queried.
+    let store = SlideStore::new();
+    let first = store.register_slide(
+        "result-a",
+        dataset.tiles.iter().map(|t| t.first.clone()).collect(),
+    );
+    let second = store.register_slide(
+        "result-b",
+        dataset.tiles.iter().map(|t| t.second.clone()).collect(),
+    );
+    let service = ComparisonService::new(store, ServiceConfig::default()).expect("service");
+    let response = service
+        .submit(QueryRequest::new(first, second))
+        .expect("submit")
+        .wait()
+        .expect("resolve");
+    // Sharded, merged in tile order: bit-identical to the reference fold.
+    assert_eq!(response.summary, expected);
+    assert_eq!(response.shards, dataset.tiles.len());
+
+    // And a resubmission is answered from the cache with the same result.
+    let cached = service
+        .submit(QueryRequest::new(first, second))
+        .expect("resubmit")
+        .wait()
+        .expect("cached resolve");
+    assert!(cached.cache_hit);
+    assert_eq!(cached.summary, expected);
 }
 
 #[test]

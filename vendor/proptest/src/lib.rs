@@ -2,7 +2,8 @@
 //! workspace's property tests:
 //!
 //! * integer-range, tuple and `prop::collection::vec` strategies,
-//! * [`Strategy::prop_map`] and [`Strategy::prop_flat_map`],
+//! * [`strategy::Strategy::prop_map`] and
+//!   [`strategy::Strategy::prop_flat_map`],
 //! * the [`proptest!`] test macro with `#![proptest_config(...)]`,
 //! * [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assert_ne!`].
 //!
@@ -229,7 +230,8 @@ pub mod collection {
     use super::strategy::Strategy;
     use super::TestRng;
 
-    /// Size specification for [`vec`]: a fixed length or a half-open range.
+    /// Size specification for [`vec()`]: a fixed length or a half-open
+    /// range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,
