@@ -29,6 +29,19 @@ fn bench(c: &mut Criterion) {
             Pipeline::new(PipelineConfig::default().with_migration(true)).run(tasks.clone())
         })
     });
+    // The streaming entry point with a deliberately tiny buffer: same
+    // answer, O(buffer) resident tiles — measures the backpressure overhead
+    // of the event-driven executor against the batch runs above.
+    group.bench_function("pipelined_streaming_capacity_2", |bench| {
+        bench.iter(|| {
+            Pipeline::new(
+                PipelineConfig::default()
+                    .with_migration(true)
+                    .with_buffer_capacity(2),
+            )
+            .run_streaming(tasks.iter().cloned())
+        })
+    });
     // The hybrid aggregator, with the split pinned at the seed vs steered by
     // the adaptive controller (the AggregationDevice::Hybrid default).
     for (label, split_policy) in [

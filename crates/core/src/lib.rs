@@ -12,10 +12,13 @@
 //!   (`PixelBox-CPU`) and the degenerate variants used in the evaluation
 //!   (`PixelOnly`, `PixelBox-NoSep`).
 //! * **A pipelined execution framework** ([`pipeline`]) — parser → builder →
-//!   filter → aggregator stages connected by bounded buffers, plus the
-//!   dynamic task-migration mechanism that balances work between CPUs and
-//!   GPUs, and a deterministic performance model used to regenerate the
-//!   paper's system-level experiments (Table 1, Figures 11 and 12).
+//!   filter → aggregator stages run as tasks on a hand-rolled event-driven
+//!   executor ([`pipeline::exec`]) and connected by bounded async buffers,
+//!   so arbitrarily long tile streams execute under O(buffer) memory
+//!   ([`pipeline::Pipeline::run_streaming`]); plus the dynamic
+//!   task-migration mechanism that balances work between CPUs and GPUs, and
+//!   a deterministic performance model used to regenerate the paper's
+//!   system-level experiments (Table 1, Figures 11 and 12).
 //! * **Jaccard aggregation** ([`jaccard`]) — the `J'` similarity metric of
 //!   Formula 1.
 //!

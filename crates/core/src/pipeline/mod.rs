@@ -1,47 +1,65 @@
 //! The pipelined cross-comparing framework with dynamic task migration
-//! (paper §4, Figure 6).
+//! (paper §4, Figure 6), executed as an **event-driven streaming pipeline**.
 //!
 //! The workflow from raw polygon text files to the final similarity score
-//! runs as four stages connected by bounded buffers:
+//! runs as four stages connected by *bounded* buffers:
 //!
-//! 1. **Parser** — multiple CPU worker threads turn polygon text files into
-//!    binary polygon records.
-//! 2. **Builder** — a single thread bulk-loads a Hilbert R-tree over each
+//! 1. **Parser** — multiple parser tasks turn polygon text files into binary
+//!    polygon records.
+//! 2. **Builder** — a single task bulk-loads a Hilbert R-tree over each
 //!    tile's second polygon set.
-//! 3. **Filter** — a single thread probes the index with the first polygon
+//! 3. **Filter** — a single task probes the index with the first polygon
 //!    set, emitting the array of MBR-intersecting pairs.
-//! 4. **Aggregator** — a single thread owns the (simulated) GPU, batches
+//! 4. **Aggregator** — a single task owns the (simulated) GPU, batches
 //!    filtered tasks and runs the PixelBox kernel, folding the per-pair
 //!    ratios into the Jaccard similarity.
 //!
-//! Tasks are defined at image-tile granularity, matching the segmentation
-//! procedure (§4.1). Two *migration threads* watch the aggregator's input
-//! buffer: when it fills up (GPU congested) they pull aggregation tasks out
-//! and run PixelBox-CPU on them; when it runs empty (GPU idle) they pull
-//! parse tasks forward and run them through the GPU parser path (§4.2).
+//! # Execution model
 //!
-//! The threaded pipeline here is functionally real — every result is computed
-//! by the actual stages. Because wall-clock overlap cannot be observed on a
-//! single-core host, the *performance* of the different execution schemes is
-//! reproduced by the deterministic model in [`model`], fed by the same
-//! per-tile statistics.
+//! Every stage is a future spawned on a small hand-rolled task executor
+//! ([`exec`]); the stages communicate through bounded async channels whose
+//! `send` suspends (without occupying a thread) while the downstream buffer
+//! is full. Backpressure therefore propagates all the way to the input:
+//! [`Pipeline::run_streaming`] pulls tasks from the caller's iterator *only
+//! as buffer space frees up*, so a dataset of any length streams through
+//! with **O(buffer capacity) tiles resident**, never O(dataset). The
+//! observed high-water mark is reported as
+//! [`PipelineReport::peak_in_flight_tiles`].
+//!
+//! Tasks are defined at image-tile granularity, matching the segmentation
+//! procedure (§4.1). The two *migration heuristics* of §4.2 are event-driven
+//! reactions to queue-depth changes of the aggregator's input buffer
+//! (subscribed via [`exec::Receiver::register_watch`], replacing the former
+//! sleep-polling threads): when the buffer fills up (GPU congested), a
+//! migration task pulls aggregation work out and runs PixelBox-CPU on it;
+//! when it runs empty (GPU idle), another migration task pulls parse tasks
+//! forward through the GPU parser path.
+//!
+//! The streaming pipeline here is functionally real — every result is
+//! computed by the actual stages. Because wall-clock overlap cannot be
+//! observed on a single-core host, the *performance* of the different
+//! execution schemes is reproduced by the deterministic model in [`model`],
+//! fed by the same per-tile statistics.
 
+pub mod exec;
 pub mod model;
 
 use crate::jaccard::{JaccardAccumulator, JaccardSummary};
 use crate::pixelbox::{
     AggregationDevice, ComputeBackend, CpuBackend, PixelBoxConfig, PolygonPair, SplitConfig,
-    SplitPolicy,
+    SplitController, SplitPolicy,
 };
-use crossbeam::channel::{bounded, unbounded, TryRecvError};
 use parking_lot::Mutex;
 use sccg_datagen::TilePair;
 use sccg_geometry::text::{parse_polygon_file, PolygonRecord};
 use sccg_geometry::Rect;
 use sccg_gpu_sim::{Device, DeviceConfig};
 use sccg_rtree::HilbertRTree;
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::task::{Context, Poll};
 use std::time::Instant;
 
 /// Configuration of the pipelined framework.
@@ -52,13 +70,15 @@ use std::time::Instant;
 #[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct PipelineConfig {
-    /// Number of parser worker threads.
+    /// Number of parser worker tasks.
     pub parser_workers: usize,
-    /// Capacity of each inter-stage buffer, in tasks.
+    /// Capacity of each inter-stage buffer — including the input buffer —
+    /// in tasks. This bounds the pipeline's peak memory: see
+    /// [`PipelineReport::peak_in_flight_tiles`].
     pub buffer_capacity: usize,
     /// PixelBox parameters used by the aggregator.
     pub pixelbox: PixelBoxConfig,
-    /// Whether the dynamic task-migration threads run.
+    /// Whether the dynamic task-migration tasks run.
     pub enable_migration: bool,
     /// Simulated GPU the aggregator owns.
     pub gpu: DeviceConfig,
@@ -213,11 +233,11 @@ struct FilteredTile {
 pub struct StageSeconds {
     /// Parser workers (CPU).
     pub parse: f64,
-    /// Builder thread.
+    /// Builder task.
     pub build: f64,
-    /// Filter thread.
+    /// Filter task.
     pub filter: f64,
-    /// Aggregator host thread (including the functional half of the simulated
+    /// Aggregator host time (including the functional half of the simulated
     /// kernel execution).
     pub aggregate_host: f64,
     /// Simulated GPU busy time (kernels + transfers).
@@ -239,6 +259,16 @@ pub struct PipelineReport {
     pub migrated_to_cpu: u64,
     /// Parse tasks migrated from CPU workers to the GPU parser path.
     pub migrated_to_gpu: u64,
+    /// High-water mark of tiles resident in the pipeline at once: admitted
+    /// from the input iterator but not yet folded by the aggregator. Bounded
+    /// by the buffers, not the dataset: at most `4 × buffer_capacity` (the
+    /// four inter-stage buffers) plus one tile in the hands of the feeder
+    /// and of each stage task (`parser_workers + 4`, plus 2 with migration
+    /// enabled) plus the aggregator's in-progress batch
+    /// (`aggregator_batch − 1`) and, with migration, one CPU-migration
+    /// quantum (`buffer_capacity − 1`). See
+    /// [`PipelineReport::in_flight_bound`].
+    pub peak_in_flight_tiles: usize,
     /// Per-stage busy times.
     pub stage_seconds: StageSeconds,
     /// Per-batch hybrid split decisions, when the aggregator dispatched to
@@ -254,9 +284,27 @@ impl PipelineReport {
     pub fn similarity(&self) -> f64 {
         self.summary.similarity_or_zero()
     }
+
+    /// The analytic bound on [`PipelineReport::peak_in_flight_tiles`] for a
+    /// configuration — what the bounded-memory regression test asserts
+    /// against. O(buffer capacity), independent of the dataset length.
+    pub fn in_flight_bound(config: &PipelineConfig) -> usize {
+        let capacity = config.buffer_capacity.max(1);
+        // One tile in the feeder's hand (pulled from the iterator, awaiting
+        // buffer space) plus one in each stage task's hands.
+        let hands =
+            1 + config.parser_workers.max(1) + 3 + if config.enable_migration { 2 } else { 0 };
+        let batching = config.aggregator_batch.max(1) - 1;
+        let migration_quantum = if config.enable_migration {
+            capacity - 1
+        } else {
+            0
+        };
+        4 * capacity + hands + batching + migration_quantum
+    }
 }
 
-/// Target busy time of one CPU migration batch. The migration thread pulls
+/// Target busy time of one CPU migration batch. The migration task pulls
 /// congested aggregation tasks until their estimated single-worker compute
 /// time (from the split controller's observed CPU rate) fills this slice, so
 /// each migration amortizes the steal overhead without holding work hostage
@@ -274,6 +322,10 @@ struct SharedState {
     accumulator: Mutex<JaccardAccumulator>,
     candidate_pairs: AtomicU64,
     tiles_done: AtomicU64,
+    /// Tasks pulled from the input iterator so far.
+    admitted: AtomicU64,
+    /// High-water mark of `admitted − tiles_done`.
+    peak_in_flight: AtomicU64,
     migrated_to_cpu: AtomicU64,
     migrated_to_gpu: AtomicU64,
     parse_nanos: AtomicU64,
@@ -289,6 +341,8 @@ impl SharedState {
             accumulator: Mutex::new(JaccardAccumulator::new()),
             candidate_pairs: AtomicU64::new(0),
             tiles_done: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            peak_in_flight: AtomicU64::new(0),
             migrated_to_cpu: AtomicU64::new(0),
             migrated_to_gpu: AtomicU64::new(0),
             parse_nanos: AtomicU64::new(0),
@@ -303,6 +357,18 @@ impl SharedState {
         counter.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 
+    /// Accounts one task pulled from the input iterator and samples the
+    /// in-flight high-water mark. The sample conservatively over-counts (a
+    /// tile may finish between the two loads), so the recorded peak is an
+    /// upper bound on the true peak — exactly what a memory-bound assertion
+    /// wants.
+    fn record_admitted(&self) {
+        let admitted = self.admitted.fetch_add(1, Ordering::Relaxed) + 1;
+        let done = self.tiles_done.load(Ordering::Relaxed);
+        self.peak_in_flight
+            .fetch_max(admitted.saturating_sub(done), Ordering::Relaxed);
+    }
+
     /// Folds one aggregated batch into the shared accumulator and counters.
     fn fold_batch(&self, areas: &[crate::pixelbox::PairAreas], tiles: u64) {
         let mut acc = JaccardAccumulator::new();
@@ -313,6 +379,64 @@ impl SharedState {
         self.candidate_pairs
             .fetch_add(areas.len() as u64, Ordering::Relaxed);
         self.tiles_done.fetch_add(tiles, Ordering::Relaxed);
+    }
+}
+
+/// Steals a parse task for the GPU parser path once the aggregator's input
+/// buffer runs empty (GPU idleness indication, §4.2). Resolves to `None`
+/// when the input is exhausted. Event-driven: between relevant queue-depth
+/// changes the migration task is suspended, occupying no thread — the
+/// replacement for the former 100 µs sleep-poll loop.
+struct ParseSteal<'a> {
+    parse: &'a exec::Receiver<ParseTask>,
+    agg_probe: &'a exec::Receiver<FilteredTile>,
+}
+
+impl Future for ParseSteal<'_> {
+    type Output = Option<ParseTask>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // Subscribe before checking: any depth change after this point
+        // re-polls us, so the checks below cannot miss an event.
+        self.parse.register_watch(cx.waker());
+        self.agg_probe.register_watch(cx.waker());
+        if self.agg_probe.is_empty() {
+            match self.parse.try_recv() {
+                Ok(task) => Poll::Ready(Some(task)),
+                Err(exec::TryRecvError::Disconnected) => Poll::Ready(None),
+                Err(exec::TryRecvError::Empty) => Poll::Pending,
+            }
+        } else if self.parse.is_finished() {
+            Poll::Ready(None)
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+/// Steals an aggregation task for PixelBox-CPU once the aggregator's input
+/// buffer has filled up (GPU congestion indication, §4.2). Resolves to
+/// `None` when the buffer is drained and disconnected.
+struct CongestedSteal<'a> {
+    agg: &'a exec::Receiver<FilteredTile>,
+    capacity: usize,
+}
+
+impl Future for CongestedSteal<'_> {
+    type Output = Option<FilteredTile>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        self.agg.register_watch(cx.waker());
+        if self.agg.len() >= self.capacity {
+            if let Ok(task) = self.agg.try_recv() {
+                return Poll::Ready(Some(task));
+            }
+        }
+        if self.agg.is_finished() {
+            Poll::Ready(None)
+        } else {
+            Poll::Pending
+        }
     }
 }
 
@@ -333,15 +457,30 @@ impl Pipeline {
         &self.device
     }
 
-    /// Runs the full workflow over a set of parse tasks and returns the
-    /// similarity report.
+    /// Runs the full workflow over a pre-materialized set of parse tasks.
+    /// Equivalent to [`Pipeline::run_streaming`] over the vector's iterator;
+    /// prefer `run_streaming` when tasks can be produced lazily, so the
+    /// whole task list never has to exist in memory at once.
     pub fn run(&self, tasks: Vec<ParseTask>) -> PipelineReport {
-        let submitted = tasks.len();
+        self.run_streaming(tasks.into_iter())
+    }
+
+    /// Runs the full workflow over a *stream* of parse tasks and returns the
+    /// similarity report.
+    ///
+    /// The iterator is advanced from the calling thread, and only as buffer
+    /// space frees up: when every bounded stage buffer is full, the next
+    /// `next()` call is deferred until the aggregator drains a tile. Peak
+    /// resident tiles are therefore O([`PipelineConfig::buffer_capacity`])
+    /// regardless of how many tasks the iterator yields (asserted by the
+    /// bounded-memory regression test; observed value in
+    /// [`PipelineReport::peak_in_flight_tiles`]).
+    pub fn run_streaming(&self, tasks: impl Iterator<Item = ParseTask>) -> PipelineReport {
         let shared = Arc::new(SharedState::new());
         let gpu_busy_before = self.device.stats().busy_seconds;
 
         // The aggregator's backend (and, for the hybrid substrate, its split
-        // controller) exists before any thread starts: the migration thread
+        // controller) exists before any task starts: the migration task
         // consults the controller's observed rates while the aggregator
         // feeds it per-batch timings.
         let (backend, split_controller) = self.config.device.backend_with_controller(
@@ -351,234 +490,215 @@ impl Pipeline {
         );
 
         let capacity = self.config.buffer_capacity.max(1);
-        let (parse_tx, parse_rx) = unbounded::<ParseTask>();
-        let (build_tx, build_rx) = bounded::<ParsedTile>(capacity);
-        let (filter_tx, filter_rx) = bounded::<IndexedTile>(capacity);
-        let (agg_tx, agg_rx) = bounded::<FilteredTile>(capacity);
+        let (parse_tx, parse_rx) = exec::channel::<ParseTask>(capacity);
+        let (build_tx, build_rx) = exec::channel::<ParsedTile>(capacity);
+        let (filter_tx, filter_rx) = exec::channel::<IndexedTile>(capacity);
+        let (agg_tx, agg_rx) = exec::channel::<FilteredTile>(capacity);
 
-        for task in tasks {
-            parse_tx.send(task).expect("input channel open");
-        }
-        drop(parse_tx); // Parser workers drain until disconnected.
+        // Worker threads bound compute parallelism; suspended tasks occupy
+        // none of them. One per parser plus builder/filter/aggregator, plus
+        // the two migration tasks' compute.
+        let parser_workers = self.config.parser_workers.max(1);
+        let threads = parser_workers + 3 + if self.config.enable_migration { 2 } else { 0 };
+        let executor = exec::Executor::new(threads);
 
-        std::thread::scope(|scope| {
-            // --- Parser workers -------------------------------------------
-            for _ in 0..self.config.parser_workers.max(1) {
-                let parse_rx = parse_rx.clone();
-                let build_tx = build_tx.clone();
-                let shared = Arc::clone(&shared);
-                scope.spawn(move || {
-                    while let Ok(task) = parse_rx.recv() {
-                        let started = Instant::now();
-                        let parsed = parse_task(&task);
-                        SharedState::add_nanos(&shared.parse_nanos, started);
-                        if build_tx.send(parsed).is_err() {
-                            break;
-                        }
-                    }
-                });
-            }
-
-            // --- Migration thread: parse tasks onto the idle GPU -----------
-            if self.config.enable_migration {
-                let parse_rx = parse_rx.clone();
-                let build_tx = build_tx.clone();
-                let agg_probe = agg_rx.clone();
-                let shared = Arc::clone(&shared);
-                let device = Arc::clone(&self.device);
-                scope.spawn(move || loop {
-                    // GPU idleness indication: the aggregator's input buffer
-                    // is empty (§4.2). Only then does GPU-Parser take work.
-                    if agg_probe.is_empty() {
-                        match parse_rx.try_recv() {
-                            Ok(task) => {
-                                let bytes = (task.first_text.len() + task.second_text.len()) as u64;
-                                // The GPU parser produces the same records;
-                                // bill the transfer of the raw text to the
-                                // device to account for its use.
-                                device.transfer(bytes);
-                                let parsed = parse_task(&task);
-                                shared.migrated_to_gpu.fetch_add(1, Ordering::Relaxed);
-                                if build_tx.send(parsed).is_err() {
-                                    break;
-                                }
-                            }
-                            Err(TryRecvError::Disconnected) => break,
-                            Err(TryRecvError::Empty) => {
-                                std::thread::sleep(std::time::Duration::from_micros(100));
-                            }
-                        }
-                    } else {
-                        // Input fully drained and disconnected?
-                        if parse_rx.is_empty() {
-                            if let Err(TryRecvError::Disconnected) = parse_rx.try_recv() {
-                                break;
-                            }
-                        }
-                        std::thread::sleep(std::time::Duration::from_micros(100));
-                    }
-                });
-            }
-            drop(parse_rx);
-            drop(build_tx);
-
-            // --- Builder ----------------------------------------------------
-            {
-                let filter_tx = filter_tx.clone();
-                let shared = Arc::clone(&shared);
-                scope.spawn(move || {
-                    while let Ok(parsed) = build_rx.recv() {
-                        let started = Instant::now();
-                        let index = HilbertRTree::bulk_load(
-                            parsed
-                                .second
-                                .iter()
-                                .enumerate()
-                                .map(|(j, r)| (r.polygon.mbr(), j as u32))
-                                .collect(),
-                        );
-                        let tile = IndexedTile {
-                            first: parsed.first,
-                            second: parsed.second,
-                            index,
-                        };
-                        SharedState::add_nanos(&shared.build_nanos, started);
-                        if filter_tx.send(tile).is_err() {
-                            break;
-                        }
-                    }
-                });
-            }
-            drop(filter_tx);
-
-            // --- Filter -----------------------------------------------------
-            {
-                let agg_tx = agg_tx.clone();
-                let shared = Arc::clone(&shared);
-                scope.spawn(move || {
-                    while let Ok(tile) = filter_rx.recv() {
-                        let started = Instant::now();
-                        let mut pairs = Vec::new();
-                        for record in &tile.first {
-                            let mbr: Rect = record.polygon.mbr();
-                            tile.index.search(&mbr, |_, &j| {
-                                pairs.push(PolygonPair::new(
-                                    record.polygon.clone(),
-                                    tile.second[j as usize].polygon.clone(),
-                                ));
-                            });
-                        }
-                        SharedState::add_nanos(&shared.filter_nanos, started);
-                        if agg_tx.send(FilteredTile { pairs }).is_err() {
-                            break;
-                        }
-                    }
-                });
-            }
-            drop(agg_tx);
-
-            // --- Migration thread: aggregation tasks onto the CPU ----------
-            if self.config.enable_migration {
-                let agg_rx = agg_rx.clone();
-                let shared = Arc::clone(&shared);
-                let pixelbox = self.config.pixelbox;
-                let controller = split_controller.clone();
-                scope.spawn(move || {
-                    // The migration target is always a single-worker CPU
-                    // backend: the thread itself is the extra core (§4.2).
-                    let migration_backend = CpuBackend::new(1);
-                    loop {
-                        // GPU congestion indication: the aggregator's input
-                        // buffer has filled up (§4.2). When idle, probe only
-                        // for disconnection — but a task stolen by the probe
-                        // race must still be computed, never dropped.
-                        let congested = agg_rx.len() >= capacity;
-                        if congested || agg_rx.is_empty() {
-                            match agg_rx.try_recv() {
-                                Ok(task) => {
-                                    let started = Instant::now();
-                                    let mut pairs = task.pairs;
-                                    let mut tiles = 1u64;
-                                    if congested {
-                                        // Size the migration batch from the
-                                        // controller's observed per-worker
-                                        // CPU rate: keep pulling congested
-                                        // tasks until the accumulated pairs
-                                        // fill one migration time slice,
-                                        // instead of the fixed one-task
-                                        // quantum. Without an observed rate
-                                        // (single-substrate aggregator, or no
-                                        // data yet) the quantum stays one
-                                        // task.
-                                        let quantum_pairs = controller
-                                            .as_ref()
-                                            .and_then(|c| c.observed_cpu_rate_per_worker())
-                                            .map_or(0.0, |rate| rate * MIGRATION_SLICE_SECONDS);
-                                        while (pairs.len() as f64) < quantum_pairs
-                                            && agg_rx.len() >= capacity.div_ceil(2)
-                                        {
-                                            match agg_rx.try_recv() {
-                                                Ok(extra) => {
-                                                    pairs.extend(extra.pairs);
-                                                    tiles += 1;
-                                                }
-                                                Err(_) => break,
-                                            }
-                                        }
-                                    }
-                                    let batch = migration_backend.compute_batch(&pairs, &pixelbox);
-                                    let seconds = started.elapsed().as_secs_f64();
-                                    shared.fold_batch(&batch.areas, tiles);
-                                    // Every migrated run is a valid sample of
-                                    // the single-worker CPU rate.
-                                    if let Some(controller) = &controller {
-                                        controller.record_cpu_sample(pairs.len(), seconds, 1);
-                                    }
-                                    // A task stolen by the idle disconnect
-                                    // probe is computed (never lost) but is
-                                    // not a congestion migration, so only
-                                    // congested steals count as migrated.
-                                    if congested {
-                                        shared.migrated_to_cpu.fetch_add(tiles, Ordering::Relaxed);
-                                        SharedState::add_nanos(
-                                            &shared.aggregate_migrated_nanos,
-                                            started,
-                                        );
-                                    }
-                                }
-                                Err(TryRecvError::Empty) => {
-                                    std::thread::sleep(std::time::Duration::from_micros(100));
-                                }
-                                Err(TryRecvError::Disconnected) => break,
-                            }
-                        } else {
-                            std::thread::sleep(std::time::Duration::from_micros(100));
-                        }
-                    }
-                });
-            }
-
-            // --- Aggregator (runs on the caller's thread) -------------------
-            while let Ok(first) = agg_rx.recv() {
-                // Batch additional tasks that are already waiting (§4.1).
-                let mut batch_pairs = first.pairs;
-                let mut batch_tiles = 1u64;
-                while batch_tiles < self.config.aggregator_batch as u64 {
-                    match agg_rx.try_recv() {
-                        Ok(task) => {
-                            batch_pairs.extend(task.pairs);
-                            batch_tiles += 1;
-                        }
-                        Err(_) => break,
+        // --- Parser tasks --------------------------------------------------
+        for _ in 0..parser_workers {
+            let parse_rx = parse_rx.clone();
+            let build_tx = build_tx.clone();
+            let shared = Arc::clone(&shared);
+            executor.spawn(async move {
+                while let Some(task) = parse_rx.recv().await {
+                    let started = Instant::now();
+                    let parsed = parse_task(&task);
+                    SharedState::add_nanos(&shared.parse_nanos, started);
+                    if build_tx.send(parsed).await.is_err() {
+                        break;
                     }
                 }
-                let started = Instant::now();
-                let result = backend.compute_batch(&batch_pairs, &self.config.pixelbox);
-                shared.fold_batch(&result.areas, batch_tiles);
-                SharedState::add_nanos(&shared.aggregate_host_nanos, started);
-            }
-        });
+            });
+        }
 
+        // --- Migration task: parse tasks onto the idle GPU ------------------
+        if self.config.enable_migration {
+            let parse_rx = parse_rx.clone();
+            let build_tx = build_tx.clone();
+            let agg_probe = agg_rx.clone();
+            let shared = Arc::clone(&shared);
+            let device = Arc::clone(&self.device);
+            executor.spawn(async move {
+                while let Some(task) = (ParseSteal {
+                    parse: &parse_rx,
+                    agg_probe: &agg_probe,
+                })
+                .await
+                {
+                    let bytes = (task.first_text.len() + task.second_text.len()) as u64;
+                    // The GPU parser produces the same records; bill the
+                    // transfer of the raw text to the device to account for
+                    // its use.
+                    device.transfer(bytes);
+                    let parsed = parse_task(&task);
+                    shared.migrated_to_gpu.fetch_add(1, Ordering::Relaxed);
+                    if build_tx.send(parsed).await.is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(parse_rx);
+        drop(build_tx);
+
+        // --- Migration task: aggregation tasks onto the CPU -----------------
+        if self.config.enable_migration {
+            let agg_rx = agg_rx.clone();
+            let shared = Arc::clone(&shared);
+            let pixelbox = self.config.pixelbox;
+            let controller = split_controller.clone();
+            executor.spawn(async move {
+                // The migration target is always a single-worker CPU
+                // backend: one executor thread is the extra core (§4.2).
+                let migration_backend = CpuBackend::new(1);
+                while let Some(first) = (CongestedSteal {
+                    agg: &agg_rx,
+                    capacity,
+                })
+                .await
+                {
+                    let started = Instant::now();
+                    let mut pairs = first.pairs;
+                    let mut tiles = 1u64;
+                    // Size the migration batch from the controller's
+                    // observed per-worker CPU rate: keep pulling congested
+                    // tasks until the accumulated pairs fill one migration
+                    // time slice, instead of the fixed one-task quantum.
+                    // Without an observed rate (single-substrate aggregator,
+                    // or no data yet) the quantum stays one task. The tile
+                    // bound keeps the in-hand data O(buffer capacity) — the
+                    // bounded-memory guarantee extends to migration.
+                    let quantum_pairs = controller
+                        .as_ref()
+                        .and_then(|c| c.observed_cpu_rate_per_worker())
+                        .map_or(0.0, |rate| rate * MIGRATION_SLICE_SECONDS);
+                    while (pairs.len() as f64) < quantum_pairs
+                        && tiles < capacity as u64
+                        && agg_rx.len() >= capacity.div_ceil(2)
+                    {
+                        match agg_rx.try_recv() {
+                            Ok(extra) => {
+                                pairs.extend(extra.pairs);
+                                tiles += 1;
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    let batch = migration_backend.compute_batch(&pairs, &pixelbox);
+                    let seconds = started.elapsed().as_secs_f64();
+                    shared.fold_batch(&batch.areas, tiles);
+                    // Every migrated run is a valid sample of the
+                    // single-worker CPU rate.
+                    if let Some(controller) = &controller {
+                        controller.record_cpu_sample(pairs.len(), seconds, 1);
+                    }
+                    shared.migrated_to_cpu.fetch_add(tiles, Ordering::Relaxed);
+                    SharedState::add_nanos(&shared.aggregate_migrated_nanos, started);
+                }
+            });
+        }
+
+        // --- Builder --------------------------------------------------------
+        {
+            let shared = Arc::clone(&shared);
+            executor.spawn(async move {
+                while let Some(parsed) = build_rx.recv().await {
+                    let started = Instant::now();
+                    let index = HilbertRTree::bulk_load(
+                        parsed
+                            .second
+                            .iter()
+                            .enumerate()
+                            .map(|(j, r)| (r.polygon.mbr(), j as u32))
+                            .collect(),
+                    );
+                    let tile = IndexedTile {
+                        first: parsed.first,
+                        second: parsed.second,
+                        index,
+                    };
+                    SharedState::add_nanos(&shared.build_nanos, started);
+                    if filter_tx.send(tile).await.is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+
+        // --- Filter ---------------------------------------------------------
+        {
+            let shared = Arc::clone(&shared);
+            executor.spawn(async move {
+                while let Some(tile) = filter_rx.recv().await {
+                    let started = Instant::now();
+                    let mut pairs = Vec::new();
+                    for record in &tile.first {
+                        let mbr: Rect = record.polygon.mbr();
+                        tile.index.search(&mbr, |_, &j| {
+                            pairs.push(PolygonPair::new(
+                                record.polygon.clone(),
+                                tile.second[j as usize].polygon.clone(),
+                            ));
+                        });
+                    }
+                    SharedState::add_nanos(&shared.filter_nanos, started);
+                    if agg_tx.send(FilteredTile { pairs }).await.is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+
+        // --- Aggregator -----------------------------------------------------
+        {
+            let shared = Arc::clone(&shared);
+            let backend = Arc::clone(&backend);
+            let pixelbox = self.config.pixelbox;
+            let aggregator_batch = self.config.aggregator_batch.max(1) as u64;
+            executor.spawn(async move {
+                while let Some(first) = agg_rx.recv().await {
+                    // Batch additional tasks that are already waiting (§4.1).
+                    let mut batch_pairs = first.pairs;
+                    let mut batch_tiles = 1u64;
+                    while batch_tiles < aggregator_batch {
+                        match agg_rx.try_recv() {
+                            Ok(task) => {
+                                batch_pairs.extend(task.pairs);
+                                batch_tiles += 1;
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    let started = Instant::now();
+                    let result = backend.compute_batch(&batch_pairs, &pixelbox);
+                    shared.fold_batch(&result.areas, batch_tiles);
+                    SharedState::add_nanos(&shared.aggregate_host_nanos, started);
+                }
+            });
+        }
+
+        // --- Feeder (the calling thread) ------------------------------------
+        // Backpressure reaches the iterator here: `send` suspends while the
+        // input buffer is full, so `tasks.next()` is only called when the
+        // pipeline has room for the result.
+        for task in tasks {
+            shared.record_admitted();
+            if parse_tx.send_blocking(task).is_err() {
+                break;
+            }
+        }
+        drop(parse_tx); // Parser tasks drain until disconnected.
+        executor.wait_idle();
+
+        let submitted = shared.admitted.load(Ordering::Relaxed) as usize;
         let gpu_busy_after = self.device.stats().busy_seconds;
         let summary = shared.accumulator.lock().summary();
         let mut report = PipelineReport {
@@ -587,6 +707,7 @@ impl Pipeline {
             candidate_pairs: shared.candidate_pairs.load(Ordering::Relaxed),
             migrated_to_cpu: shared.migrated_to_cpu.load(Ordering::Relaxed),
             migrated_to_gpu: shared.migrated_to_gpu.load(Ordering::Relaxed),
+            peak_in_flight_tiles: shared.peak_in_flight.load(Ordering::Relaxed) as usize,
             stage_seconds: StageSeconds {
                 parse: shared.parse_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
                 build: shared.build_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
@@ -597,9 +718,10 @@ impl Pipeline {
                     as f64
                     * 1e-9,
             },
-            split_trace: split_controller.map(|controller| controller.trace()),
+            split_trace: split_controller
+                .map(|controller: Arc<SplitController>| controller.trace()),
         };
-        // Defensive clamp: every submitted task is processed exactly once.
+        // Defensive clamp: every admitted task is processed exactly once.
         report.tiles = report.tiles.min(submitted);
         report
     }
@@ -749,6 +871,7 @@ mod tests {
         assert_eq!(report.tiles, 0);
         assert_eq!(report.candidate_pairs, 0);
         assert_eq!(report.similarity(), 0.0);
+        assert_eq!(report.peak_in_flight_tiles, 0);
     }
 
     #[test]
@@ -793,5 +916,26 @@ mod tests {
         let report = pipeline.run(tasks_of(&dataset));
         assert_eq!(report.tiles, dataset.tiles.len());
         assert!(report.similarity() > 0.0);
+    }
+
+    #[test]
+    fn peak_in_flight_stays_within_the_analytic_bound() {
+        let dataset = small_dataset();
+        for enable_migration in [false, true] {
+            let config = PipelineConfig {
+                buffer_capacity: 2,
+                aggregator_batch: 2,
+                enable_migration,
+                ..PipelineConfig::default()
+            };
+            let report = Pipeline::new(config.clone()).run(tasks_of(&dataset));
+            assert_eq!(report.tiles, dataset.tiles.len());
+            assert!(
+                report.peak_in_flight_tiles <= PipelineReport::in_flight_bound(&config),
+                "peak {} exceeds bound {} (migration: {enable_migration})",
+                report.peak_in_flight_tiles,
+                PipelineReport::in_flight_bound(&config)
+            );
+        }
     }
 }

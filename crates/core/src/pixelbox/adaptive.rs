@@ -72,6 +72,28 @@ fn probe_clamp(fraction: f64) -> f64 {
     normalize_fraction(fraction).clamp(PROBE_SHARE, 1.0 - PROBE_SHARE)
 }
 
+/// Floor applied to observed batch durations, in seconds (one microsecond —
+/// the resolution a monotonic clock can realistically be trusted to). A
+/// fast batch on a coarse timer can legitimately observe `0.0` (or a few
+/// nanoseconds of) elapsed time; dividing pairs by such a duration would
+/// produce an absurdly large — or infinite — throughput that poisons the
+/// EWMA for many batches (`inf` never decays). Durations are therefore
+/// clamped to this floor before a rate is computed, so a degenerate timer
+/// reading still contributes a *bounded* "very fast" sample instead of
+/// being either discarded or explosive. Negative or NaN durations remain
+/// invalid and are ignored.
+pub const MIN_OBSERVED_SECONDS: f64 = 1e-6;
+
+/// Validates and clamps an observed duration: `None` for NaN or negative
+/// readings, otherwise the duration floored to [`MIN_OBSERVED_SECONDS`].
+fn clamp_observed_seconds(seconds: f64) -> Option<f64> {
+    if seconds.is_nan() || seconds < 0.0 {
+        None
+    } else {
+        Some(seconds.max(MIN_OBSERVED_SECONDS))
+    }
+}
+
 /// Configuration of a [`SplitController`].
 ///
 /// Marked `#[non_exhaustive]` so future fields are not breaking changes:
@@ -362,7 +384,10 @@ impl SplitController {
     /// pipeline's migration thread, whose single-worker PixelBox-CPU runs are
     /// valid per-worker rate samples but not hybrid batches.
     pub fn record_cpu_sample(&self, pairs: usize, seconds: f64, workers: usize) {
-        if pairs == 0 || seconds <= 0.0 || seconds.is_nan() {
+        let Some(seconds) = clamp_observed_seconds(seconds) else {
+            return;
+        };
+        if pairs == 0 {
             return;
         }
         let per_worker = pairs as f64 / seconds / workers.max(1) as f64;
@@ -384,21 +409,28 @@ impl SplitController {
             return;
         }
         let mut state = self.state.lock();
-        if obs.gpu_pairs > 0 && obs.gpu_seconds > 0.0 {
-            state.gpu_rate = Some(ewma(
-                state.gpu_rate,
-                obs.gpu_pairs as f64 / obs.gpu_seconds,
-                self.config.ewma_alpha,
-            ));
+        if obs.gpu_pairs > 0 {
+            // Sub-timer-resolution (or exactly-zero) durations are clamped to
+            // the floor rather than skipped, so the rate stays finite and the
+            // sample is not lost; see [`MIN_OBSERVED_SECONDS`].
+            if let Some(seconds) = clamp_observed_seconds(obs.gpu_seconds) {
+                state.gpu_rate = Some(ewma(
+                    state.gpu_rate,
+                    obs.gpu_pairs as f64 / seconds,
+                    self.config.ewma_alpha,
+                ));
+            }
         }
-        if obs.cpu_pairs > 0 && obs.cpu_seconds > 0.0 {
-            let workers = obs.cpu_workers.max(1);
-            state.cpu_pool_workers = workers;
-            state.cpu_rate_per_worker = Some(ewma(
-                state.cpu_rate_per_worker,
-                obs.cpu_pairs as f64 / obs.cpu_seconds / workers as f64,
-                self.config.ewma_alpha,
-            ));
+        if obs.cpu_pairs > 0 {
+            if let Some(seconds) = clamp_observed_seconds(obs.cpu_seconds) {
+                let workers = obs.cpu_workers.max(1);
+                state.cpu_pool_workers = workers;
+                state.cpu_rate_per_worker = Some(ewma(
+                    state.cpu_rate_per_worker,
+                    obs.cpu_pairs as f64 / seconds / workers as f64,
+                    self.config.ewma_alpha,
+                ));
+            }
         }
 
         let used = obs.fraction_used.map_or(state.fraction, normalize_fraction);
@@ -462,7 +494,10 @@ fn balanced_fraction(
     let gpu = gpu_rate?;
     let cpu = cpu_rate_per_worker? * cpu_pool_workers.max(1) as f64;
     let total = gpu + cpu;
-    if total > 0.0 {
+    // Defense in depth: rates are finite by construction (durations are
+    // clamped to `MIN_OBSERVED_SECONDS` before division), but a non-finite
+    // total must never produce a NaN target fraction.
+    if total > 0.0 && total.is_finite() {
         Some(normalize_fraction(gpu / total))
     } else {
         None
@@ -625,21 +660,67 @@ mod tests {
     }
 
     #[test]
-    fn empty_and_zero_duration_observations_are_ignored() {
+    fn empty_and_invalid_duration_observations_are_ignored() {
         let controller = SplitController::new(SplitConfig::adaptive(0.5));
         controller.record(BatchObservation::default());
         assert_eq!(controller.batches_recorded(), 0);
         controller.record(BatchObservation {
             gpu_pairs: 10,
-            gpu_seconds: 0.0, // degenerate timer reading
+            gpu_seconds: f64::NAN, // invalid timer reading
             cpu_pairs: 10,
-            cpu_seconds: -1.0,
+            cpu_seconds: -1.0, // negative: also invalid
             cpu_workers: 2,
             ..BatchObservation::default()
         });
         assert_eq!(controller.batches_recorded(), 1);
         assert!(controller.observed_gpu_rate().is_none());
         assert!(controller.observed_cpu_rate_per_worker().is_none());
+        // Invalid CPU samples from the migration path are ignored too.
+        controller.record_cpu_sample(10, f64::NAN, 1);
+        controller.record_cpu_sample(10, -0.5, 1);
+        assert!(controller.observed_cpu_rate_per_worker().is_none());
+    }
+
+    #[test]
+    fn zero_duration_observations_clamp_to_the_timer_floor() {
+        // Regression: a batch faster than the timer's resolution used to
+        // observe `0.0` seconds and either be discarded (losing the sample)
+        // or — via `pairs / 0.0` in an earlier formulation — fold `inf`
+        // into the EWMA, which never decays. The duration is now clamped to
+        // `MIN_OBSERVED_SECONDS`, yielding a finite "very fast" rate.
+        let controller = SplitController::new(SplitConfig {
+            warmup_batches: 0,
+            ..SplitConfig::adaptive(0.5)
+        });
+        controller.record(BatchObservation {
+            gpu_pairs: 10,
+            gpu_seconds: 0.0,
+            cpu_pairs: 10,
+            cpu_seconds: 1e-12, // below the floor: clamped, not explosive
+            cpu_workers: 1,
+            ..BatchObservation::default()
+        });
+        let gpu_rate = controller.observed_gpu_rate().unwrap();
+        let cpu_rate = controller.observed_cpu_rate_per_worker().unwrap();
+        assert!(gpu_rate.is_finite() && cpu_rate.is_finite());
+        assert!((gpu_rate - 10.0 / MIN_OBSERVED_SECONDS).abs() < 1e-6);
+        assert!((cpu_rate - 10.0 / MIN_OBSERVED_SECONDS).abs() < 1e-6);
+        // The EWMA is not poisoned: subsequent realistic observations pull
+        // the rate back down, and every chosen fraction stays in [0, 1].
+        drive(&controller, 10, 100, 200.0, 100.0);
+        assert!(controller.observed_gpu_rate().unwrap().is_finite());
+        assert!(controller
+            .trace()
+            .samples()
+            .iter()
+            .all(|s| (0.0..=1.0).contains(&s.next_fraction)));
+
+        // The migration path's single-worker samples clamp the same way.
+        let migration = SplitController::new(SplitConfig::adaptive(0.5));
+        migration.record_cpu_sample(25, 0.0, 1);
+        let rate = migration.observed_cpu_rate_per_worker().unwrap();
+        assert!(rate.is_finite());
+        assert!((rate - 25.0 / MIN_OBSERVED_SECONDS).abs() < 1e-6);
     }
 
     #[test]

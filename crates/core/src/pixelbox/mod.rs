@@ -41,6 +41,7 @@ pub mod position;
 
 pub use adaptive::{
     BatchObservation, SplitConfig, SplitController, SplitPolicy, SplitSample, SplitTrace,
+    MIN_OBSERVED_SECONDS,
 };
 pub use backend::{BackendBatch, ComputeBackend, CpuBackend, GpuBackend, HybridBackend};
 pub use sccg_clip::PairAreas;

@@ -2,12 +2,19 @@
 //! admission control.
 //!
 //! A [`ComparisonService`] owns a pool of [`CrossComparison`] engines (a
-//! CPU/GPU/hybrid mix, one worker thread each) bound to a single simulated
+//! CPU/GPU/hybrid mix, one *worker task* each) bound to a single simulated
 //! GPU device. A submitted [`QueryRequest`] is resolved against the
 //! [`SlideStore`], split into per-tile *shards*, and dispatched over a
 //! priority job queue from which every eligible engine pulls work — so a
 //! whole-slide query is computed by however many engines are free, and
 //! concurrent queries interleave at shard granularity.
+//!
+//! Worker tasks run on the pipeline's event-driven executor
+//! ([`sccg::pipeline::exec`]) rather than one dedicated OS thread per
+//! engine: an engine waiting for an eligible shard is a suspended future
+//! woken by the job queue, occupying no thread, so a large engine pool can
+//! share a small thread pool ([`ServiceConfig::executor_threads`]) and a
+//! blocked engine never pins an OS thread.
 //!
 //! Three properties make this a serving layer rather than a batch loop:
 //!
@@ -32,22 +39,26 @@ use crate::cache::{config_fingerprint, CacheKey, LruCache};
 use crate::request::{QueryPriority, QueryRequest, TileSelection};
 use crate::store::{SlideId, SlideStore};
 use crossbeam::channel::{bounded, Receiver, Sender};
+use sccg::pipeline::exec::{register_waker, Executor};
 use sccg::pixelbox::{AggregationDevice, PixelBoxConfig, SplitConfig, SplitController, SplitTrace};
 use sccg::{CrossComparison, EngineConfig, JaccardAccumulator, JaccardSummary, SccgError};
 use sccg_geometry::text::PolygonRecord;
 use sccg_gpu_sim::{Device, DeviceConfig};
 use serde::Serialize;
 use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
-use std::thread::JoinHandle;
+use std::task::{Context, Poll, Waker};
 
 /// Locks a mutex, recovering the data if a previous holder panicked (the
 /// service must stay serviceable even if one shard computation panics).
 ///
 /// This module deliberately uses `std::sync` primitives rather than the
-/// `parking_lot` used elsewhere in the workspace: the job queue and the
-/// admission semaphore need a [`Condvar`] paired with their mutex, `std`'s
+/// `parking_lot` used elsewhere in the workspace: the admission semaphore
+/// needs a [`Condvar`] paired with its mutex (its waiters are *client*
+/// threads, not executor tasks, so blocking is correct there), `std`'s
 /// `Condvar` only pairs with `std`'s `Mutex`, and the offline `parking_lot`
 /// shim provides no `Condvar` at all. One consistent locking idiom per
 /// module beats mixing two.
@@ -63,7 +74,7 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 #[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct ServiceConfig {
-    /// Engine pool: one [`CrossComparison`] engine and worker thread per
+    /// Engine pool: one [`CrossComparison`] engine and worker task per
     /// entry. Each entry's `device` and `cpu_workers` are honored; the
     /// per-engine `gpu` and `pixelbox` fields are superseded by the
     /// service-level [`ServiceConfig::gpu`] and [`ServiceConfig::pixelbox`]
@@ -85,6 +96,11 @@ pub struct ServiceConfig {
     pub max_in_flight: usize,
     /// Response cache capacity in entries; `0` disables caching.
     pub cache_capacity: usize,
+    /// OS threads backing the shared executor the engine worker tasks run
+    /// on; `0` (the default) means one per engine. Engines beyond this count
+    /// still make progress — a worker task waiting for a shard holds no
+    /// thread — but at most `executor_threads` shards compute at once.
+    pub executor_threads: usize,
 }
 
 impl Default for ServiceConfig {
@@ -104,6 +120,7 @@ impl Default for ServiceConfig {
             split: SplitConfig::default(),
             max_in_flight: 4,
             cache_capacity: 64,
+            executor_threads: 0,
         }
     }
 }
@@ -142,6 +159,13 @@ impl ServiceConfig {
     /// Returns a copy with a different response cache capacity.
     pub fn with_cache_capacity(mut self, cache_capacity: usize) -> Self {
         self.cache_capacity = cache_capacity;
+        self
+    }
+
+    /// Returns a copy with a different executor thread count (`0` = one per
+    /// engine).
+    pub fn with_executor_threads(mut self, executor_threads: usize) -> Self {
+        self.executor_threads = executor_threads;
         self
     }
 }
@@ -270,16 +294,21 @@ impl ShardJob {
     }
 }
 
-/// Priority-laned job queue shared by every worker.
+/// Priority-laned job queue shared by every worker task. Workers await
+/// [`JobQueue::pop`]: an idle worker is a suspended future on the waker
+/// list — it holds no OS thread and is re-polled when a shard arrives or the
+/// queue closes.
 struct JobQueue {
     state: Mutex<QueueState>,
-    available: Condvar,
 }
 
 struct QueueState {
     /// One FIFO lane per [`QueryPriority`], most urgent first.
     lanes: [VecDeque<ShardJob>; 3],
     closed: bool,
+    /// Worker tasks waiting for an eligible shard. Eligibility differs per
+    /// worker, so every push wakes all of them to re-scan.
+    wakers: Vec<Waker>,
 }
 
 impl JobQueue {
@@ -288,43 +317,66 @@ impl JobQueue {
             state: Mutex::new(QueueState {
                 lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
                 closed: false,
+                wakers: Vec::new(),
             }),
-            available: Condvar::new(),
         }
     }
 
     fn push(&self, job: ShardJob, lane: usize) {
-        let mut state = lock(&self.state);
-        state.lanes[lane].push_back(job);
-        drop(state);
-        // Eligibility differs per worker, so every worker re-scans.
-        self.available.notify_all();
+        let wakers = {
+            let mut state = lock(&self.state);
+            state.lanes[lane].push_back(job);
+            std::mem::take(&mut state.wakers)
+        };
+        for waker in wakers {
+            waker.wake();
+        }
     }
 
-    /// Pops the most urgent job `worker_device` may serve, blocking while
-    /// none is available. Returns `None` once the queue is closed and no
-    /// eligible work remains (pending work is drained before shutdown).
-    fn pop(&self, worker_device: AggregationDevice) -> Option<ShardJob> {
-        let mut state = lock(&self.state);
-        loop {
-            for lane in state.lanes.iter_mut() {
-                if let Some(pos) = lane.iter().position(|job| job.eligible(worker_device)) {
-                    return lane.remove(pos);
-                }
-            }
-            if state.closed {
-                return None;
-            }
-            state = self
-                .available
-                .wait(state)
-                .unwrap_or_else(PoisonError::into_inner);
+    /// Resolves to the most urgent job `worker_device` may serve, suspending
+    /// while none is available. Resolves to `None` once the queue is closed
+    /// and no eligible work remains (pending work is drained before
+    /// shutdown).
+    fn pop(&self, worker_device: AggregationDevice) -> PopJob<'_> {
+        PopJob {
+            queue: self,
+            device: worker_device,
         }
     }
 
     fn close(&self) {
-        lock(&self.state).closed = true;
-        self.available.notify_all();
+        let wakers = {
+            let mut state = lock(&self.state);
+            state.closed = true;
+            std::mem::take(&mut state.wakers)
+        };
+        for waker in wakers {
+            waker.wake();
+        }
+    }
+}
+
+/// Future returned by [`JobQueue::pop`].
+struct PopJob<'a> {
+    queue: &'a JobQueue,
+    device: AggregationDevice,
+}
+
+impl Future for PopJob<'_> {
+    type Output = Option<ShardJob>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut state = lock(&self.queue.state);
+        for lane in state.lanes.iter_mut() {
+            if let Some(pos) = lane.iter().position(|job| job.eligible(self.device)) {
+                return Poll::Ready(lane.remove(pos));
+            }
+        }
+        if state.closed {
+            return Poll::Ready(None);
+        }
+        register_waker(&mut state.wakers, cx.waker());
+        Poll::Pending
     }
 }
 
@@ -404,7 +456,7 @@ struct Counters {
     shards_per_engine: Vec<AtomicU64>,
 }
 
-/// State shared between the service handle and its worker threads.
+/// State shared between the service handle and its worker tasks.
 struct ServiceInner {
     queue: JobQueue,
     admission: Admission,
@@ -523,7 +575,8 @@ pub struct ComparisonService {
     device: Arc<Device>,
     controller: Option<Arc<SplitController>>,
     engine_devices: Vec<AggregationDevice>,
-    workers: Vec<JoinHandle<()>>,
+    /// Shared thread pool the engine worker tasks run on.
+    executor: Executor,
 }
 
 impl std::fmt::Debug for ComparisonService {
@@ -537,7 +590,7 @@ impl std::fmt::Debug for ComparisonService {
 
 impl ComparisonService {
     /// Starts a service over `store` with the given configuration, spawning
-    /// one worker thread per engine.
+    /// one worker task per engine on a shared executor.
     pub fn new(store: SlideStore, config: ServiceConfig) -> Result<Self, SccgError> {
         if config.engines.is_empty() {
             return Err(SccgError::EmptyEnginePool);
@@ -567,8 +620,13 @@ impl ComparisonService {
             },
         });
 
+        let threads = if config.executor_threads == 0 {
+            config.engines.len()
+        } else {
+            config.executor_threads
+        };
+        let executor = Executor::new(threads);
         let mut engine_devices = Vec::with_capacity(config.engines.len());
-        let mut workers = Vec::with_capacity(config.engines.len());
         for (index, engine_config) in config.engines.iter().cloned().enumerate() {
             engine_devices.push(engine_config.device);
             let engine = match (&controller, engine_config.device) {
@@ -581,10 +639,7 @@ impl ComparisonService {
                 }
                 _ => CrossComparison::with_device(engine_config, Arc::clone(&device)),
             };
-            let inner = Arc::clone(&inner);
-            workers.push(std::thread::spawn(move || {
-                worker_loop(index, engine, inner)
-            }));
+            executor.spawn(worker_task(index, engine, Arc::clone(&inner)));
         }
 
         Ok(ComparisonService {
@@ -594,7 +649,7 @@ impl ComparisonService {
             device,
             controller,
             engine_devices,
-            workers,
+            executor,
         })
     }
 
@@ -801,26 +856,25 @@ impl ComparisonService {
 
 impl Drop for ComparisonService {
     /// Drains pending shards (admitted queries complete), then stops every
-    /// worker.
+    /// worker task and the executor's threads.
     fn drop(&mut self) {
         self.inner.queue.close();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
+        self.executor.wait_idle();
     }
 }
 
-/// One engine's worker loop: pull eligible shards, compute, merge, finalize
-/// the query on its last shard.
+/// One engine's worker task: pull eligible shards, compute, merge, finalize
+/// the query on its last shard. While no eligible shard exists the task is
+/// suspended on the job queue's waker list — it occupies no executor thread.
 ///
 /// A panic inside a backend is contained per shard: the query fails with
 /// [`SccgError::Internal`], its admission slot is returned, and the worker
-/// thread survives to serve the next shard — one poisoned input must not
+/// task survives to serve the next shard — one poisoned input must not
 /// wedge the whole service.
-fn worker_loop(index: usize, engine: CrossComparison, inner: Arc<ServiceInner>) {
+async fn worker_task(index: usize, engine: CrossComparison, inner: Arc<ServiceInner>) {
     let worker_device = engine.config().device;
     let backend_name = engine.backend().name();
-    while let Some(job) = inner.queue.pop(worker_device) {
+    while let Some(job) = inner.queue.pop(worker_device).await {
         let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             engine.compare_records_with(&job.first, &job.second, &job.query.pixelbox)
         }));

@@ -447,3 +447,60 @@ fn responses_render_as_json() {
         assert!(trace_json.starts_with('[') && trace_json.ends_with(']'));
     }
 }
+
+/// A pool larger than its thread count still serves every query: idle
+/// worker tasks are suspended futures on the job queue, not blocked OS
+/// threads, so five mixed-device engines make progress on a single executor
+/// thread (serialized compute, unchanged results).
+#[test]
+fn engine_pool_larger_than_executor_thread_pool_still_serves() {
+    let data = dataset(6, 30, 512);
+    let store = SlideStore::new();
+    let (first, second) = register(&store, &data);
+    let (expected_summary, _) = sequential_baseline(&data);
+
+    let service = ComparisonService::new(
+        store,
+        ServiceConfig::default()
+            .with_engines(vec![
+                EngineConfig::default(),
+                EngineConfig::default().with_device(AggregationDevice::Cpu),
+                EngineConfig::default().with_device(AggregationDevice::Cpu),
+                EngineConfig::default().with_device(AggregationDevice::Hybrid),
+                EngineConfig::default().with_device(AggregationDevice::Hybrid),
+            ])
+            .with_executor_threads(1)
+            .with_cache_capacity(0),
+    )
+    .expect("service starts");
+
+    // Concurrent submissions from multiple client threads, including
+    // device-pinned ones that only a subset of the pool may serve.
+    let summaries: Vec<JaccardSummary> = std::thread::scope(|scope| {
+        let handles: Vec<_> = [
+            None,
+            Some(AggregationDevice::Cpu),
+            Some(AggregationDevice::Hybrid),
+            None,
+        ]
+        .into_iter()
+        .map(|device| {
+            let service = &service;
+            scope.spawn(move || {
+                let mut request = QueryRequest::new(first, second);
+                if let Some(device) = device {
+                    request = request.on_device(device);
+                }
+                service.submit(request).unwrap().wait().unwrap().summary
+            })
+        })
+        .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for summary in summaries {
+        assert_eq!(summary, expected_summary);
+    }
+    let stats = service.stats();
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.backend_batches, 4 * data.tiles.len() as u64);
+}
