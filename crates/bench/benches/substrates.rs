@@ -7,8 +7,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sccg::pixelbox::algorithm::{compute_pair, compute_pair_reference};
 use sccg::pixelbox::{ComputeBackend, HybridBackend, PixelBoxConfig, SplitConfig};
-use sccg_bench::{filtered_pairs, representative_tile};
+use sccg_bench::{dense_l_pair, filtered_pairs, representative_tile};
 use sccg_clip::{monte_carlo_areas, pair_areas};
 use sccg_geometry::text::{parse_polygon_file, write_polygon_file};
 use sccg_geometry::Rect;
@@ -44,6 +45,25 @@ fn bench(c: &mut Criterion) {
     group.bench_function("parse_polygon_file", |bench| {
         bench.iter(|| parse_polygon_file(&text).unwrap())
     });
+
+    // Dense pixelization ablation: two large overlapping L-shapes with the
+    // threshold far above the region size, so the whole joint MBR is
+    // finished by the pixelization kernel. The `scanline` row is the
+    // interval fast path, the `per_pixel_seed` row the retained seed loop —
+    // same areas, same trace, different cost (the fast path's acceptance
+    // target is ≥ 5× on this shape; the observed gap is far larger).
+    let dense = dense_l_pair(512);
+    let dense_threshold = 1u32 << 30; // threshold ≫ region: pixelize at once
+    group.bench_function("pixelize_dense_scanline", |bench| {
+        bench.iter(|| compute_pair(&dense, dense_threshold, 64, sccg::pixelbox::Variant::Full))
+    });
+    group.sample_size(10);
+    group.bench_function("pixelize_dense_per_pixel_seed", |bench| {
+        bench.iter(|| {
+            compute_pair_reference(&dense, dense_threshold, 64, sccg::pixelbox::Variant::Full)
+        })
+    });
+    group.sample_size(20);
 
     // Hybrid split ablation: the same pair stream chunked into batches, run
     // through static GPU fractions and the adaptive controller. The backend

@@ -1,11 +1,12 @@
 //! Regenerates every table and figure of the paper's evaluation section,
-//! plus demos of the serving layer (`serve`) and the bounded-memory
-//! streaming executor (`stream`).
+//! plus demos of the serving layer (`serve`), the bounded-memory streaming
+//! executor (`stream`), and the JSON perf baseline (`bench`, which writes
+//! `BENCH_pixelbox.json`).
 //!
 //! ```text
 //! cargo run -p sccg-bench --release --bin reproduce -- all
 //! cargo run -p sccg-bench --release --bin reproduce -- fig8 fig10 table1
-//! cargo run -p sccg-bench --release --bin reproduce -- serve stream
+//! cargo run -p sccg-bench --release --bin reproduce -- serve stream bench
 //! ```
 //!
 //! Each experiment prints the same rows/series the paper reports. Absolute
@@ -68,6 +69,9 @@ fn main() {
     }
     if want("stream") {
         stream();
+    }
+    if want("bench") {
+        bench_baseline();
     }
 }
 
@@ -474,6 +478,134 @@ fn stream() {
         "peak {} exceeded the bound {bound}",
         report.peak_in_flight_tiles
     );
+}
+
+/// `bench`: the JSON performance baseline. Measures sustained pairs/sec and
+/// per-batch wall-clock of every substrate (CPU-S, CPU, simulated GPU,
+/// adaptive hybrid) on a fixed seeded dataset, plus the interval-scanline
+/// pixelization fast path against the retained per-pixel seed loop, and
+/// writes `BENCH_pixelbox.json` so the perf trajectory is tracked across
+/// PRs (CI runs this as a smoke step).
+fn bench_baseline() {
+    use sccg::parallel::default_workers;
+    use sccg::pixelbox::algorithm::{compute_pair, compute_pair_reference};
+    use sccg::pixelbox::SplitConfig;
+    use sccg_bench::dense_l_pair;
+
+    println!("\n[Bench] JSON perf baseline (BENCH_pixelbox.json)");
+    const POLYGONS: u32 = 400;
+    const SCALE: i32 = 2;
+    const ITERATIONS: usize = 3;
+    let pairs = representative_pairs(POLYGONS, SCALE);
+    let config = PixelBoxConfig::paper_default();
+    let workers = default_workers();
+    println!(
+        "  workload: {} MBR-intersecting pairs (seeded, scale factor {SCALE}), {ITERATIONS} \
+         timed batches per substrate, {workers} CPU workers",
+        pairs.len()
+    );
+
+    // One warm-up batch (untimed: pool spawn, edge-table build, adaptive
+    // warm-up) followed by `ITERATIONS` timed batches per substrate.
+    let time_substrate = |backend: &dyn ComputeBackend| -> (f64, f64) {
+        let warmup = backend.compute_batch(&pairs, &config);
+        assert_eq!(warmup.areas.len(), pairs.len());
+        let mut simulated = 0.0;
+        let started = Instant::now();
+        for _ in 0..ITERATIONS {
+            simulated += backend
+                .compute_batch(&pairs, &config)
+                .total_simulated_seconds();
+        }
+        let wall = started.elapsed().as_secs_f64() / ITERATIONS as f64;
+        (wall, simulated / ITERATIONS as f64)
+    };
+
+    let device = Arc::new(Device::new(DeviceConfig::gtx580()));
+    let substrates: Vec<(&str, usize, Box<dyn ComputeBackend>)> = vec![
+        ("cpu-s", 1, Box::new(CpuBackend::new(1))),
+        ("cpu", workers, Box::new(CpuBackend::new(workers))),
+        ("gpu", 0, Box::new(GpuBackend::new(Arc::clone(&device)))),
+        (
+            "hybrid-adaptive",
+            workers,
+            Box::new(HybridBackend::with_split(
+                Arc::clone(&device),
+                workers,
+                SplitConfig::adaptive(0.5),
+            )),
+        ),
+    ];
+    let mut rows = String::new();
+    for (name, cpu_workers, backend) in &substrates {
+        let (wall, simulated) = time_substrate(backend.as_ref());
+        let pairs_per_sec = pairs.len() as f64 / wall;
+        println!(
+            "  {name:<16} {wall:10.5} s/batch   {pairs_per_sec:12.0} pairs/s{}",
+            if simulated > 0.0 {
+                format!("   (simulated GPU {simulated:.5} s/batch)")
+            } else {
+                String::new()
+            }
+        );
+        if !rows.is_empty() {
+            rows.push(',');
+        }
+        rows.push_str(&format!(
+            "\n    {{\"name\": \"{name}\", \"cpu_workers\": {cpu_workers}, \
+             \"wall_seconds_per_batch\": {wall}, \"pairs_per_sec\": {pairs_per_sec}, \
+             \"simulated_gpu_seconds_per_batch\": {simulated}}}"
+        ));
+    }
+
+    // Fast-path ablation: dense pixelization (threshold ≫ region) with the
+    // interval-scanline kernel vs the retained per-pixel seed loop.
+    const DENSE_SIZE: i32 = 384;
+    let dense = dense_l_pair(DENSE_SIZE);
+    let dense_threshold = 1u32 << 30;
+    let time_kernel = |f: &dyn Fn() -> sccg::pixelbox::PairAreas| -> f64 {
+        let _ = f(); // warm-up (edge-table build for the scanline kernel)
+        let started = Instant::now();
+        for _ in 0..ITERATIONS {
+            let _ = f();
+        }
+        started.elapsed().as_secs_f64() / ITERATIONS as f64
+    };
+    let scanline_seconds =
+        time_kernel(&|| compute_pair(&dense, dense_threshold, 64, Variant::Full).0);
+    let per_pixel_seconds =
+        time_kernel(&|| compute_pair_reference(&dense, dense_threshold, 64, Variant::Full).0);
+    let speedup = per_pixel_seconds / scanline_seconds;
+    println!(
+        "  pixelize_dense ({DENSE_SIZE}x{DENSE_SIZE} L-shapes): scanline {scanline_seconds:.6} s, \
+         per-pixel seed {per_pixel_seconds:.6} s — {speedup:.1}x"
+    );
+    assert_eq!(
+        compute_pair(&dense, dense_threshold, 64, Variant::Full),
+        compute_pair_reference(&dense, dense_threshold, 64, Variant::Full),
+        "fast path must stay bit-identical (areas and trace)"
+    );
+    assert!(
+        speedup >= 5.0,
+        "interval-scanline fast path must be at least 5x the per-pixel loop, got {speedup:.1}x"
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"sccg-bench-pixelbox/v1\",\n  \"dataset\": {{\"polygons\": \
+         {POLYGONS}, \"scale_factor\": {SCALE}, \"pairs\": {pair_count}, \"seed\": \
+         \"0x0A110B0C\"}},\n  \"pixelbox\": {{\"block_size\": {block}, \"threshold\": {t}, \
+         \"variant\": \"Full\"}},\n  \"iterations_per_substrate\": {ITERATIONS},\n  \
+         \"substrates\": [{rows}\n  ],\n  \"pixelize_dense\": {{\"region\": \
+         \"{DENSE_SIZE}x{DENSE_SIZE}\", \"threshold\": {dense_threshold}, \
+         \"scanline_seconds\": {scanline_seconds}, \"per_pixel_seconds\": {per_pixel_seconds}, \
+         \"speedup\": {speedup}}}\n}}\n",
+        pair_count = pairs.len(),
+        block = config.block_size,
+        t = config.threshold,
+    );
+    let path = "BENCH_pixelbox.json";
+    std::fs::write(path, &json).expect("write BENCH_pixelbox.json");
+    println!("  wrote {path}");
 }
 
 /// Figure 11: throughput benefit of dynamic task migration.

@@ -37,7 +37,11 @@
 //! assert!(report.similarity > 0.0 && report.similarity <= 1.0);
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe code is denied (not forbidden) crate-wide: the single exemption is
+// `parallel`, whose persistent worker pool must hand borrowed slices to
+// non-scoped threads (the rayon technique) and documents its soundness
+// invariant at every unsafe block. Everything else remains unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
@@ -50,6 +54,7 @@ pub mod pixelbox;
 pub use engine::{CrossComparison, CrossComparisonReport, EngineConfig};
 pub use error::SccgError;
 pub use jaccard::{JaccardAccumulator, JaccardSummary};
+pub use parallel::WorkerPool;
 
 /// Convenient re-exports for application code.
 pub mod prelude {

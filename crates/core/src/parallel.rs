@@ -1,14 +1,44 @@
-//! A small work-sharing thread pool.
+//! A persistent work-stealing thread pool.
 //!
 //! The paper parallelizes text parsing and PixelBox-CPU with Intel Threading
-//! Building Blocks (§5). This module is the TBB stand-in documented in
-//! DESIGN.md: a scoped pool that splits a slice of work items into chunks and
-//! processes them on `workers` operating-system threads, stealing chunks from
-//! a shared queue. On a single-core host it degrades gracefully to sequential
-//! execution.
+//! Building Blocks (§5). This module is the TBB stand-in: a process-wide
+//! [`WorkerPool`] whose threads are spawned **once** and then serve every
+//! batch, stealing fixed-size chunks of the input through an atomic chunk
+//! cursor and writing results straight into pre-split disjoint slots of the
+//! output vector.
+//!
+//! The original implementation re-spawned `workers` OS threads per call and
+//! round-tripped every chunk's results through an unbounded channel into a
+//! `vec![R::default(); len]` pre-fill — three allocations and a thread-spawn
+//! per batch on the hottest CPU path in the system (every
+//! [`compute_batch_cpu`](crate::pixelbox::cpu::compute_batch_cpu) call, the
+//! hybrid backend's CPU share, every `ComparisonService` engine). The pool
+//! removes all of it: no per-batch spawn, no channel, no `R: Default +
+//! Clone` bound — just one output allocation written exactly once per
+//! element.
+//!
+//! [`parallel_map`] remains as a compatibility shim over
+//! [`WorkerPool::global`] so existing call sites keep working unchanged
+//! (with strictly weaker bounds).
+//!
+//! # Safety
+//!
+//! Handing borrowed slices to persistent (non-scoped) threads requires
+//! erasing lifetimes, so this module contains the workspace's only `unsafe`
+//! code (the same technique rayon uses). Soundness rests on one invariant,
+//! enforced by [`WorkerPool::map`]: **the submitting call does not return
+//! until every chunk of its job has been fully processed**, so the erased
+//! borrows strictly outlive every access. See the `SAFETY` comments inline.
 
-use crossbeam::queue::SegQueue;
+#![allow(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::mem::MaybeUninit;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
 
 /// Number of worker threads to use by default: one per available core.
 pub fn default_workers() -> usize {
@@ -17,60 +47,336 @@ pub fn default_workers() -> usize {
         .unwrap_or(1)
 }
 
+/// A lifetime-erased invitation to help execute one `map` job. Stale tickets
+/// (popped after their job completed) return immediately from the claim
+/// loop without touching the job's borrowed data.
+type Ticket = Arc<dyn Fn() + Send + Sync + 'static>;
+
+struct PoolQueue {
+    tickets: VecDeque<Ticket>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    work_available: Condvar,
+}
+
+/// Completion state of one `map` job, owned (`Arc`) so it outlives stale
+/// tickets.
+struct JobState {
+    /// Next chunk index to claim; `fetch_add` makes claims disjoint.
+    cursor: AtomicUsize,
+    /// Chunks fully processed (results written, or abandoned on panic).
+    chunks_done: AtomicUsize,
+    chunk_count: usize,
+    /// Set when a worker's closure panicked; the submitter re-raises with
+    /// the first caught payload (stored in `panic_payload`).
+    panicked: AtomicBool,
+    /// The first panic payload caught by any chunk, re-raised by the
+    /// submitter so assertion messages survive the pool boundary.
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Latch the submitter waits on once it runs out of chunks to claim.
+    done: Mutex<bool>,
+    finished: Condvar,
+}
+
+/// Raw-pointer bundle carrying one job's borrowed inputs/outputs into the
+/// pool threads. Only dereferenced between a successful chunk claim and the
+/// matching `chunks_done` increment, which `map` awaits before returning.
+struct RawJob<T, R, F> {
+    items: *const T,
+    len: usize,
+    out: *mut MaybeUninit<R>,
+    f: *const F,
+    chunk_size: usize,
+}
+
+impl<T, R, F> Clone for RawJob<T, R, F> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T, R, F> Copy for RawJob<T, R, F> {}
+
+// SAFETY: the pointers are only dereferenced while the originating `map`
+// call is still blocked (see JobState), under which `&[T]` is shared
+// (`T: Sync`), `F` is invoked concurrently by reference (`F: Sync`), and
+// each `out` slot is written by exactly one thread then read only by the
+// submitter after the completion latch (`R: Send`).
+unsafe impl<T: Sync, R: Send, F: Sync> Send for RawJob<T, R, F> {}
+unsafe impl<T: Sync, R: Send, F: Sync> Sync for RawJob<T, R, F> {}
+
+/// A persistent pool of worker threads executing `map` jobs.
+///
+/// Threads are spawned at construction and live until the pool is dropped;
+/// each [`WorkerPool::map`] call enqueues lightweight help tickets, and the
+/// calling thread itself always participates, so a job completes even when
+/// every pool thread is busy elsewhere (no nested-job deadlock).
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    threads: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool with `threads` persistent worker threads (at least
+    /// one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(PoolQueue {
+                tickets: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_available: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sccg-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            threads,
+            handles,
+        }
+    }
+
+    /// The process-wide pool shared by `PixelBox-CPU` batches, the hybrid
+    /// backend's CPU share and every `ComparisonService` engine — sized to
+    /// the available cores, spawned on first use, never torn down.
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| WorkerPool::new(default_workers()))
+    }
+
+    /// Number of persistent worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every element of `items`, producing a vector of
+    /// results in input order. At most `max_workers` threads cooperate on
+    /// the job (the calling thread plus up to `max_workers - 1` pool
+    /// threads), stealing `chunk_size`-element chunks through an atomic
+    /// cursor; uneven item costs balance dynamically, which matters for
+    /// PixelBox-CPU where pair costs vary with polygon size. With
+    /// `max_workers == 1` the call is exactly sequential (the
+    /// `PixelBox-CPU-S` configuration).
+    pub fn map<T, R, F>(&self, items: &[T], max_workers: usize, chunk_size: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let max_workers = max_workers.max(1);
+        let chunk_size = chunk_size.max(1);
+        let len = items.len();
+        if max_workers == 1 || len <= chunk_size {
+            return items.iter().map(&f).collect();
+        }
+
+        let chunk_count = len.div_ceil(chunk_size);
+        let mut out: Vec<R> = Vec::with_capacity(len);
+        let job = Arc::new(JobState {
+            cursor: AtomicUsize::new(0),
+            chunks_done: AtomicUsize::new(0),
+            chunk_count,
+            panicked: AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
+            done: Mutex::new(false),
+            finished: Condvar::new(),
+        });
+        let raw = RawJob {
+            items: items.as_ptr(),
+            len,
+            out: out.spare_capacity_mut().as_mut_ptr(),
+            f: &f,
+            chunk_size,
+        };
+
+        let run_job = Arc::clone(&job);
+        let run = move || run_chunks(&run_job, raw);
+        // SAFETY: lifetime erasure of the borrows captured in `run` (items,
+        // f, and the output's spare capacity). The erased closure is only
+        // ever *executed* against that borrowed data while a chunk claim
+        // succeeds, and every claim is accounted for in `chunks_done`,
+        // which this call waits to reach `chunk_count` before returning —
+        // so no access outlives the borrow. Tickets that outlive the job
+        // fail their first claim and return without touching `raw`.
+        let ticket: Ticket = {
+            let local: Arc<dyn Fn() + Send + Sync + '_> = Arc::new(run);
+            unsafe { std::mem::transmute::<Arc<dyn Fn() + Send + Sync + '_>, Ticket>(local) }
+        };
+
+        // Invite helpers: never more than the pool has threads, never more
+        // than there are chunks beyond the submitter's first claim.
+        let helpers = (max_workers - 1).min(self.threads).min(chunk_count - 1);
+        if helpers > 0 {
+            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            for _ in 0..helpers {
+                queue.tickets.push_back(Arc::clone(&ticket));
+            }
+            drop(queue);
+            if helpers == 1 {
+                self.shared.work_available.notify_one();
+            } else {
+                self.shared.work_available.notify_all();
+            }
+        }
+
+        // The submitter works too, then waits for the stragglers.
+        ticket();
+        let mut done = job.done.lock().expect("job latch poisoned");
+        while !*done {
+            done = job.finished.wait(done).expect("job latch poisoned");
+        }
+        drop(done);
+
+        if job.panicked.load(Ordering::Acquire) {
+            // `out` still has length 0, so dropping it cannot touch the
+            // partially initialized spare capacity; the chunk results
+            // written so far leak, which is sound (and `PairAreas` et al.
+            // are trivial anyway).
+            drop(out);
+            let payload = job
+                .panic_payload
+                .lock()
+                .expect("panic payload poisoned")
+                .take();
+            match payload {
+                Some(payload) => std::panic::resume_unwind(payload),
+                None => panic!("worker pool job panicked"),
+            }
+        }
+        // SAFETY: chunks_done == chunk_count, so every index in 0..len was
+        // written exactly once (disjoint chunk claims) and those writes
+        // happen-before this point via the completion latch.
+        unsafe { out.set_len(len) };
+        out
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            queue.shutdown = true;
+        }
+        self.shared.work_available.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Claims and processes chunks of one job until the cursor is exhausted.
+/// Generic over the job's types; monomorphized per `map` call and reached
+/// through the erased ticket closure.
+fn run_chunks<T, R, F>(job: &JobState, raw: RawJob<T, R, F>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    loop {
+        let chunk = job.cursor.fetch_add(1, Ordering::Relaxed);
+        if chunk >= job.chunk_count {
+            break;
+        }
+        // Once any chunk has panicked the job's result can never be used, so
+        // remaining chunks are claimed and counted (the completion latch
+        // still needs them) but not executed — the doomed batch fails fast
+        // instead of churning through the rest of the input.
+        if job.panicked.load(Ordering::Acquire) {
+            finish_chunk(job);
+            continue;
+        }
+        let lo = chunk * raw.chunk_size;
+        let hi = (lo + raw.chunk_size).min(raw.len);
+        let wrote = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: `chunk` was claimed exclusively by this thread, so
+            // indices lo..hi of both `items` and `out` are accessed by no
+            // one else; the submitter keeps the borrows alive until this
+            // chunk is counted in `chunks_done` below.
+            unsafe {
+                let f = &*raw.f;
+                for i in lo..hi {
+                    let value = f(&*raw.items.add(i));
+                    (*raw.out.add(i)).write(value);
+                }
+            }
+        }));
+        if let Err(payload) = wrote {
+            let mut slot = job.panic_payload.lock().expect("panic payload poisoned");
+            slot.get_or_insert(payload);
+            drop(slot);
+            job.panicked.store(true, Ordering::Release);
+        }
+        finish_chunk(job);
+    }
+}
+
+/// Counts one claimed chunk as done, firing the completion latch on the
+/// last one.
+fn finish_chunk(job: &JobState) {
+    let done_before = job.chunks_done.fetch_add(1, Ordering::AcqRel);
+    if done_before + 1 == job.chunk_count {
+        let mut done = job.done.lock().expect("job latch poisoned");
+        *done = true;
+        job.finished.notify_all();
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let ticket = {
+            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(ticket) = queue.tickets.pop_front() {
+                    break ticket;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared
+                    .work_available
+                    .wait(queue)
+                    .expect("pool queue poisoned");
+            }
+        };
+        // Panics inside a job are caught per chunk in `run_chunks`, so the
+        // ticket call itself cannot unwind and kill the worker.
+        ticket();
+    }
+}
+
 /// Applies `f` to every element of `items`, producing a vector of results in
-/// input order, using up to `workers` threads. Work is distributed in chunks
-/// through a lock-free queue so that uneven item costs balance dynamically
-/// (the "work-stealing" behaviour that matters for PixelBox-CPU, where pair
-/// costs vary with polygon size).
+/// input order, using up to `workers` threads of the process-wide
+/// [`WorkerPool`]. Compatibility shim kept so existing call sites migrate
+/// incrementally; note the bounds are weaker than the original
+/// (`R: Default + Clone` is gone — results are written exactly once into
+/// pre-split output slots, never pre-filled).
 pub fn parallel_map<T, R, F>(items: &[T], workers: usize, chunk_size: usize, f: F) -> Vec<R>
 where
     T: Sync,
-    R: Send + Default + Clone,
+    R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = workers.max(1);
-    let chunk_size = chunk_size.max(1);
-    if items.is_empty() {
-        return Vec::new();
-    }
-    if workers == 1 || items.len() <= chunk_size {
-        return items.iter().map(&f).collect();
-    }
-
-    let mut results: Vec<R> = vec![R::default(); items.len()];
-    // Chunked index ranges shared through a lock-free queue.
-    let queue: SegQueue<(usize, usize)> = SegQueue::new();
-    let mut start = 0;
-    while start < items.len() {
-        let end = (start + chunk_size).min(items.len());
-        queue.push((start, end));
-        start = end;
-    }
-
-    // Hand out disjoint mutable slices of the result vector to workers by
-    // splitting it up front; each chunk's results are written back through a
-    // channel to keep the code free of unsafe aliasing.
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, Vec<R>)>();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let queue = &queue;
-            let f = &f;
-            let tx = tx.clone();
-            scope.spawn(move || {
-                while let Some((lo, hi)) = queue.pop() {
-                    let out: Vec<R> = items[lo..hi].iter().map(f).collect();
-                    let _ = tx.send((lo, out));
-                }
-            });
-        }
-        drop(tx);
-    });
-    for (lo, chunk) in rx.iter() {
-        for (offset, value) in chunk.into_iter().enumerate() {
-            results[lo + offset] = value;
-        }
-    }
-    results
+    WorkerPool::global().map(items, workers, chunk_size, f)
 }
 
 #[cfg(test)]
@@ -111,5 +417,85 @@ mod tests {
     #[test]
     fn default_workers_is_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn results_need_no_default_or_clone() {
+        // A result type that is neither Default nor Clone: the old
+        // `vec![R::default(); len]` pre-fill could not even compile this.
+        struct Opaque(u64);
+        let items: Vec<u64> = (0..256).collect();
+        let out: Vec<Opaque> = parallel_map(&items, 4, 8, |x| Opaque(x * x));
+        assert_eq!(out.len(), items.len());
+        assert!(out.iter().enumerate().all(|(i, o)| o.0 == (i * i) as u64));
+    }
+
+    #[test]
+    fn dedicated_pool_maps_correctly() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        let items: Vec<i64> = (0..4096).collect();
+        let out = pool.map(&items, 3, 32, |x| x - 7);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as i64 - 7));
+        // The pool survives many batches without re-spawning.
+        for round in 0..50 {
+            let small: Vec<i64> = (0..97).collect();
+            let mapped = pool.map(&small, 2, 4, |x| x * round);
+            assert!(mapped
+                .iter()
+                .enumerate()
+                .all(|(i, &v)| v == i as i64 * round));
+        }
+    }
+
+    #[test]
+    fn concurrent_jobs_share_the_pool() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let handles: Vec<_> = (0..6)
+            .map(|offset: i64| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    let items: Vec<i64> = (0..512).collect();
+                    let out = pool.map(&items, 4, 16, |x| x + offset);
+                    out.iter().enumerate().all(|(i, &v)| v == i as i64 + offset)
+                })
+            })
+            .collect();
+        for handle in handles {
+            assert!(handle.join().expect("job thread"));
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let items: Vec<u32> = (0..64).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.map(&items, 4, 4, |x| {
+                assert!(*x != 13, "boom");
+                *x
+            })
+        }));
+        let payload = result.expect_err("panic must reach the submitter");
+        let message = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        assert!(
+            message.contains("boom"),
+            "original panic payload must survive the pool boundary, got {message:?}"
+        );
+        // The pool still works afterwards.
+        let out = pool.map(&items, 4, 4, |x| x + 1);
+        assert_eq!(out.len(), items.len());
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized_to_the_host() {
+        let a = WorkerPool::global() as *const WorkerPool;
+        let b = WorkerPool::global() as *const WorkerPool;
+        assert_eq!(a, b);
+        assert_eq!(WorkerPool::global().threads(), default_workers());
     }
 }

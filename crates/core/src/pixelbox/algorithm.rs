@@ -10,6 +10,7 @@
 
 use super::position::{box_position, BoxPosition};
 use super::{PairAreas, PolygonPair, Variant};
+use sccg_geometry::edge_table::{intersection_len_in, intersection_union_in};
 use sccg_geometry::{Rect, RectilinearPolygon};
 
 /// Execution statistics of one pair (or a batch, traces are additive).
@@ -60,11 +61,37 @@ impl Trace {
     }
 }
 
+/// Which kernel finishes sub-threshold sampling boxes (and the `PixelOnly`
+/// variant's whole-region scan).
+///
+/// Both kernels produce bit-identical areas *and* bit-identical [`Trace`]s:
+/// the trace counts what the per-pixel semantics of §3.1 *would* do, which
+/// the scanline kernel accounts for analytically (the GPU simulator's cost
+/// model and the Figure 8 claims are defined over those per-pixel counts,
+/// regardless of how the host computes the areas).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PixelizeKernel {
+    /// Interval-scanline fast path: per pixel row, intersect/merge the two
+    /// polygons' inside x-intervals (from their cached
+    /// [`EdgeTable`](sccg_geometry::EdgeTable)s) with pure interval
+    /// arithmetic — O(rows × crossing edges), never touching individual
+    /// pixels.
+    #[default]
+    Scanline,
+    /// The seed per-pixel loop: classify every pixel of the region against
+    /// both polygons with the O(edges) even–odd ray cast. Retained as the
+    /// brute-force oracle for the equivalence suite and the
+    /// `pixelize_dense` benchmark baseline.
+    PerPixel,
+}
+
 /// Computes the areas of intersection and union for one polygon pair using
-/// the requested variant, recording an execution trace.
+/// the requested variant, recording an execution trace. Pixelized regions
+/// are finished with the interval-scanline fast path
+/// ([`PixelizeKernel::Scanline`]).
 ///
 /// * `threshold` — pixelization threshold `T` (boxes with fewer pixels are
-///   finished per-pixel).
+///   finished by pixelization).
 /// * `fanout` — number of sub-boxes a partitioned sampling box is split into
 ///   (the GPU uses the thread-block size; the CPU port uses a small fanout).
 pub fn compute_pair(
@@ -73,26 +100,81 @@ pub fn compute_pair(
     fanout: u32,
     variant: Variant,
 ) -> (PairAreas, Trace) {
+    compute_pair_with(pair, threshold, fanout, variant, PixelizeKernel::Scanline)
+}
+
+/// [`compute_pair`] with the retained per-pixel pixelization loop
+/// ([`PixelizeKernel::PerPixel`]) — the pre-fast-path behaviour, kept as the
+/// independent oracle: areas and traces must match [`compute_pair`] exactly.
+pub fn compute_pair_reference(
+    pair: &PolygonPair,
+    threshold: u32,
+    fanout: u32,
+    variant: Variant,
+) -> (PairAreas, Trace) {
+    compute_pair_with(pair, threshold, fanout, variant, PixelizeKernel::PerPixel)
+}
+
+/// [`compute_pair`] with an explicit pixelization kernel.
+pub fn compute_pair_with(
+    pair: &PolygonPair,
+    threshold: u32,
+    fanout: u32,
+    variant: Variant,
+    kernel: PixelizeKernel,
+) -> (PairAreas, Trace) {
     let mut trace = Trace::default();
     let joint = pair.joint_mbr();
     let threshold = i64::from(threshold.max(1));
     let fanout = fanout.max(2);
+    // Hoisted per-pair edge counts: `vertex_count()` is loop-invariant across
+    // the whole scan, so it is resolved once here instead of once per
+    // pixelized region (and once per sub-box in the partition loop).
+    let edges = PairEdges::of(pair);
 
     let areas = match variant {
-        Variant::PixelOnly => pixelize_region(&joint, pair, fanout, &mut trace),
+        Variant::PixelOnly => {
+            pixelize_region(&joint, pair, &edges, fanout, kernel, true, &mut trace)
+        }
         Variant::Full => {
             let area_p = shoelace(&pair.p, &mut trace);
             let area_q = shoelace(&pair.q, &mut trace);
-            let intersection =
-                sampling_box_scan(pair, &joint, threshold, fanout, false, &mut trace).intersection;
+            let intersection = sampling_box_scan(
+                pair, &edges, &joint, threshold, fanout, false, kernel, &mut trace,
+            )
+            .intersection;
             PairAreas {
                 intersection,
                 union: area_p + area_q - intersection,
             }
         }
-        Variant::NoSep => sampling_box_scan(pair, &joint, threshold, fanout, true, &mut trace),
+        Variant::NoSep => sampling_box_scan(
+            pair, &edges, &joint, threshold, fanout, true, kernel, &mut trace,
+        ),
     };
     (areas, trace)
+}
+
+/// Per-pair edge counts, computed once per scan and threaded through the hot
+/// loops (they feed every pixel-test and box-test trace charge).
+#[derive(Debug, Clone, Copy)]
+struct PairEdges {
+    p: u64,
+    q: u64,
+}
+
+impl PairEdges {
+    fn of(pair: &PolygonPair) -> Self {
+        PairEdges {
+            p: pair.p.vertex_count() as u64,
+            q: pair.q.vertex_count() as u64,
+        }
+    }
+
+    #[inline]
+    fn total(&self) -> u64 {
+        self.p + self.q
+    }
 }
 
 /// Shoelace area with trace accounting (`PolyArea` in Algorithm 1).
@@ -101,24 +183,58 @@ fn shoelace(poly: &RectilinearPolygon, trace: &mut Trace) -> i64 {
     poly.area()
 }
 
-/// Exhaustive pixelization of a region: classifies every pixel against both
-/// polygons (the `PixelOnly` path, and the tail phase of the full algorithm).
-fn pixelize_region(region: &Rect, pair: &PolygonPair, lanes: u32, trace: &mut Trace) -> PairAreas {
+/// Pixelization of a region: resolves the region's intersection/union pixel
+/// counts (the `PixelOnly` path, and the tail phase of the full algorithm).
+///
+/// The trace charges are identical for both kernels — they count the §3.1
+/// per-pixel semantics (2 containment tests and one full edge walk per
+/// pixel), which the scanline kernel accounts for analytically: a region of
+/// `n` pixels always contributes `2n` pixel tests, `n × (|p| + |q|)` edge
+/// operations and `⌈n / lanes⌉` SIMD rounds, exactly what the per-pixel loop
+/// accumulates one pixel at a time.
+///
+/// When `need_union` is false (the full variant's tail phase, which derives
+/// the union indirectly and discards this function's union) the scanline
+/// kernel runs one overlap pass per row instead of three interval passes.
+/// The per-pixel oracle is kept verbatim — its (unused) union costs nothing
+/// extra to the comparison, since it is the baseline being measured.
+fn pixelize_region(
+    region: &Rect,
+    pair: &PolygonPair,
+    edges: &PairEdges,
+    lanes: u32,
+    kernel: PixelizeKernel,
+    need_union: bool,
+    trace: &mut Trace,
+) -> PairAreas {
+    let pixels = region.pixel_count().max(0) as u64;
+    trace.pixel_rounds += pixels.div_ceil(u64::from(lanes.max(1)));
+    trace.pixel_tests += 2 * pixels;
+    trace.pixel_edge_ops += pixels * edges.total();
+
     let mut intersection = 0i64;
     let mut union = 0i64;
-    let p_edges = pair.p.vertex_count() as u64;
-    let q_edges = pair.q.vertex_count() as u64;
-    trace.pixel_rounds += (region.pixel_count().max(0) as u64).div_ceil(u64::from(lanes.max(1)));
-    for (x, y) in region.pixels() {
-        let in_p = pair.p.contains_pixel(x, y);
-        let in_q = pair.q.contains_pixel(x, y);
-        trace.pixel_tests += 2;
-        trace.pixel_edge_ops += p_edges + q_edges;
-        if in_p && in_q {
-            intersection += 1;
+    match kernel {
+        PixelizeKernel::Scanline => {
+            let tp = pair.p.edge_table();
+            let tq = pair.q.edge_table();
+            if need_union {
+                (intersection, union) = intersection_union_in(tp, tq, region);
+            } else {
+                intersection = intersection_len_in(tp, tq, region);
+            }
         }
-        if in_p || in_q {
-            union += 1;
+        PixelizeKernel::PerPixel => {
+            for (x, y) in region.pixels() {
+                let in_p = pair.p.contains_pixel(x, y);
+                let in_q = pair.q.contains_pixel(x, y);
+                if in_p && in_q {
+                    intersection += 1;
+                }
+                if in_p || in_q {
+                    union += 1;
+                }
+            }
         }
     }
     PairAreas {
@@ -163,12 +279,15 @@ fn union_contribution(p1: BoxPosition, p2: BoxPosition) -> Contribution {
 /// intersection needs resolving; when true (`PixelBox-NoSep`) a box stays
 /// unresolved until both its intersection and union contributions are known,
 /// which requires more partitionings (§3.2).
+#[allow(clippy::too_many_arguments)]
 fn sampling_box_scan(
     pair: &PolygonPair,
+    edges: &PairEdges,
     initial: &Rect,
     threshold: i64,
     fanout: u32,
     track_union: bool,
+    kernel: PixelizeKernel,
     trace: &mut Trace,
 ) -> PairAreas {
     let mut intersection = 0i64;
@@ -187,7 +306,15 @@ fn sampling_box_scan(
         }
         if sampling_box.pixel_count() < threshold {
             // Pixelization phase (Algorithm 1, lines 22–28).
-            let local = pixelize_region(&sampling_box, pair, fanout, trace);
+            let local = pixelize_region(
+                &sampling_box,
+                pair,
+                edges,
+                fanout,
+                kernel,
+                track_union,
+                trace,
+            );
             intersection += local.intersection;
             if track_union {
                 union += local.union;
@@ -205,7 +332,7 @@ fn sampling_box_scan(
             let pos_p = box_position(&sub, &pair.p);
             let pos_q = box_position(&sub, &pair.q);
             trace.box_tests += 2;
-            trace.box_edge_ops += pair.p.vertex_count() as u64 + pair.q.vertex_count() as u64;
+            trace.box_edge_ops += edges.total();
 
             let inter_c = intersection_contribution(pos_p, pos_q);
             let union_c = union_contribution(pos_p, pos_q);
@@ -339,6 +466,28 @@ mod tests {
         assert_eq!(t.partitions, 0);
         assert_eq!(t.box_tests, 0);
         assert!(t.pixel_tests > 0);
+    }
+
+    #[test]
+    fn scanline_and_per_pixel_kernels_are_bit_identical() {
+        // Areas AND traces: the scanline fast path must be observationally
+        // indistinguishable from the retained per-pixel loop.
+        let shapes = [
+            (l_shape(0, 24), l_shape(6, 24)),
+            (rect_poly(0, 0, 20, 20), rect_poly(10, 5, 32, 27)),
+            (rect_poly(0, 0, 8, 8), rect_poly(30, 30, 40, 40)),
+            (rect_poly(0, 0, 40, 40), l_shape(8, 16)),
+        ];
+        for (p, q) in shapes {
+            for variant in [Variant::PixelOnly, Variant::NoSep, Variant::Full] {
+                for threshold in [1u32, 7, 64, 4096] {
+                    let pair = pair(p.clone(), q.clone());
+                    let fast = compute_pair(&pair, threshold, 16, variant);
+                    let brute = compute_pair_reference(&pair, threshold, 16, variant);
+                    assert_eq!(fast, brute, "variant {variant:?} T={threshold}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -246,9 +246,12 @@ impl ComputeBackend for HybridBackend {
 
         // The CPU share runs on its own thread while this thread drives the
         // simulated GPU — the two substrates genuinely overlap, as in §5.
-        // Empty shares skip their substrate entirely (no kernel launch, no
-        // thread spawn). Each side's wall-clock is measured so the controller
-        // can steer the next batch's split toward simultaneous finish.
+        // The share's pair-level parallelism comes from the shared persistent
+        // pool (`crate::parallel::WorkerPool::global`), so overlapping does
+        // not cost worker-thread spawns. Empty shares skip their substrate
+        // entirely (no kernel launch, no thread spawn). Each side's
+        // wall-clock is measured so the controller can steer the next
+        // batch's split toward simultaneous finish.
         let (gpu_batch, gpu_seconds, cpu_batch, cpu_seconds) = if cpu_pairs.is_empty() {
             let started = Instant::now();
             let gpu_batch = self.gpu.compute_batch(gpu_pairs, config);

@@ -1,11 +1,13 @@
 //! PixelBox-CPU: the multi-core CPU port of PixelBox (paper §4.2).
 //!
 //! The CPU port executes the same sampling-box / pixelization logic as the
-//! GPU kernel, sequentially per pair, and parallelizes across pairs with the
-//! work-sharing pool of [`crate::parallel`] (the TBB stand-in). It exists for
-//! two reasons in the paper's system: as the single-core reference point
-//! (`PixelBox-CPU-S`, Figure 7) and as the migration target when the GPU is
-//! congested (§4.2).
+//! GPU kernel, sequentially per pair, and parallelizes across pairs on the
+//! persistent process-wide [`WorkerPool`](crate::parallel::WorkerPool) (the
+//! TBB stand-in) — shared with the hybrid backend's CPU share and every
+//! `ComparisonService` engine, so batches cost no thread spawns or channel
+//! traffic. It exists for two reasons in the paper's system: as the
+//! single-core reference point (`PixelBox-CPU-S`, Figure 7) and as the
+//! migration target when the GPU is congested (§4.2).
 
 use super::algorithm::{compute_pair, Trace};
 use super::{PairAreas, PixelBoxConfig, PolygonPair};

@@ -22,7 +22,11 @@
 //! * [`position`] — the sampling-box position predicate of Lemma 1.
 //! * [`algorithm`] — the device-independent core of PixelBox, shared by the
 //!   CPU port and the GPU kernel, with an execution trace used for cost
-//!   accounting.
+//!   accounting. Pixelized regions are finished by an interval-scanline fast
+//!   path over each polygon's cached [`sccg_geometry::EdgeTable`]
+//!   (O(rows × crossing edges) instead of O(pixels × edges)); the retained
+//!   per-pixel loop ([`algorithm::compute_pair_reference`]) is the oracle it
+//!   is verified bit-identical against — areas *and* traces.
 //! * [`cpu`] — `PixelBox-CPU`: the multi-core CPU port (§4.2).
 //! * [`gpu`] — the CUDA-style kernel executed on the `sccg-gpu-sim` device,
 //!   including the implementation-optimization toggles evaluated in Figure 9.

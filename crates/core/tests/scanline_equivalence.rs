@@ -1,0 +1,129 @@
+//! Equivalence suite for the interval-scanline pixelization fast path.
+//!
+//! The fast path must be *observationally indistinguishable* from the seed
+//! per-pixel loop it replaced: for random rectilinear polygon pairs, every
+//! `Variant`, and pixelization thresholds across `1..=4096`, both the areas
+//! and the full execution [`Trace`](sccg::pixelbox::algorithm::Trace) must
+//! be bit-identical (the GPU simulator's cost model and the Figure 8 claims
+//! are defined over the trace counts). The per-pixel oracle is retained as
+//! [`compute_pair_reference`]; a second, independent check goes through the
+//! brute-force raster oracle in `sccg_geometry::raster::brute`.
+
+use proptest::prelude::*;
+use sccg::pixelbox::algorithm::{compute_pair, compute_pair_reference};
+use sccg::pixelbox::cpu::compute_batch_cpu;
+use sccg::pixelbox::{PixelBoxConfig, PolygonPair, Variant};
+use sccg_geometry::{raster, Point, RectilinearPolygon};
+
+/// A random rectilinear polygon drawn from three families:
+///
+/// * **skyline** — a flat base with columns of varying heights: rows cross
+///   many inside intervals, stressing the interval merge;
+/// * **sideways skyline** — the same shape transposed, so *columns* vary and
+///   rows exercise long single intervals at varying offsets;
+/// * **staircase** — a monotone step boundary, the degenerate one-interval
+///   case.
+fn rectilinear_polygon() -> impl Strategy<Value = RectilinearPolygon> {
+    (0u8..3, 2usize..8).prop_flat_map(|(family, segments)| {
+        (
+            prop::collection::vec(1i32..5, segments),
+            prop::collection::vec(1i32..8, segments),
+            -12i32..12,
+            -12i32..12,
+        )
+            .prop_map(move |(widths, heights, ox, oy)| {
+                let mut vertices = vec![Point::new(ox, oy)];
+                let mut x = ox;
+                match family {
+                    // Skyline: columns of varying heights above y = oy.
+                    0 => {
+                        for (w, h) in widths.iter().zip(heights.iter()) {
+                            vertices.push(Point::new(x, oy + h));
+                            x += w;
+                            vertices.push(Point::new(x, oy + h));
+                        }
+                        vertices.push(Point::new(x, oy));
+                    }
+                    // Sideways skyline: rows of varying widths right of
+                    // x = ox (the transpose of the above).
+                    1 => {
+                        let mut y = oy;
+                        for (w, h) in widths.iter().zip(heights.iter()) {
+                            vertices.push(Point::new(ox + w, y));
+                            y += h;
+                            vertices.push(Point::new(ox + w, y));
+                        }
+                        vertices.push(Point::new(ox, y));
+                        vertices.reverse(); // keep the chain closed cleanly
+                    }
+                    // Staircase descending from the top-left.
+                    _ => {
+                        let total_h: i32 = heights.iter().sum();
+                        vertices.push(Point::new(ox, oy + total_h));
+                        let mut y = oy + total_h;
+                        for (w, h) in widths.iter().zip(heights.iter()) {
+                            x += w;
+                            vertices.push(Point::new(x, y));
+                            y -= h;
+                            vertices.push(Point::new(x, y));
+                        }
+                    }
+                }
+                RectilinearPolygon::canonicalize(vertices).expect("generated polygon is valid")
+            })
+    })
+}
+
+fn polygon_pair() -> impl Strategy<Value = PolygonPair> {
+    (rectilinear_polygon(), rectilinear_polygon()).prop_map(|(p, q)| PolygonPair::new(p, q))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // The acceptance property: fast path vs retained per-pixel oracle,
+    // areas and traces bit-identical across all variants and the full
+    // threshold range.
+    #[test]
+    fn scanline_matches_per_pixel_oracle(
+        pair in polygon_pair(),
+        threshold in 1u32..=4096,
+        fanout in 2u32..32,
+    ) {
+        for variant in [Variant::PixelOnly, Variant::NoSep, Variant::Full] {
+            let fast = compute_pair(&pair, threshold, fanout, variant);
+            let brute = compute_pair_reference(&pair, threshold, fanout, variant);
+            prop_assert_eq!(&fast.0, &brute.0);
+            prop_assert_eq!(&fast.1, &brute.1);
+        }
+    }
+
+    // Independent ground truth: the brute-force raster oracle (per-pixel
+    // even–odd tests, untouched by the fast path) agrees with every
+    // variant's areas.
+    #[test]
+    fn all_variants_match_the_brute_raster_oracle(
+        pair in polygon_pair(),
+        threshold in 1u32..=4096,
+    ) {
+        let (ri, ru) = raster::brute::intersection_union_area(&pair.p, &pair.q);
+        for variant in [Variant::PixelOnly, Variant::NoSep, Variant::Full] {
+            let (areas, _) = compute_pair(&pair, threshold, 16, variant);
+            prop_assert_eq!((areas.intersection, areas.union), (ri, ru));
+        }
+    }
+
+    // The persistent worker pool preserves batch results exactly for any
+    // worker count (PixelBox-CPU over the pool vs strict sequential).
+    #[test]
+    fn pooled_batches_match_sequential(
+        pairs in prop::collection::vec(polygon_pair(), 0usize..24),
+        workers in 2usize..8,
+        threshold in 1u32..=4096,
+    ) {
+        let config = PixelBoxConfig::paper_default().with_threshold(threshold);
+        let sequential = compute_batch_cpu(&pairs, &config, 1);
+        let pooled = compute_batch_cpu(&pairs, &config, workers);
+        prop_assert_eq!(sequential, pooled);
+    }
+}

@@ -1,0 +1,361 @@
+//! Scanline edge tables: output-sensitive row-interval decomposition of
+//! rectilinear polygons.
+//!
+//! The even–odd containment test of [`crate::RectilinearPolygon::contains_pixel`]
+//! walks *every* edge for *every* pixel, so pixelizing a region costs
+//! O(pixels × edges). But a rectilinear polygon's intersection with one pixel
+//! row is fully determined by the vertical edges whose y-span crosses that
+//! row: sorting their x coordinates yields the row's inside x-intervals
+//! directly (consecutive pairs of crossings, by the even–odd rule). An
+//! [`EdgeTable`] precomputes that decomposition once per polygon, after which
+//! any row's intervals are available in O(crossing edges) — pixel counts over
+//! a window become pure interval arithmetic that never touches individual
+//! pixels.
+//!
+//! Construction buckets the vertical edges into *slabs*: maximal y-ranges
+//! within which the set of crossing edges (and therefore the sorted crossing
+//! list) is constant. The slab boundaries are the distinct edge endpoints, so
+//! a polygon with `E` edges has at most `E` slabs and the table costs
+//! O(E²) space in the worst case — negligible for segmentation boundaries,
+//! which have tens of vertices. A row query is a binary search over slabs
+//! plus a borrowed slice, and repeated queries for consecutive rows hit the
+//! same slab.
+//!
+//! The interval helpers ([`span_len_in`], [`overlap_len_in`]) are the
+//! arithmetic core of the PixelBox pixelization fast path: per row, the
+//! intersection of two polygons is the overlap of their crossing lists and
+//! the union follows by inclusion–exclusion, both exactly (all integer), so
+//! the fast path is bit-identical to per-pixel classification.
+
+use crate::point::Point;
+
+/// Precomputed scanline decomposition of one rectilinear polygon: for every
+/// pixel row, the sorted x coordinates at which a `+x` ray from that row
+/// crosses the polygon boundary.
+///
+/// Consecutive crossing pairs delimit the half-open x-intervals of pixels
+/// inside the polygon on that row; the crossing count per row is always even
+/// because the boundary is a closed chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeTable {
+    /// Sorted distinct y endpoints of the vertical edges. Slab `i` covers the
+    /// pixel rows `[slab_ys[i], slab_ys[i+1])`.
+    slab_ys: Vec<i32>,
+    /// `offsets[i]..offsets[i+1]` indexes slab `i`'s crossings in `xs`.
+    offsets: Vec<u32>,
+    /// Concatenated sorted crossing x coordinates, slab by slab.
+    xs: Vec<i32>,
+}
+
+impl EdgeTable {
+    /// Builds the table from a closed rectilinear vertex chain
+    /// (`v0 → v1 → … → v(n-1) → v0`). Horizontal edges are ignored: a
+    /// horizontal ray never crosses them (the same rule as
+    /// [`crate::RectilinearPolygon::contains_pixel`]).
+    pub fn from_vertices(vertices: &[Point]) -> Self {
+        // Collect the vertical edges as (x, y_lo, y_hi) spans.
+        let n = vertices.len();
+        let mut edges: Vec<(i32, i32, i32)> = Vec::with_capacity(n / 2 + 1);
+        for i in 0..n {
+            let a = vertices[i];
+            let b = vertices[(i + 1) % n];
+            if a.x == b.x && a.y != b.y {
+                let (lo, hi) = if a.y < b.y { (a.y, b.y) } else { (b.y, a.y) };
+                edges.push((a.x, lo, hi));
+            }
+        }
+        if edges.is_empty() {
+            return EdgeTable {
+                slab_ys: Vec::new(),
+                offsets: vec![0],
+                xs: Vec::new(),
+            };
+        }
+
+        let mut slab_ys: Vec<i32> = edges.iter().flat_map(|&(_, lo, hi)| [lo, hi]).collect();
+        slab_ys.sort_unstable();
+        slab_ys.dedup();
+
+        let slabs = slab_ys.len() - 1;
+        let mut offsets: Vec<u32> = Vec::with_capacity(slabs + 1);
+        let mut xs: Vec<i32> = Vec::new();
+        offsets.push(0);
+        let mut slab_xs: Vec<i32> = Vec::new();
+        for &row in &slab_ys[..slabs] {
+            slab_xs.clear();
+            // An edge spanning rows [lo, hi) crosses every row of this slab
+            // exactly when it crosses the slab's first row: slab boundaries
+            // include every edge endpoint, so spans cannot start or end
+            // strictly inside a slab.
+            slab_xs.extend(
+                edges
+                    .iter()
+                    .filter(|&&(_, lo, hi)| lo <= row && row < hi)
+                    .map(|&(x, _, _)| x),
+            );
+            slab_xs.sort_unstable();
+            debug_assert!(
+                slab_xs.len().is_multiple_of(2),
+                "closed chain must cross each row an even number of times"
+            );
+            xs.extend_from_slice(&slab_xs);
+            offsets.push(xs.len() as u32);
+        }
+        EdgeTable {
+            slab_ys,
+            offsets,
+            xs,
+        }
+    }
+
+    /// The sorted x coordinates at which the boundary crosses pixel row `y`
+    /// (even length; empty for rows outside the polygon's y-extent).
+    ///
+    /// Pixel `(x, y)` is inside the polygon exactly when `x` lies in one of
+    /// the half-open intervals `[xs[0], xs[1]), [xs[2], xs[3]), …`.
+    #[inline]
+    pub fn row_crossings(&self, y: i32) -> &[i32] {
+        let Some((&first, &last)) = self.slab_ys.first().zip(self.slab_ys.last()) else {
+            return &[];
+        };
+        if y < first || y >= last {
+            return &[];
+        }
+        // Greatest slab whose first row is <= y.
+        let slab = self.slab_ys.partition_point(|&b| b <= y) - 1;
+        let lo = self.offsets[slab] as usize;
+        let hi = self.offsets[slab + 1] as usize;
+        &self.xs[lo..hi]
+    }
+
+    /// The inside x-intervals of pixel row `y` as half-open `(start, end)`
+    /// pairs, in increasing order.
+    pub fn row_intervals(&self, y: i32) -> impl Iterator<Item = (i32, i32)> + '_ {
+        self.row_crossings(y)
+            .chunks_exact(2)
+            .map(|pair| (pair[0], pair[1]))
+    }
+
+    /// Number of pixels of row `y` inside the polygon with x in `[lo, hi)`.
+    #[inline]
+    pub fn row_span_len(&self, y: i32, lo: i32, hi: i32) -> i64 {
+        span_len_in(self.row_crossings(y), lo, hi)
+    }
+
+    /// Number of y-slabs in the table (rows within one slab share a crossing
+    /// list).
+    pub fn slab_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+}
+
+/// Intersection and union pixel counts of two polygons over a window,
+/// computed row by row from their edge tables: the intersection is the
+/// overlap of the two crossing lists, the union follows by
+/// inclusion–exclusion. This is the one row-merge loop shared by the raster
+/// oracles and PixelBox's pixelization fast path, so the two can never
+/// silently diverge.
+pub fn intersection_union_in(
+    p: &EdgeTable,
+    q: &EdgeTable,
+    window: &crate::rect::Rect,
+) -> (i64, i64) {
+    let mut inter = 0i64;
+    let mut union = 0i64;
+    for y in window.min_y..window.max_y {
+        let xs_p = p.row_crossings(y);
+        let xs_q = q.row_crossings(y);
+        let row_inter = overlap_len_in(xs_p, xs_q, window.min_x, window.max_x);
+        let row_p = span_len_in(xs_p, window.min_x, window.max_x);
+        let row_q = span_len_in(xs_q, window.min_x, window.max_x);
+        inter += row_inter;
+        union += row_p + row_q - row_inter;
+    }
+    (inter, union)
+}
+
+/// Intersection pixel count only, over a window — one interval-overlap pass
+/// per row. The full PixelBox variant derives the union indirectly
+/// (`‖p∪q‖ = ‖p‖ + ‖q‖ − ‖p∩q‖`), so its pixelized tail boxes never need
+/// the two extra span passes of [`intersection_union_in`].
+pub fn intersection_len_in(p: &EdgeTable, q: &EdgeTable, window: &crate::rect::Rect) -> i64 {
+    (window.min_y..window.max_y)
+        .map(|y| {
+            overlap_len_in(
+                p.row_crossings(y),
+                q.row_crossings(y),
+                window.min_x,
+                window.max_x,
+            )
+        })
+        .sum()
+}
+
+/// Total length of the half-open intervals encoded by the sorted crossing
+/// list `xs` (consecutive pairs), clipped to the window `[lo, hi)`.
+#[inline]
+pub fn span_len_in(xs: &[i32], lo: i32, hi: i32) -> i64 {
+    let mut total = 0i64;
+    for pair in xs.chunks_exact(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if a >= hi {
+            break;
+        }
+        let start = a.max(lo);
+        let end = b.min(hi);
+        if end > start {
+            total += i64::from(end) - i64::from(start);
+        }
+    }
+    total
+}
+
+/// Total overlap length of two sorted crossing lists (each encoding
+/// half-open intervals as consecutive pairs), clipped to `[lo, hi)`: the
+/// number of pixels in the window inside *both* polygons on this row.
+#[inline]
+pub fn overlap_len_in(a: &[i32], b: &[i32], lo: i32, hi: i32) -> i64 {
+    let mut total = 0i64;
+    let mut i = 0;
+    let mut j = 0;
+    while i + 1 < a.len() && j + 1 < b.len() {
+        if a[i] >= hi || b[j] >= hi {
+            break;
+        }
+        let start = a[i].max(b[j]).max(lo);
+        let end = a[i + 1].min(b[j + 1]).min(hi);
+        if end > start {
+            total += i64::from(end) - i64::from(start);
+        }
+        // Advance whichever interval ends first (ties advance both safely on
+        // the next iterations; intervals are disjoint within each list).
+        if a[i + 1] <= b[j + 1] {
+            i += 2;
+        } else {
+            j += 2;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polygon::RectilinearPolygon;
+    use crate::rect::Rect;
+
+    fn l_shape() -> RectilinearPolygon {
+        RectilinearPolygon::new(vec![
+            Point::new(0, 0),
+            Point::new(4, 0),
+            Point::new(4, 2),
+            Point::new(2, 2),
+            Point::new(2, 4),
+            Point::new(0, 4),
+        ])
+        .unwrap()
+    }
+
+    /// A comb with two teeth: rows near the top have two inside intervals.
+    fn comb() -> RectilinearPolygon {
+        RectilinearPolygon::new(vec![
+            Point::new(0, 0),
+            Point::new(5, 0),
+            Point::new(5, 3),
+            Point::new(4, 3),
+            Point::new(4, 1),
+            Point::new(3, 1),
+            Point::new(3, 3),
+            Point::new(2, 3),
+            Point::new(2, 1),
+            Point::new(1, 1),
+            Point::new(1, 3),
+            Point::new(0, 3),
+        ])
+        .unwrap()
+    }
+
+    fn table(poly: &RectilinearPolygon) -> EdgeTable {
+        EdgeTable::from_vertices(poly.vertices())
+    }
+
+    #[test]
+    fn rows_match_contains_pixel() {
+        for poly in [l_shape(), comb()] {
+            let table = table(&poly);
+            let mbr = poly.mbr();
+            for y in mbr.min_y - 2..mbr.max_y + 2 {
+                let xs = table.row_crossings(y);
+                assert_eq!(xs.len() % 2, 0, "even crossings at row {y}");
+                for x in mbr.min_x - 2..mbr.max_x + 2 {
+                    let by_intervals = xs.chunks_exact(2).any(|p| p[0] <= x && x < p[1]);
+                    assert_eq!(by_intervals, poly.contains_pixel(x, y), "pixel ({x}, {y})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comb_rows_have_multiple_intervals() {
+        let table = table(&comb());
+        let intervals: Vec<_> = table.row_intervals(2).collect();
+        assert_eq!(intervals, vec![(0, 1), (2, 3), (4, 5)]);
+        let base: Vec<_> = table.row_intervals(0).collect();
+        assert_eq!(base, vec![(0, 5)]);
+        assert!(table.row_intervals(3).next().is_none());
+    }
+
+    #[test]
+    fn span_len_counts_window_pixels() {
+        let xs = [0, 3, 5, 9];
+        assert_eq!(span_len_in(&xs, i32::MIN, i32::MAX), 7);
+        assert_eq!(span_len_in(&xs, 1, 6), 3); // [1,3) + [5,6)
+        assert_eq!(span_len_in(&xs, 3, 5), 0);
+        assert_eq!(span_len_in(&[], 0, 10), 0);
+    }
+
+    #[test]
+    fn overlap_len_matches_brute_force() {
+        let a = [0, 4, 6, 10, 12, 13];
+        let b = [2, 7, 9, 12];
+        let window = (1, 12);
+        let brute: i64 = (window.0..window.1)
+            .filter(|&x| {
+                let in_a = a.chunks_exact(2).any(|p| p[0] <= x && x < p[1]);
+                let in_b = b.chunks_exact(2).any(|p| p[0] <= x && x < p[1]);
+                in_a && in_b
+            })
+            .count() as i64;
+        assert_eq!(overlap_len_in(&a, &b, window.0, window.1), brute);
+        assert_eq!(overlap_len_in(&a, &[], 0, 20), 0);
+        assert_eq!(overlap_len_in(&a, &b, 5, 5), 0);
+    }
+
+    #[test]
+    fn rows_outside_extent_are_empty() {
+        let table = table(&l_shape());
+        assert!(table.row_crossings(-1).is_empty());
+        assert!(table.row_crossings(4).is_empty());
+        assert_eq!(table.row_crossings(0), &[0, 4]);
+        assert_eq!(table.row_crossings(3), &[0, 2]);
+    }
+
+    #[test]
+    fn area_by_rows_matches_shoelace() {
+        for poly in [l_shape(), comb()] {
+            let table = table(&poly);
+            let mbr: Rect = poly.mbr();
+            let area: i64 = (mbr.min_y..mbr.max_y)
+                .map(|y| table.row_span_len(y, mbr.min_x, mbr.max_x))
+                .sum();
+            assert_eq!(area, poly.area());
+        }
+    }
+
+    #[test]
+    fn slab_count_is_bounded_by_edge_endpoints() {
+        let table = table(&comb());
+        assert!(table.slab_count() >= 1);
+        assert!(table.slab_count() < comb().vertex_count());
+    }
+}

@@ -13,8 +13,12 @@
 //!   sampling boxes).
 //! * [`RectilinearPolygon`] — a validated, closed rectilinear polygon with
 //!   exact integer area, ray-cast containment tests and edge iteration.
-//! * [`raster`] — brute-force pixel rasterization used as the ground-truth
-//!   oracle in tests and as the conceptual reference for PixelBox.
+//! * [`edge_table`] — the scanline [`EdgeTable`]: a per-polygon row-interval
+//!   decomposition (built once, cached on the polygon) that turns pixel
+//!   counting into O(crossing edges) interval arithmetic per row.
+//! * [`raster`] — pixel rasterization oracles: interval-scanline fast paths
+//!   plus the retained brute-force per-pixel loops ([`raster::brute`]) they
+//!   are verified against.
 //! * [`text`] — the line-oriented text format in which segmentation results
 //!   are exchanged (one polygon per line), mirroring the polygon files the
 //!   paper's parser stage consumes.
@@ -31,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod edge_table;
 pub mod error;
 pub mod point;
 pub mod polygon;
@@ -38,6 +43,7 @@ pub mod raster;
 pub mod rect;
 pub mod text;
 
+pub use edge_table::EdgeTable;
 pub use error::GeometryError;
 pub use point::Point;
 pub use polygon::{Edge, EdgeKind, RectilinearPolygon};

@@ -1,9 +1,11 @@
 //! Rectilinear polygons with exact integer area and containment tests.
 
+use crate::edge_table::EdgeTable;
 use crate::error::GeometryError;
 use crate::point::Point;
 use crate::rect::Rect;
 use crate::Result;
+use std::sync::{Arc, OnceLock};
 
 /// Orientation of a rectilinear edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,11 +102,39 @@ impl Edge {
 /// Self-intersection is not checked: segmentation outputs are simple by
 /// construction, and the algorithms under study only rely on the even–odd
 /// containment rule, which remains well defined.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct RectilinearPolygon {
     vertices: Vec<Point>,
     mbr: Rect,
+    /// Lazily built scanline [`EdgeTable`] (see [`RectilinearPolygon::edge_table`]).
+    /// Shared through an `Arc` so cloning a polygon keeps the cache warm
+    /// without duplicating it.
+    edge_table: OnceLock<Arc<EdgeTable>>,
 }
+
+impl Clone for RectilinearPolygon {
+    fn clone(&self) -> Self {
+        let edge_table = OnceLock::new();
+        if let Some(table) = self.edge_table.get() {
+            let _ = edge_table.set(Arc::clone(table));
+        }
+        RectilinearPolygon {
+            vertices: self.vertices.clone(),
+            mbr: self.mbr,
+            edge_table,
+        }
+    }
+}
+
+impl PartialEq for RectilinearPolygon {
+    fn eq(&self, other: &Self) -> bool {
+        // The MBR and edge table are derived from the vertex chain; identity
+        // is the chain itself.
+        self.vertices == other.vertices
+    }
+}
+
+impl Eq for RectilinearPolygon {}
 
 impl RectilinearPolygon {
     /// Builds a polygon from a vertex chain, validating rectilinearity.
@@ -144,6 +174,7 @@ impl RectilinearPolygon {
         let poly = RectilinearPolygon {
             mbr: Self::compute_mbr(&vertices),
             vertices,
+            edge_table: OnceLock::new(),
         };
         if poly.area() == 0 {
             return Err(GeometryError::ZeroArea);
@@ -233,6 +264,18 @@ impl RectilinearPolygon {
     #[inline]
     pub fn mbr(&self) -> Rect {
         self.mbr
+    }
+
+    /// The polygon's scanline [`EdgeTable`], built on first use and cached
+    /// (clones of the polygon share the cached table).
+    ///
+    /// The table decomposes every pixel row into its inside x-intervals in
+    /// O(crossing edges) per row, which is what makes interval-arithmetic
+    /// pixel counting ([`crate::raster`], PixelBox's pixelization fast path)
+    /// output-sensitive instead of O(pixels × edges).
+    pub fn edge_table(&self) -> &EdgeTable {
+        self.edge_table
+            .get_or_init(|| Arc::new(EdgeTable::from_vertices(&self.vertices)))
     }
 
     /// Iterator over the polygon's directed boundary edges.

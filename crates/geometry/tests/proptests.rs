@@ -48,6 +48,35 @@ fn small_rect() -> impl Strategy<Value = Rect> {
     (0i32..40, 0i32..40, 1i32..20, 1i32..20).prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
 }
 
+/// Generates a random rectilinear "skyline" polygon: a flat base along
+/// `y = oy` with columns of varying heights above it. Unlike the staircase,
+/// rows of a skyline intersect the polygon in *many* x-intervals, which is
+/// exactly what stresses the edge-table interval decomposition and the
+/// interval-merge arithmetic of the raster fast path.
+fn skyline_polygon() -> impl Strategy<Value = RectilinearPolygon> {
+    (2usize..9).prop_flat_map(|columns| {
+        (
+            prop::collection::vec(1i32..5, columns),
+            prop::collection::vec(1i32..9, columns),
+            -20i32..20,
+            -20i32..20,
+        )
+            .prop_map(|(widths, heights, ox, oy)| {
+                let mut vertices = vec![Point::new(ox, oy)];
+                let mut x = ox;
+                for (w, h) in widths.iter().zip(heights.iter()) {
+                    vertices.push(Point::new(x, oy + h));
+                    x += w;
+                    vertices.push(Point::new(x, oy + h));
+                }
+                vertices.push(Point::new(x, oy));
+                // Equal adjacent heights leave collinear vertices behind;
+                // canonicalize removes them.
+                RectilinearPolygon::canonicalize(vertices).expect("skyline is valid")
+            })
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -118,6 +147,58 @@ proptest! {
             total += sub.pixel_count();
         }
         prop_assert_eq!(total, r.pixel_count());
+    }
+
+    #[test]
+    fn edge_table_rows_match_contains_pixel(poly in skyline_polygon()) {
+        let table = poly.edge_table();
+        let mbr = poly.mbr();
+        for y in mbr.min_y - 1..mbr.max_y + 1 {
+            let xs = table.row_crossings(y);
+            prop_assert_eq!(xs.len() % 2, 0);
+            for x in mbr.min_x - 1..mbr.max_x + 1 {
+                let in_intervals = table.row_intervals(y).any(|(a, b)| a <= x && x < b);
+                prop_assert_eq!(in_intervals, poly.contains_pixel(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn interval_raster_matches_brute_oracle(p in skyline_polygon(), q in skyline_polygon(), window in small_rect()) {
+        prop_assert_eq!(raster::polygon_area(&p), raster::brute::polygon_area(&p));
+        prop_assert_eq!(
+            raster::intersection_union_area(&p, &q),
+            raster::brute::intersection_union_area(&p, &q)
+        );
+        prop_assert_eq!(
+            raster::intersection_area(&p, &q),
+            raster::brute::intersection_area(&p, &q)
+        );
+        prop_assert_eq!(
+            raster::pixels_inside(&p, &window),
+            raster::brute::pixels_inside(&p, &window)
+        );
+    }
+
+    #[test]
+    fn interval_raster_matches_brute_on_staircases(p in staircase_polygon(), q in skyline_polygon()) {
+        prop_assert_eq!(
+            raster::intersection_union_area(&p, &q),
+            raster::brute::intersection_union_area(&p, &q)
+        );
+    }
+
+    #[test]
+    fn clone_shares_the_edge_table_cache(poly in skyline_polygon()) {
+        // A clone taken before the cache exists builds its own table...
+        let before_clone = poly.clone();
+        prop_assert!(before_clone.edge_table().slab_count() >= 1);
+        prop_assert!(!std::ptr::eq(before_clone.edge_table(), poly.edge_table()));
+        // ...while a clone taken after shares the very same allocation.
+        let after_clone = poly.clone();
+        prop_assert!(std::ptr::eq(poly.edge_table(), after_clone.edge_table()));
+        prop_assert_eq!(raster::polygon_area(&after_clone), raster::polygon_area(&poly));
+        prop_assert_eq!(&after_clone, &poly);
     }
 
     #[test]
