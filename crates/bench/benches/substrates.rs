@@ -11,6 +11,9 @@ use sccg::pixelbox::algorithm::{compute_pair, compute_pair_reference};
 use sccg::pixelbox::{ComputeBackend, HybridBackend, PixelBoxConfig, SplitConfig};
 use sccg_bench::{dense_l_pair, filtered_pairs, representative_tile};
 use sccg_clip::{monte_carlo_areas, pair_areas};
+use sccg_geometry::edge_table::{
+    overlap_len_in, overlap_len_in_scalar, span_len_in, span_len_in_scalar, LANES,
+};
 use sccg_geometry::text::{parse_polygon_file, write_polygon_file};
 use sccg_geometry::Rect;
 use sccg_gpu_sim::{Device, DeviceConfig};
@@ -51,7 +54,7 @@ fn bench(c: &mut Criterion) {
     // finished by the pixelization kernel. The `scanline` row is the
     // interval fast path, the `per_pixel_seed` row the retained seed loop —
     // same areas, same trace, different cost (the fast path's acceptance
-    // target is ≥ 5× on this shape; the observed gap is far larger).
+    // target is ≥ 100× on this shape; the observed gap is far larger).
     let dense = dense_l_pair(512);
     let dense_threshold = 1u32 << 30; // threshold ≫ region: pixelize at once
     group.bench_function("pixelize_dense_scanline", |bench| {
@@ -64,6 +67,22 @@ fn bench(c: &mut Criterion) {
         })
     });
     group.sample_size(20);
+
+    // Interval-merge kernel ablation: the lane-chunked branchless kernels vs
+    // their early-break scalar references, on crossing lists wide enough to
+    // span several lane chunks (the kernels are proven bit-identical by the
+    // lane-boundary proptests; these rows track the cost gap).
+    let wide_a: Vec<i32> = (0..(4 * LANES as i32 + 2)).map(|i| 3 * i).collect();
+    let wide_b: Vec<i32> = (0..(4 * LANES as i32 + 2)).map(|i| 3 * i + 1).collect();
+    let (lo, hi) = (4, 3 * (4 * LANES as i32 + 2) - 4);
+    group.bench_function("interval_merge_scalar", |bench| {
+        bench.iter(|| {
+            span_len_in_scalar(&wide_a, lo, hi) + overlap_len_in_scalar(&wide_a, &wide_b, lo, hi)
+        })
+    });
+    group.bench_function("interval_merge_lanes", |bench| {
+        bench.iter(|| span_len_in(&wide_a, lo, hi) + overlap_len_in(&wide_a, &wide_b, lo, hi))
+    });
 
     // Hybrid split ablation: the same pair stream chunked into batches, run
     // through static GPU fractions and the adaptive controller. The backend

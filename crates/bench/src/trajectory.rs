@@ -1,0 +1,536 @@
+//! The tracked performance trajectory: `BENCH_trajectory.json`.
+//!
+//! `BENCH_pixelbox.json` is a *snapshot* — it is overwritten by every
+//! `reproduce -- bench` run, so a slow erosion of throughput across PRs is
+//! invisible in review. The trajectory file fixes that: every bench run
+//! [appends](append_entry) a timestamped entry (schema
+//! [`TRAJECTORY_SCHEMA`]), and the [gate](check_gate) — run by CI right
+//! after the bench step — fails the build when the latest entry falls below
+//! [`SUBSTRATE_FLOOR_RATIO`] of the *best ever recorded* pairs/sec for any
+//! substrate, or when the `pixelize_dense` scanline-vs-per-pixel speedup
+//! drops under [`DENSE_SPEEDUP_GATE`].
+//!
+//! The JSON handling is hand-rolled (a small recursive-descent reader and a
+//! plain formatter): the workspace's vendored `serde` shim provides no
+//! derive-based deserialization, and the format is five fields deep.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Schema identifier stamped into the trajectory file.
+pub const TRAJECTORY_SCHEMA: &str = "sccg-bench-trajectory/v1";
+
+/// Default location of the trajectory file, relative to the repo root.
+pub const TRAJECTORY_PATH: &str = "BENCH_trajectory.json";
+
+/// The regression floor: the latest entry must reach at least this fraction
+/// of the best recorded `pairs_per_sec`, per substrate.
+pub const SUBSTRATE_FLOOR_RATIO: f64 = 0.8;
+
+/// Minimum `pixelize_dense` speedup (interval-scanline kernel over the
+/// per-pixel seed loop) the latest entry must sustain.
+pub const DENSE_SPEEDUP_GATE: f64 = 100.0;
+
+/// Sustained throughput of one substrate in one bench run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubstrateRate {
+    /// Substrate name (`cpu-s`, `cpu`, `gpu`, `hybrid-adaptive`).
+    pub name: String,
+    /// Pairs per wall-clock second over the timed batches.
+    pub pairs_per_sec: f64,
+}
+
+/// One timestamped bench run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryEntry {
+    /// Free-form label (`pr5-baseline`, `bench`, …).
+    pub label: String,
+    /// Unix timestamp (seconds) of the run.
+    pub unix_seconds: u64,
+    /// Per-substrate sustained throughput.
+    pub substrates: Vec<SubstrateRate>,
+    /// The `pixelize_dense` scanline-vs-per-pixel speedup of the run.
+    pub pixelize_dense_speedup: f64,
+}
+
+/// Reads the trajectory file. A missing file is an empty trajectory; a
+/// present but malformed file (or a wrong schema) is an error, so a gate run
+/// can never silently pass on garbage.
+pub fn read_trajectory(path: &Path) -> Result<Vec<TrajectoryEntry>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(err) => return Err(format!("read {}: {err}", path.display())),
+    };
+    let root = Value::parse(&text).map_err(|err| format!("{}: {err}", path.display()))?;
+    let schema = root
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{}: missing \"schema\"", path.display()))?;
+    if schema != TRAJECTORY_SCHEMA {
+        return Err(format!(
+            "{}: schema \"{schema}\" is not \"{TRAJECTORY_SCHEMA}\"",
+            path.display()
+        ));
+    }
+    let entries = root
+        .get("entries")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{}: missing \"entries\" array", path.display()))?;
+    entries
+        .iter()
+        .enumerate()
+        .map(|(i, entry)| {
+            parse_entry(entry).map_err(|err| format!("{}: entry {i}: {err}", path.display()))
+        })
+        .collect()
+}
+
+fn parse_entry(value: &Value) -> Result<TrajectoryEntry, String> {
+    let field = |key: &str| value.get(key).ok_or_else(|| format!("missing \"{key}\""));
+    let label = field("label")?
+        .as_str()
+        .ok_or("\"label\" is not a string")?
+        .to_string();
+    let unix_seconds = field("unix_seconds")?
+        .as_f64()
+        .ok_or("\"unix_seconds\" is not a number")? as u64;
+    let pixelize_dense_speedup = field("pixelize_dense_speedup")?
+        .as_f64()
+        .ok_or("\"pixelize_dense_speedup\" is not a number")?;
+    let substrates = field("substrates")?
+        .as_array()
+        .ok_or("\"substrates\" is not an array")?
+        .iter()
+        .map(|s| {
+            Ok(SubstrateRate {
+                name: s
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or("substrate missing \"name\"")?
+                    .to_string(),
+                pairs_per_sec: s
+                    .get("pairs_per_sec")
+                    .and_then(Value::as_f64)
+                    .ok_or("substrate missing \"pairs_per_sec\"")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(TrajectoryEntry {
+        label,
+        unix_seconds,
+        substrates,
+        pixelize_dense_speedup,
+    })
+}
+
+/// Appends `entry` to the trajectory at `path` (creating the file on first
+/// use) and returns the full trajectory after the append.
+pub fn append_entry(path: &Path, entry: TrajectoryEntry) -> Result<Vec<TrajectoryEntry>, String> {
+    let mut entries = read_trajectory(path)?;
+    entries.push(entry);
+    std::fs::write(path, format_trajectory(&entries))
+        .map_err(|err| format!("write {}: {err}", path.display()))?;
+    Ok(entries)
+}
+
+/// Serializes a trajectory in the `sccg-bench-trajectory/v1` layout.
+pub fn format_trajectory(entries: &[TrajectoryEntry]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\n  \"schema\": \"{TRAJECTORY_SCHEMA}\",\n  \"entries\": ["
+    );
+    for (i, entry) in entries.iter().enumerate() {
+        let mut substrates = String::new();
+        for (j, s) in entry.substrates.iter().enumerate() {
+            let _ = write!(
+                substrates,
+                "{}\n        {{\"name\": \"{}\", \"pairs_per_sec\": {}}}",
+                if j == 0 { "" } else { "," },
+                s.name,
+                s.pairs_per_sec
+            );
+        }
+        let _ = write!(
+            out,
+            "    {{\n      \"label\": \"{}\",\n      \"unix_seconds\": {},\n      \
+             \"pixelize_dense_speedup\": {},\n      \"substrates\": [{substrates}\n      ]\n    \
+             }}{}\n",
+            entry.label,
+            entry.unix_seconds,
+            entry.pixelize_dense_speedup,
+            if i + 1 == entries.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The regression gate. Checks the *latest* entry against the whole recorded
+/// history: every substrate it reports must sustain at least
+/// [`SUBSTRATE_FLOOR_RATIO`] of the best `pairs_per_sec` ever recorded for
+/// that substrate, and its `pixelize_dense` speedup must be at least
+/// [`DENSE_SPEEDUP_GATE`]. Returns one human-readable line per passed check,
+/// or the first failure.
+pub fn check_gate(entries: &[TrajectoryEntry]) -> Result<Vec<String>, String> {
+    let latest = entries.last().ok_or("trajectory is empty")?;
+    let mut lines = Vec::new();
+    for rate in &latest.substrates {
+        let best = entries
+            .iter()
+            .flat_map(|e| &e.substrates)
+            .filter(|s| s.name == rate.name)
+            .map(|s| s.pairs_per_sec)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let floor = best * SUBSTRATE_FLOOR_RATIO;
+        // A NaN rate must fail, never slip past a comparison.
+        if rate.pairs_per_sec.is_nan() || rate.pairs_per_sec < floor {
+            return Err(format!(
+                "substrate {}: latest {:.0} pairs/s is below {SUBSTRATE_FLOOR_RATIO} x best \
+                 recorded {best:.0} (floor {floor:.0})",
+                rate.name, rate.pairs_per_sec
+            ));
+        }
+        lines.push(format!(
+            "{:<16} {:12.0} pairs/s  (best {best:.0}, floor {floor:.0})",
+            rate.name, rate.pairs_per_sec
+        ));
+    }
+    if latest.pixelize_dense_speedup.is_nan() || latest.pixelize_dense_speedup < DENSE_SPEEDUP_GATE
+    {
+        return Err(format!(
+            "pixelize_dense speedup {:.1}x is below the {DENSE_SPEEDUP_GATE}x gate",
+            latest.pixelize_dense_speedup
+        ));
+    }
+    lines.push(format!(
+        "pixelize_dense   {:11.1}x  (gate {DENSE_SPEEDUP_GATE}x)",
+        latest.pixelize_dense_speedup
+    ));
+    Ok(lines)
+}
+
+/// A parsed JSON value — just enough of the grammar for the bench files.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn parse(input: &str) -> Result<Value, String> {
+        let mut reader = Reader {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        let value = reader.value()?;
+        reader.skip_ws();
+        if reader.pos != reader.bytes.len() {
+            return Err(format!("trailing data at byte {}", reader.pos));
+        }
+        Ok(value)
+    }
+
+    fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Recursive-descent JSON reader over raw bytes. Strings support the `\"`,
+/// `\\`, `\/`, `\n`, `\t`, `\r` escapes (no `\u`, which the bench files
+/// never emit); numbers go through `str::parse::<f64>`.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b" \t\r\n".contains(b))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    let escaped = match self.bytes.get(self.pos + 1) {
+                        Some(b'"') => '"',
+                        Some(b'\\') => '\\',
+                        Some(b'/') => '/',
+                        Some(b'n') => '\n',
+                        Some(b't') => '\t',
+                        Some(b'r') => '\r',
+                        _ => return Err(format!("unsupported escape at byte {}", self.pos)),
+                    };
+                    out.push(escaped);
+                    self.pos += 2;
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || b"+-.eE".contains(b))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(label: &str, rates: &[(&str, f64)], dense: f64) -> TrajectoryEntry {
+        TrajectoryEntry {
+            label: label.into(),
+            unix_seconds: 1_785_059_034,
+            substrates: rates
+                .iter()
+                .map(|&(name, pairs_per_sec)| SubstrateRate {
+                    name: name.into(),
+                    pairs_per_sec,
+                })
+                .collect(),
+            pixelize_dense_speedup: dense,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_the_formatter_and_reader() {
+        let entries = vec![
+            entry("pr5-baseline", &[("cpu-s", 1.3e6), ("gpu", 1.1e6)], 598.5),
+            entry("bench", &[("cpu-s", 2.0e6), ("gpu", 1.5e6)], 700.25),
+        ];
+        let text = format_trajectory(&entries);
+        let root = Value::parse(&text).unwrap();
+        assert_eq!(
+            root.get("schema").and_then(Value::as_str),
+            Some(TRAJECTORY_SCHEMA)
+        );
+        let parsed: Vec<TrajectoryEntry> = root
+            .get("entries")
+            .and_then(Value::as_array)
+            .unwrap()
+            .iter()
+            .map(|e| parse_entry(e).unwrap())
+            .collect();
+        assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn append_and_read_via_the_filesystem() {
+        let dir = std::env::temp_dir().join("sccg-trajectory-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("t-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(read_trajectory(&path).unwrap(), Vec::new());
+        append_entry(&path, entry("first", &[("cpu", 1.0e6)], 400.0)).unwrap();
+        let all = append_entry(&path, entry("second", &[("cpu", 1.2e6)], 500.0)).unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(read_trajectory(&path).unwrap(), all);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn gate_passes_at_or_above_the_floor() {
+        let entries = vec![
+            entry("best", &[("cpu", 1.0e6)], 600.0),
+            entry("latest", &[("cpu", 0.85e6)], 150.0),
+        ];
+        let lines = check_gate(&entries).unwrap();
+        assert_eq!(lines.len(), 2);
+    }
+
+    #[test]
+    fn gate_fails_below_the_substrate_floor() {
+        let entries = vec![
+            entry("best", &[("cpu", 1.0e6)], 600.0),
+            entry("latest", &[("cpu", 0.5e6)], 600.0),
+        ];
+        let err = check_gate(&entries).unwrap_err();
+        assert!(err.contains("cpu"), "{err}");
+        assert!(err.contains("below"), "{err}");
+    }
+
+    #[test]
+    fn gate_fails_below_the_dense_speedup_gate() {
+        let entries = vec![entry("latest", &[("cpu", 1.0e6)], 42.0)];
+        let err = check_gate(&entries).unwrap_err();
+        assert!(err.contains("pixelize_dense"), "{err}");
+    }
+
+    #[test]
+    fn gate_rejects_an_empty_trajectory_and_nan_rates() {
+        assert!(check_gate(&[]).is_err());
+        let entries = vec![
+            entry("best", &[("cpu", 1.0e6)], 600.0),
+            entry("latest", &[("cpu", f64::NAN)], 600.0),
+        ];
+        assert!(check_gate(&entries).is_err(), "NaN must not pass the gate");
+    }
+
+    #[test]
+    fn malformed_files_and_wrong_schemas_are_errors() {
+        assert!(Value::parse("{\"a\": }").is_err());
+        assert!(Value::parse("[1, 2").is_err());
+        assert!(Value::parse("{} trailing").is_err());
+        let dir = std::env::temp_dir().join("sccg-trajectory-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("bad-{}.json", std::process::id()));
+        std::fs::write(&path, "{\"schema\": \"other/v9\", \"entries\": []}").unwrap();
+        assert!(read_trajectory(&path).unwrap_err().contains("schema"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reads_the_snapshot_style_numbers_exactly() {
+        let text = "{\"schema\": \"sccg-bench-trajectory/v1\", \"entries\": [{\"label\": \"x\", \
+                    \"unix_seconds\": 1785059034, \"pixelize_dense_speedup\": 598.5469710272168, \
+                    \"substrates\": [{\"name\": \"cpu-s\", \"pairs_per_sec\": \
+                    1338154.717169617}]}]}";
+        let dir = std::env::temp_dir().join("sccg-trajectory-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("snap-{}.json", std::process::id()));
+        std::fs::write(&path, text).unwrap();
+        let entries = read_trajectory(&path).unwrap();
+        assert_eq!(entries[0].substrates[0].pairs_per_sec, 1338154.717169617);
+        assert_eq!(entries[0].pixelize_dense_speedup, 598.5469710272168);
+        assert_eq!(entries[0].unix_seconds, 1785059034);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

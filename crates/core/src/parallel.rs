@@ -268,6 +268,95 @@ impl WorkerPool {
         unsafe { out.set_len(len) };
         out
     }
+
+    /// Runs `a` on a pool thread while the calling thread runs `b`,
+    /// returning both results. This replaces per-call `std::thread::scope`
+    /// spawns on hot paths — the hybrid backend overlaps its CPU share with
+    /// driving the simulated GPU on *every* batch, and an OS thread spawn
+    /// per sub-millisecond batch dwarfs the work itself.
+    ///
+    /// If no pool thread has picked the task up by the time `b` finishes,
+    /// the calling thread claims and runs `a` itself, so the call never
+    /// deadlocks (and degrades to plain sequential execution on a saturated
+    /// pool). A panic in either closure propagates to the caller with its
+    /// original payload.
+    pub fn join<RA, RB, A, B>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        RA: Send,
+        B: FnOnce() -> RB,
+    {
+        struct JoinState<A, RA> {
+            /// The task, taken exactly once — by the first of the pool
+            /// ticket and the submitter to claim it.
+            task: Mutex<Option<A>>,
+            /// The ticket's outcome, taken by the submitter before
+            /// returning (so a stale ticket never holds borrowed data).
+            result: Mutex<Option<std::thread::Result<RA>>>,
+            done: Mutex<bool>,
+            finished: Condvar,
+        }
+        let state = Arc::new(JoinState {
+            task: Mutex::new(Some(a)),
+            result: Mutex::new(None),
+            done: Mutex::new(false),
+            finished: Condvar::new(),
+        });
+
+        let run_state = Arc::clone(&state);
+        let run = move || {
+            let task = run_state.task.lock().expect("join task poisoned").take();
+            if let Some(task) = task {
+                let outcome = catch_unwind(AssertUnwindSafe(task));
+                *run_state.result.lock().expect("join result poisoned") = Some(outcome);
+                let mut done = run_state.done.lock().expect("join latch poisoned");
+                *done = true;
+                run_state.finished.notify_all();
+            }
+        };
+        // SAFETY: same lifetime-erasure argument as `map`. The erased
+        // closure only touches `a`'s borrows after winning the `task` claim,
+        // and this call does not return until that claim's completion latch
+        // fires (or until the submitter won the claim itself and ran `a`
+        // inline) — so no access outlives the borrows. By return time both
+        // `task` and `result` have been taken, so a stale ticket's eventual
+        // drop frees an empty state and never runs borrowed destructors.
+        let ticket: Ticket = {
+            let local: Arc<dyn Fn() + Send + Sync + '_> = Arc::new(run);
+            unsafe { std::mem::transmute::<Arc<dyn Fn() + Send + Sync + '_>, Ticket>(local) }
+        };
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            queue.tickets.push_back(ticket);
+        }
+        self.shared.work_available.notify_one();
+
+        // `b` runs under `catch_unwind` so that a panic in it cannot unwind
+        // out of this frame before the pooled task is settled below — the
+        // ticket must never touch `a`'s borrows after this call returns.
+        let rb = catch_unwind(AssertUnwindSafe(b));
+        let claimed = state.task.lock().expect("join task poisoned").take();
+        let ra = if let Some(task) = claimed {
+            // No pool thread got there first: run the task inline.
+            catch_unwind(AssertUnwindSafe(task))
+        } else {
+            let mut done = state.done.lock().expect("join latch poisoned");
+            while !*done {
+                done = state.finished.wait(done).expect("join latch poisoned");
+            }
+            drop(done);
+            state
+                .result
+                .lock()
+                .expect("join result poisoned")
+                .take()
+                .expect("claimed join task must leave a result")
+        };
+        match (ra, rb) {
+            (Ok(ra), Ok(rb)) => (ra, rb),
+            (Err(payload), _) | (_, Err(payload)) => std::panic::resume_unwind(payload),
+        }
+    }
 }
 
 impl Drop for WorkerPool {
@@ -489,6 +578,56 @@ mod tests {
         // The pool still works afterwards.
         let out = pool.map(&items, 4, 4, |x| x + 1);
         assert_eq!(out.len(), items.len());
+    }
+
+    #[test]
+    fn join_overlaps_two_closures_over_borrowed_data() {
+        let pool = WorkerPool::new(2);
+        let left: Vec<u64> = (0..512).collect();
+        let right: Vec<u64> = (0..512).collect();
+        for _ in 0..50 {
+            let (a, b) = pool.join(
+                || left.iter().sum::<u64>(),
+                || right.iter().map(|x| x * 2).sum::<u64>(),
+            );
+            assert_eq!(a, 512 * 511 / 2);
+            assert_eq!(b, 512 * 511);
+        }
+    }
+
+    #[test]
+    fn join_runs_inline_on_a_saturated_pool() {
+        // Park the only pool thread in a long map job, then join: the
+        // submitter must claim the task itself instead of deadlocking.
+        let pool = Arc::new(WorkerPool::new(1));
+        let blocker = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                let items: Vec<u64> = (0..64).collect();
+                pool.map(&items, 2, 1, |x| {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    *x
+                })
+            })
+        };
+        let (a, b) = pool.join(|| 21 + 21, || "main");
+        assert_eq!((a, b), (42, "main"));
+        assert_eq!(blocker.join().expect("blocker").len(), 64);
+    }
+
+    #[test]
+    fn join_propagates_panics_from_both_sides() {
+        let pool = WorkerPool::new(2);
+        let pooled = catch_unwind(AssertUnwindSafe(|| {
+            pool.join(|| panic!("pooled side"), || 1)
+        }));
+        assert!(pooled.is_err());
+        let submitter = catch_unwind(AssertUnwindSafe(|| {
+            pool.join(|| 1, || panic!("submitter side"))
+        }));
+        assert!(submitter.is_err());
+        // The pool still works afterwards.
+        assert_eq!(pool.join(|| 1, || 2), (1, 2));
     }
 
     #[test]

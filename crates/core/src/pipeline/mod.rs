@@ -51,7 +51,7 @@ use crate::pixelbox::{
 };
 use parking_lot::Mutex;
 use sccg_datagen::TilePair;
-use sccg_geometry::text::{parse_polygon_file, PolygonRecord};
+use sccg_geometry::text::{parse_record, PolygonRecord};
 use sccg_geometry::Rect;
 use sccg_gpu_sim::{Device, DeviceConfig};
 use sccg_rtree::HilbertRTree;
@@ -620,6 +620,22 @@ impl Pipeline {
                             .map(|(j, r)| (r.polygon.mbr(), j as u32))
                             .collect(),
                     );
+                    // Prewarm every record's edge table while the tile is
+                    // still records: the filter stage clones polygons into
+                    // pairs, and a clone shares an already-built table but
+                    // starts cold otherwise — so building here costs one
+                    // build per polygon per tile instead of one per pair
+                    // membership at first kernel touch.
+                    let polygons: Vec<_> = parsed
+                        .first
+                        .iter()
+                        .chain(parsed.second.iter())
+                        .map(|record| &record.polygon)
+                        .collect();
+                    crate::pixelbox::build_edge_tables_batch(
+                        &polygons,
+                        crate::parallel::default_workers(),
+                    );
                     let tile = IndexedTile {
                         first: parsed.first,
                         second: parsed.second,
@@ -732,9 +748,38 @@ impl Pipeline {
 /// comparison (the workflow skips malformed tiles).
 fn parse_task(task: &ParseTask) -> ParsedTile {
     ParsedTile {
-        first: parse_polygon_file(&task.first_text).unwrap_or_default(),
-        second: parse_polygon_file(&task.second_text).unwrap_or_default(),
+        first: parse_polygon_file_pooled(&task.first_text).unwrap_or_default(),
+        second: parse_polygon_file_pooled(&task.second_text).unwrap_or_default(),
     }
+}
+
+/// [`parse_polygon_file`](sccg_geometry::text::parse_polygon_file) with
+/// record-level parallelism on the persistent
+/// [`WorkerPool`](crate::parallel::WorkerPool): the file's record lines fan
+/// out over [`WorkerPool::global`](crate::parallel::WorkerPool::global) in
+/// chunks, so the parser stage draws on the same pool as the compute kernels
+/// instead of competing with it from dedicated threads — and a
+/// many-thousand-record tile parses at pool width. Identical semantics:
+/// blank and `#` lines are skipped, and the first malformed line (in file
+/// order) fails the whole file with its 1-based line number.
+pub fn parse_polygon_file_pooled(input: &str) -> sccg_geometry::Result<Vec<PolygonRecord>> {
+    let lines: Vec<(usize, &str)> = input
+        .lines()
+        .enumerate()
+        .filter_map(|(idx, line)| {
+            let trimmed = line.trim();
+            (!trimmed.is_empty() && !trimmed.starts_with('#')).then_some((idx + 1, trimmed))
+        })
+        .collect();
+    crate::parallel::WorkerPool::global()
+        .map(
+            &lines,
+            crate::parallel::default_workers(),
+            64,
+            |&(line_no, line)| parse_record(line, line_no),
+        )
+        .into_iter()
+        .collect()
 }
 
 #[cfg(test)]
@@ -742,6 +787,7 @@ mod tests {
     use super::*;
     use crate::engine::{CrossComparison, EngineConfig};
     use sccg_datagen::{generate_dataset, DatasetSpec};
+    use sccg_geometry::text::parse_polygon_file;
 
     fn small_dataset() -> sccg_datagen::Dataset {
         generate_dataset(&DatasetSpec {
@@ -862,6 +908,25 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn pooled_parse_matches_the_sequential_parser() {
+        let dataset = small_dataset();
+        let task = ParseTask::from_tile_pair(&dataset.tiles[0]);
+        let text = format!("# header comment\n\n{}\n   \n", task.first_text);
+        assert_eq!(
+            parse_polygon_file_pooled(&text).unwrap(),
+            parse_polygon_file(&text).unwrap()
+        );
+        assert!(parse_polygon_file_pooled("").unwrap().is_empty());
+        // The first malformed line (in file order) fails the file with the
+        // same error as the sequential parser.
+        let bad = "1 4 0 0 4 0 4 4 0 4\nnot a record\nalso bad\n";
+        assert_eq!(
+            parse_polygon_file_pooled(bad).unwrap_err().to_string(),
+            parse_polygon_file(bad).unwrap_err().to_string()
+        );
     }
 
     #[test]

@@ -10,8 +10,8 @@
 
 use super::position::{box_position, BoxPosition};
 use super::{PairAreas, PolygonPair, Variant};
-use sccg_geometry::edge_table::{intersection_len_in, intersection_union_in};
-use sccg_geometry::{Rect, RectilinearPolygon};
+use sccg_geometry::edge_table::{overlap_len_in, span_len_in};
+use sccg_geometry::{EdgeTable, Rect, RectilinearPolygon};
 
 /// Execution statistics of one pair (or a batch, traces are additive).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -73,7 +73,7 @@ impl Trace {
 pub enum PixelizeKernel {
     /// Interval-scanline fast path: per pixel row, intersect/merge the two
     /// polygons' inside x-intervals (from their cached
-    /// [`EdgeTable`](sccg_geometry::EdgeTable)s) with pure interval
+    /// [`EdgeTable`]s) with pure interval
     /// arithmetic — O(rows × crossing edges), never touching individual
     /// pixels.
     #[default]
@@ -131,16 +131,22 @@ pub fn compute_pair_with(
     // the whole scan, so it is resolved once here instead of once per
     // pixelized region (and once per sub-box in the partition loop).
     let edges = PairEdges::of(pair);
+    // The scanline kernel's row-reuse cache lives for exactly one scan; the
+    // per-pixel oracle never touches the edge tables, so it gets none.
+    let mut cache = match kernel {
+        PixelizeKernel::Scanline => Some(RowCache::new(pair.p.edge_table(), pair.q.edge_table())),
+        PixelizeKernel::PerPixel => None,
+    };
 
     let areas = match variant {
-        Variant::PixelOnly => {
-            pixelize_region(&joint, pair, &edges, fanout, kernel, true, &mut trace)
-        }
+        Variant::PixelOnly => pixelize_region(
+            &joint, pair, &edges, fanout, kernel, true, &mut cache, &mut trace,
+        ),
         Variant::Full => {
             let area_p = shoelace(&pair.p, &mut trace);
             let area_q = shoelace(&pair.q, &mut trace);
             let intersection = sampling_box_scan(
-                pair, &edges, &joint, threshold, fanout, false, kernel, &mut trace,
+                pair, &edges, &joint, threshold, fanout, false, kernel, &mut cache, &mut trace,
             )
             .intersection;
             PairAreas {
@@ -149,10 +155,81 @@ pub fn compute_pair_with(
             }
         }
         Variant::NoSep => sampling_box_scan(
-            pair, &edges, &joint, threshold, fanout, true, kernel, &mut trace,
+            pair, &edges, &joint, threshold, fanout, true, kernel, &mut cache, &mut trace,
         ),
     };
     (areas, trace)
+}
+
+/// Number of direct-mapped slots in a [`RowCache`]. Sixteen rows cover the
+/// row overlap between the sub-boxes a partitioned sampling box produces
+/// (fanout grids are at most a few boxes tall) while keeping the cache small
+/// enough to initialise per pair without measurable cost.
+const ROW_CACHE_SLOTS: usize = 16;
+
+/// One cached pixel row of a pair: both polygons' resolved crossing lists
+/// and the first row at which either list may change.
+#[derive(Clone, Copy)]
+struct RowSlot<'t> {
+    y: i32,
+    /// `min` of the two tables' run ends: every row in `[y, run_end)` shares
+    /// both crossing lists.
+    run_end: i32,
+    p_xs: &'t [i32],
+    q_xs: &'t [i32],
+    valid: bool,
+}
+
+/// Per-scan row-interval reuse layer: a small direct-mapped cache keyed by
+/// row `y`, holding both polygons' resolved crossing lists. Adjacent sampling
+/// boxes of one scan share pixel rows (vertically-split siblings cover the
+/// same y-range), so the second and later boxes touching a row hit the cache
+/// and skip both slab binary searches instead of re-deriving the lists per
+/// box. The cache borrows the pair's [`EdgeTable`]s and lives for exactly one
+/// scan, so it can never serve rows from a previous pair.
+struct RowCache<'t> {
+    p: &'t EdgeTable,
+    q: &'t EdgeTable,
+    slots: [RowSlot<'t>; ROW_CACHE_SLOTS],
+}
+
+impl<'t> RowCache<'t> {
+    fn new(p: &'t EdgeTable, q: &'t EdgeTable) -> Self {
+        RowCache {
+            p,
+            q,
+            slots: [RowSlot {
+                y: 0,
+                run_end: 0,
+                p_xs: &[],
+                q_xs: &[],
+                valid: false,
+            }; ROW_CACHE_SLOTS],
+        }
+    }
+
+    /// The resolved crossing lists for row `y` (filled from the edge tables
+    /// on a miss). `run_end` is always `> y`, so run sweeps through the
+    /// cache advance.
+    #[inline]
+    fn row(&mut self, y: i32) -> RowSlot<'t> {
+        let idx = (y as u32 as usize) % ROW_CACHE_SLOTS;
+        let slot = self.slots[idx];
+        if slot.valid && slot.y == y {
+            return slot;
+        }
+        let rp = self.p.row(y);
+        let rq = self.q.row(y);
+        let fresh = RowSlot {
+            y,
+            run_end: rp.run_end().min(rq.run_end()),
+            p_xs: rp.crossings(),
+            q_xs: rq.crossings(),
+            valid: true,
+        };
+        self.slots[idx] = fresh;
+        fresh
+    }
 }
 
 /// Per-pair edge counts, computed once per scan and threaded through the hot
@@ -198,6 +275,7 @@ fn shoelace(poly: &RectilinearPolygon, trace: &mut Trace) -> i64 {
 /// kernel runs one overlap pass per row instead of three interval passes.
 /// The per-pixel oracle is kept verbatim — its (unused) union costs nothing
 /// extra to the comparison, since it is the baseline being measured.
+#[allow(clippy::too_many_arguments)]
 fn pixelize_region(
     region: &Rect,
     pair: &PolygonPair,
@@ -205,6 +283,7 @@ fn pixelize_region(
     lanes: u32,
     kernel: PixelizeKernel,
     need_union: bool,
+    cache: &mut Option<RowCache<'_>>,
     trace: &mut Trace,
 ) -> PairAreas {
     let pixels = region.pixel_count().max(0) as u64;
@@ -216,12 +295,26 @@ fn pixelize_region(
     let mut union = 0i64;
     match kernel {
         PixelizeKernel::Scanline => {
-            let tp = pair.p.edge_table();
-            let tq = pair.q.edge_table();
-            if need_union {
-                (intersection, union) = intersection_union_in(tp, tq, region);
-            } else {
-                intersection = intersection_len_in(tp, tq, region);
+            // Run sweep through the pair's row cache: each run of rows
+            // sharing both crossing lists is resolved once (or taken from
+            // the cache when an earlier sampling box already touched it)
+            // and its interval arithmetic multiplied by the run length.
+            let cache = cache
+                .as_mut()
+                .expect("scanline kernel runs with a row cache");
+            let mut y = region.min_y;
+            while y < region.max_y {
+                let row = cache.row(y);
+                let run_end = row.run_end.min(region.max_y);
+                let rows = i64::from(run_end) - i64::from(y);
+                let row_inter = overlap_len_in(row.p_xs, row.q_xs, region.min_x, region.max_x);
+                intersection += rows * row_inter;
+                if need_union {
+                    let row_sum = span_len_in(row.p_xs, region.min_x, region.max_x)
+                        + span_len_in(row.q_xs, region.min_x, region.max_x);
+                    union += rows * (row_sum - row_inter);
+                }
+                y = run_end;
             }
         }
         PixelizeKernel::PerPixel => {
@@ -288,18 +381,23 @@ fn sampling_box_scan(
     fanout: u32,
     track_union: bool,
     kernel: PixelizeKernel,
+    cache: &mut Option<RowCache<'_>>,
     trace: &mut Trace,
 ) -> PairAreas {
     let mut intersection = 0i64;
     let mut union = 0i64;
-    let mut stack: Vec<Rect> = vec![*initial];
+    // The initial box rides in `next` so a scan that never partitions (the
+    // common case for large thresholds) performs zero heap allocations; the
+    // trace still charges it as a push like any other stacked box.
+    let mut stack: Vec<Rect> = Vec::new();
+    let mut next = Some(*initial);
     trace.stack_pushes += 1;
 
     // Sub-box grid dimensions: as square as possible for the requested fanout.
     let cols = (fanout as f64).sqrt().ceil() as u32;
     let rows = fanout.div_ceil(cols);
 
-    while let Some(sampling_box) = stack.pop() {
+    while let Some(sampling_box) = next.take().or_else(|| stack.pop()) {
         trace.max_stack_depth = trace.max_stack_depth.max(stack.len() as u64 + 1);
         if sampling_box.is_empty() {
             continue;
@@ -313,6 +411,7 @@ fn sampling_box_scan(
                 fanout,
                 kernel,
                 track_union,
+                cache,
                 trace,
             );
             intersection += local.intersection;

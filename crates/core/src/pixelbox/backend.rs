@@ -135,6 +135,10 @@ impl ComputeBackend for GpuBackend {
             // `None` — `launch.is_some()` means "the GPU actually ran".
             return BackendBatch::default();
         }
+        // The simulated device walks the batch on the host thread, so cold
+        // edge tables would all build serially on first touch; prewarm them
+        // across the pool first (resident tables are skipped).
+        super::prewarm_pair_edge_tables(pairs, crate::parallel::default_workers());
         let result = self.engine.compute_batch(pairs, config);
         let total = result.total_seconds();
         BackendBatch {
@@ -244,32 +248,36 @@ impl ComputeBackend for HybridBackend {
         let split = self.observable_split_point(pairs.len(), fraction);
         let (gpu_pairs, cpu_pairs) = pairs.split_at(split);
 
-        // The CPU share runs on its own thread while this thread drives the
-        // simulated GPU — the two substrates genuinely overlap, as in §5.
-        // The share's pair-level parallelism comes from the shared persistent
-        // pool (`crate::parallel::WorkerPool::global`), so overlapping does
-        // not cost worker-thread spawns. Empty shares skip their substrate
-        // entirely (no kernel launch, no thread spawn). Each side's
-        // wall-clock is measured so the controller can steer the next
-        // batch's split toward simultaneous finish.
+        // The CPU share runs on a persistent pool thread while this thread
+        // drives the simulated GPU — the two substrates genuinely overlap,
+        // as in §5, with no per-batch OS thread spawn
+        // (`WorkerPool::join`; a spawn per sub-millisecond batch used to
+        // dwarf the batch itself). The share's pair-level parallelism comes
+        // from the same shared pool, so overlapping does not cost
+        // worker-thread spawns either. Empty shares skip their substrate
+        // entirely (no kernel launch, no pool job). Each side's wall-clock
+        // is measured so the controller can steer the next batch's split
+        // toward simultaneous finish.
         let (gpu_batch, gpu_seconds, cpu_batch, cpu_seconds) = if cpu_pairs.is_empty() {
             let started = Instant::now();
             let gpu_batch = self.gpu.compute_batch(gpu_pairs, config);
             let gpu_seconds = started.elapsed().as_secs_f64();
             (gpu_batch, gpu_seconds, BackendBatch::default(), 0.0)
         } else {
-            std::thread::scope(|scope| {
-                let cpu_handle = scope.spawn(|| {
-                    let started = Instant::now();
-                    let batch = self.cpu.compute_batch(cpu_pairs, config);
-                    (batch, started.elapsed().as_secs_f64())
-                });
-                let started = Instant::now();
-                let gpu_batch = self.gpu.compute_batch(gpu_pairs, config);
-                let gpu_seconds = started.elapsed().as_secs_f64();
-                let (cpu_batch, cpu_seconds) = cpu_handle.join().expect("cpu share panicked");
-                (gpu_batch, gpu_seconds, cpu_batch, cpu_seconds)
-            })
+            let ((cpu_batch, cpu_seconds), (gpu_batch, gpu_seconds)) =
+                crate::parallel::WorkerPool::global().join(
+                    || {
+                        let started = Instant::now();
+                        let batch = self.cpu.compute_batch(cpu_pairs, config);
+                        (batch, started.elapsed().as_secs_f64())
+                    },
+                    || {
+                        let started = Instant::now();
+                        let batch = self.gpu.compute_batch(gpu_pairs, config);
+                        (batch, started.elapsed().as_secs_f64())
+                    },
+                );
+            (gpu_batch, gpu_seconds, cpu_batch, cpu_seconds)
         };
 
         if !pairs.is_empty() {

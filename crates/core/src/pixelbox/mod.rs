@@ -51,6 +51,44 @@ pub use backend::{BackendBatch, ComputeBackend, CpuBackend, GpuBackend, HybridBa
 pub use sccg_clip::PairAreas;
 use sccg_geometry::RectilinearPolygon;
 
+/// Builds the scanline [`sccg_geometry::EdgeTable`] of every polygon that
+/// does not already have one resident, fanning the builds out over the
+/// persistent [`WorkerPool`](crate::parallel::WorkerPool).
+///
+/// Each polygon's table lives in a `OnceLock`, so on a cold batch the first
+/// toucher of each polygon pays its whole build inline — and a host loop
+/// that walks pairs sequentially (the GPU simulator's round-robin dispatch)
+/// serializes *every* build on one thread. Prewarming through the pool
+/// amortizes the builds across workers instead; already-resident tables
+/// (checked via [`RectilinearPolygon::edge_table_if_built`]) are skipped
+/// without contending on the lock.
+///
+/// Returns the number of polygons that were cold at entry (whose build was
+/// scheduled on the pool).
+pub fn build_edge_tables_batch(polygons: &[&RectilinearPolygon], max_workers: usize) -> usize {
+    let cold: Vec<&RectilinearPolygon> = polygons
+        .iter()
+        .copied()
+        .filter(|poly| poly.edge_table_if_built().is_none())
+        .collect();
+    if cold.is_empty() {
+        return 0;
+    }
+    crate::parallel::WorkerPool::global().map(&cold, max_workers, 8, |poly| {
+        poly.edge_table();
+    });
+    cold.len()
+}
+
+/// [`build_edge_tables_batch`] over the polygons of a pair batch: prewarms
+/// both members of every pair before a sequential host loop first touches
+/// them. Returns the number of tables built.
+pub fn prewarm_pair_edge_tables(pairs: &[PolygonPair], max_workers: usize) -> usize {
+    let polygons: Vec<&RectilinearPolygon> =
+        pairs.iter().flat_map(|pair| [&pair.p, &pair.q]).collect();
+    build_edge_tables_batch(&polygons, max_workers)
+}
+
 /// One input pair for cross-comparison: a polygon from each segmentation
 /// result whose MBRs intersect (produced by the filter stage).
 #[derive(Debug, Clone, PartialEq)]
@@ -243,6 +281,20 @@ mod tests {
         let cfg = cfg.with_block_size(128);
         assert_eq!(cfg.block_size, 128);
         assert_eq!(cfg.threshold, 128 * 128 / 2);
+    }
+
+    #[test]
+    fn batch_prewarm_builds_cold_tables_and_skips_resident_ones() {
+        let p = RectilinearPolygon::rectangle(Rect::new(0, 0, 8, 8)).unwrap();
+        let q = RectilinearPolygon::rectangle(Rect::new(4, 4, 12, 12)).unwrap();
+        let pairs = vec![PolygonPair::new(p, q)];
+        assert!(pairs[0].p.edge_table_if_built().is_none());
+        assert_eq!(prewarm_pair_edge_tables(&pairs, 4), 2);
+        assert!(pairs[0].p.edge_table_if_built().is_some());
+        assert!(pairs[0].q.edge_table_if_built().is_some());
+        // Everything is resident now: nothing is scheduled again.
+        assert_eq!(prewarm_pair_edge_tables(&pairs, 4), 0);
+        assert_eq!(build_edge_tables_batch(&[&pairs[0].p, &pairs[0].q], 1), 0);
     }
 
     #[test]

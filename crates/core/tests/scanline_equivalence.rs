@@ -13,6 +13,9 @@ use proptest::prelude::*;
 use sccg::pixelbox::algorithm::{compute_pair, compute_pair_reference};
 use sccg::pixelbox::cpu::compute_batch_cpu;
 use sccg::pixelbox::{PixelBoxConfig, PolygonPair, Variant};
+use sccg_geometry::edge_table::{
+    overlap_len_in, overlap_len_in_scalar, span_len_in, span_len_in_scalar, LANES,
+};
 use sccg_geometry::{raster, Point, RectilinearPolygon};
 
 /// A random rectilinear polygon drawn from three families:
@@ -78,6 +81,54 @@ fn polygon_pair() -> impl Strategy<Value = PolygonPair> {
     (rectilinear_polygon(), rectilinear_polygon()).prop_map(|(p, q)| PolygonPair::new(p, q))
 }
 
+/// A raw sorted crossing list of length `0..=4·LANES+3` — lengths straddle
+/// every chunk boundary of the lane-chunked kernels (including odd lengths,
+/// whose trailing element both implementations ignore, and the empty list of
+/// a row outside the polygon). Sorting makes consecutive pairs disjoint
+/// (possibly touching or empty) intervals, the invariant real crossing lists
+/// hold.
+fn crossing_list() -> impl Strategy<Value = Vec<i32>> {
+    prop::collection::vec(-40i32..=120, 0usize..(4 * LANES + 4)).prop_map(|mut xs| {
+        xs.sort_unstable();
+        xs
+    })
+}
+
+/// A comb polygon with up to `2·LANES + 2` teeth: its tooth rows carry up to
+/// `4·LANES + 4` crossings, so pixelizing a comb pair pushes the interval
+/// kernels across multiple lane chunks within a single row. One tooth
+/// degenerates to a single-column polygon (a single-column scan window).
+fn wide_comb() -> impl Strategy<Value = RectilinearPolygon> {
+    (
+        1usize..=(2 * LANES + 2),
+        1i32..4,
+        1i32..4,
+        -20i32..20,
+        -20i32..20,
+    )
+        .prop_map(|(teeth, base_h, tooth_h, ox, oy)| {
+            let w = 2 * teeth as i32 - 1;
+            let base_top = oy + base_h;
+            let top = base_top + tooth_h;
+            let mut vertices = vec![
+                Point::new(ox, oy),
+                Point::new(ox + w, oy),
+                Point::new(ox + w, top),
+            ];
+            // Walk the gaps between teeth right to left: down into the gap,
+            // across, back up the next tooth.
+            for k in (1..teeth).rev() {
+                let gap = ox + 2 * k as i32 - 1;
+                vertices.push(Point::new(gap + 1, top));
+                vertices.push(Point::new(gap + 1, base_top));
+                vertices.push(Point::new(gap, base_top));
+                vertices.push(Point::new(gap, top));
+            }
+            vertices.push(Point::new(ox, top));
+            RectilinearPolygon::canonicalize(vertices).expect("generated comb is valid")
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -110,6 +161,50 @@ proptest! {
         for variant in [Variant::PixelOnly, Variant::NoSep, Variant::Full] {
             let (areas, _) = compute_pair(&pair, threshold, 16, variant);
             prop_assert_eq!((areas.intersection, areas.union), (ri, ru));
+        }
+    }
+
+    // Lane-boundary property: the lane-chunked interval kernels are
+    // bit-identical to their scalar references for crossing lists of every
+    // length `0..=4·LANES+3` (odd and even, empty rows included) and for
+    // windows of width `0..=1..` — including the degenerate empty and
+    // single-column windows.
+    #[test]
+    fn lane_kernels_match_scalar_references_at_every_chunk_boundary(
+        a in crossing_list(),
+        b in crossing_list(),
+        lo in -50i32..=130,
+        width in 0i32..=64,
+    ) {
+        let hi = lo + width;
+        prop_assert_eq!(span_len_in(&a, lo, hi), span_len_in_scalar(&a, lo, hi));
+        prop_assert_eq!(span_len_in(&b, lo, hi), span_len_in_scalar(&b, lo, hi));
+        prop_assert_eq!(
+            overlap_len_in(&a, &b, lo, hi),
+            overlap_len_in_scalar(&a, &b, lo, hi)
+        );
+        prop_assert_eq!(
+            overlap_len_in(&b, &a, lo, hi),
+            overlap_len_in_scalar(&b, &a, lo, hi)
+        );
+    }
+
+    // Pair-level lane-boundary property: wide-comb pairs whose rows cross
+    // several lane chunks stay bit-identical — areas AND traces — between
+    // the chunked scanline kernel and the per-pixel oracle, across all three
+    // variants.
+    #[test]
+    fn wide_comb_pairs_are_bit_identical_across_kernels(
+        p in wide_comb(),
+        q in wide_comb(),
+        threshold in 1u32..=4096,
+    ) {
+        let pair = PolygonPair::new(p, q);
+        for variant in [Variant::PixelOnly, Variant::NoSep, Variant::Full] {
+            let fast = compute_pair(&pair, threshold, 16, variant);
+            let brute = compute_pair_reference(&pair, threshold, 16, variant);
+            prop_assert_eq!(&fast.0, &brute.0);
+            prop_assert_eq!(&fast.1, &brute.1);
         }
     }
 

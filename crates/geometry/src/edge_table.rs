@@ -26,6 +26,38 @@
 //! intersection of two polygons is the overlap of their crossing lists and
 //! the union follows by inclusion–exclusion, both exactly (all integer), so
 //! the fast path is bit-identical to per-pixel classification.
+//!
+//! # Chunked kernel contract
+//!
+//! The interval kernels come in two implementations each, and the pair must
+//! stay *bit-identical* for every input:
+//!
+//! * [`span_len_in_scalar`] / [`overlap_len_in_scalar`] — the retained
+//!   scalar loops (early-exit pair walk, two-pointer merge). These are the
+//!   reference semantics.
+//! * [`span_len_in`] / [`overlap_len_in`] — lane-chunked rewrites: the
+//!   crossing list is consumed in fixed-width chunks of `2 ×` [`LANES`]
+//!   `i32` crossings ([`LANES`] half-open intervals per chunk), each chunk
+//!   evaluated branchlessly as `max(0, min(b, hi) − max(a, lo))` into a
+//!   `[i64; LANES]` accumulator, followed by a scalar tail for the
+//!   remainder. No `std::simd` is involved — the fixed-shape loops are
+//!   written so LLVM's auto-vectorizer can lower them to whatever vector
+//!   width the target offers.
+//!
+//! Equivalence is exact, not approximate: every pair the scalar loop skips
+//! via its early exit contributes a clipped length of zero under the
+//! branchless formula, and the chunked overlap kernel's banded
+//! interval-pair sum equals the two-pointer merge because each list's
+//! intervals are disjoint. The lane-boundary proptests in
+//! `sccg/tests/scanline_equivalence.rs` pin this down across chunk
+//! boundaries (list lengths `0..=4·LANES+3`), empty rows and degenerate
+//! single-column windows.
+//!
+//! Window sweeps ([`intersection_union_in`], [`intersection_len_in`],
+//! [`EdgeTable::row`]) additionally exploit that crossing lists are constant
+//! within a slab: a [`RowRef`] resolves the slab once and reports the run of
+//! rows sharing it, so a sweep multiplies one row's interval arithmetic by
+//! the run length instead of re-deriving it row by row.
 
 use crate::point::Point;
 
@@ -142,10 +174,85 @@ impl EdgeTable {
         span_len_in(self.row_crossings(y), lo, hi)
     }
 
+    /// Resolves row `y` to a [`RowRef`]: the slab lookup (binary search) is
+    /// done **once**, and the handle carries both the crossing list and the
+    /// end of the *run* of rows sharing it. Tight loops should call this
+    /// once per run and reuse the handle for every span/overlap query,
+    /// instead of paying the search per [`EdgeTable::row_span_len`] call.
+    #[inline]
+    pub fn row(&self, y: i32) -> RowRef<'_> {
+        let Some((&first, &last)) = self.slab_ys.first().zip(self.slab_ys.last()) else {
+            return RowRef {
+                xs: &[],
+                run_end: i32::MAX,
+            };
+        };
+        if y < first {
+            return RowRef {
+                xs: &[],
+                run_end: first,
+            };
+        }
+        if y >= last {
+            return RowRef {
+                xs: &[],
+                run_end: i32::MAX,
+            };
+        }
+        let slab = self.slab_ys.partition_point(|&b| b <= y) - 1;
+        let lo = self.offsets[slab] as usize;
+        let hi = self.offsets[slab + 1] as usize;
+        RowRef {
+            xs: &self.xs[lo..hi],
+            run_end: self.slab_ys[slab + 1],
+        }
+    }
+
     /// Number of y-slabs in the table (rows within one slab share a crossing
     /// list).
     pub fn slab_count(&self) -> usize {
         self.offsets.len() - 1
+    }
+}
+
+/// One resolved pixel row of an [`EdgeTable`]: the row's crossing list plus
+/// the first row *after* it with a different list (the end of the row's
+/// *run*). Obtained from [`EdgeTable::row`]; the slab binary search happens
+/// there, once, and every query through the handle is search-free — so a
+/// window sweep resolves each run once and multiplies, instead of paying a
+/// lookup per row.
+#[derive(Debug, Clone, Copy)]
+pub struct RowRef<'a> {
+    xs: &'a [i32],
+    run_end: i32,
+}
+
+impl<'a> RowRef<'a> {
+    /// The row's sorted crossing list (see [`EdgeTable::row_crossings`]).
+    #[inline]
+    pub fn crossings(&self) -> &'a [i32] {
+        self.xs
+    }
+
+    /// First row strictly after the resolved one whose crossing list may
+    /// differ: every row in `[y, run_end)` shares [`RowRef::crossings`].
+    /// `i32::MAX` when the list stays empty for all higher rows.
+    #[inline]
+    pub fn run_end(&self) -> i32 {
+        self.run_end
+    }
+
+    /// Number of pixels of this row inside the polygon with x in `[lo, hi)`.
+    #[inline]
+    pub fn span_len(&self, lo: i32, hi: i32) -> i64 {
+        span_len_in(self.xs, lo, hi)
+    }
+
+    /// Number of pixels of this row, clipped to `[lo, hi)`, inside both this
+    /// row's polygon and `other`'s.
+    #[inline]
+    pub fn overlap_len(&self, other: &RowRef<'_>, lo: i32, hi: i32) -> i64 {
+        overlap_len_in(self.xs, other.xs, lo, hi)
     }
 }
 
@@ -162,39 +269,84 @@ pub fn intersection_union_in(
 ) -> (i64, i64) {
     let mut inter = 0i64;
     let mut union = 0i64;
-    for y in window.min_y..window.max_y {
-        let xs_p = p.row_crossings(y);
-        let xs_q = q.row_crossings(y);
-        let row_inter = overlap_len_in(xs_p, xs_q, window.min_x, window.max_x);
-        let row_p = span_len_in(xs_p, window.min_x, window.max_x);
-        let row_q = span_len_in(xs_q, window.min_x, window.max_x);
-        inter += row_inter;
-        union += row_p + row_q - row_inter;
+    let mut y = window.min_y;
+    while y < window.max_y {
+        let row_p = p.row(y);
+        let row_q = q.row(y);
+        // Both crossing lists are constant over [y, run_end): compute the
+        // row's interval arithmetic once and multiply by the run length.
+        let run_end = row_p.run_end().min(row_q.run_end()).min(window.max_y);
+        let rows = i64::from(run_end) - i64::from(y);
+        let row_inter = row_p.overlap_len(&row_q, window.min_x, window.max_x);
+        let row_sum =
+            row_p.span_len(window.min_x, window.max_x) + row_q.span_len(window.min_x, window.max_x);
+        inter += rows * row_inter;
+        union += rows * (row_sum - row_inter);
+        y = run_end;
     }
     (inter, union)
 }
 
 /// Intersection pixel count only, over a window — one interval-overlap pass
-/// per row. The full PixelBox variant derives the union indirectly
-/// (`‖p∪q‖ = ‖p‖ + ‖q‖ − ‖p∩q‖`), so its pixelized tail boxes never need
-/// the two extra span passes of [`intersection_union_in`].
+/// per *run* of rows sharing both crossing lists. The full PixelBox variant
+/// derives the union indirectly (`‖p∪q‖ = ‖p‖ + ‖q‖ − ‖p∩q‖`), so its
+/// pixelized tail boxes never need the two extra span passes of
+/// [`intersection_union_in`].
 pub fn intersection_len_in(p: &EdgeTable, q: &EdgeTable, window: &crate::rect::Rect) -> i64 {
-    (window.min_y..window.max_y)
-        .map(|y| {
-            overlap_len_in(
-                p.row_crossings(y),
-                q.row_crossings(y),
-                window.min_x,
-                window.max_x,
-            )
-        })
-        .sum()
+    let mut inter = 0i64;
+    let mut y = window.min_y;
+    while y < window.max_y {
+        let row_p = p.row(y);
+        let row_q = q.row(y);
+        let run_end = row_p.run_end().min(row_q.run_end()).min(window.max_y);
+        let rows = i64::from(run_end) - i64::from(y);
+        inter += rows * row_p.overlap_len(&row_q, window.min_x, window.max_x);
+        y = run_end;
+    }
+    inter
+}
+
+/// Interval count per fixed-width chunk of the lane-chunked kernels: each
+/// chunk covers `2 × LANES` crossings evaluated branchlessly (see the
+/// module docs' chunked kernel contract). The value is a lane width the
+/// auto-vectorizer can map onto 256-bit registers, not a `std::simd` type.
+pub const LANES: usize = 8;
+
+/// Length of the half-open interval `[a, b)` clipped to `[lo, hi)`,
+/// branchless: pairs outside the window come out at zero instead of being
+/// skipped, which is what lets whole chunks evaluate without data-dependent
+/// control flow.
+#[inline]
+fn clipped_len(a: i32, b: i32, lo: i32, hi: i32) -> i64 {
+    (i64::from(b.min(hi)) - i64::from(a.max(lo))).max(0)
 }
 
 /// Total length of the half-open intervals encoded by the sorted crossing
 /// list `xs` (consecutive pairs), clipped to the window `[lo, hi)`.
+///
+/// Lane-chunked: `LANES` intervals per fixed-width chunk, branchless, with
+/// a scalar tail — bit-identical to [`span_len_in_scalar`].
 #[inline]
 pub fn span_len_in(xs: &[i32], lo: i32, hi: i32) -> i64 {
+    let mut total = 0i64;
+    let mut chunks = xs.chunks_exact(2 * LANES);
+    for chunk in &mut chunks {
+        let mut lane = [0i64; LANES];
+        for (k, slot) in lane.iter_mut().enumerate() {
+            *slot = clipped_len(chunk[2 * k], chunk[2 * k + 1], lo, hi);
+        }
+        total += lane.iter().sum::<i64>();
+    }
+    for pair in chunks.remainder().chunks_exact(2) {
+        total += clipped_len(pair[0], pair[1], lo, hi);
+    }
+    total
+}
+
+/// The retained scalar reference for [`span_len_in`]: an early-exit pair
+/// walk. The lane-boundary proptests assert the two are bit-identical.
+#[inline]
+pub fn span_len_in_scalar(xs: &[i32], lo: i32, hi: i32) -> i64 {
     let mut total = 0i64;
     for pair in xs.chunks_exact(2) {
         let (a, b) = (pair[0], pair[1]);
@@ -213,8 +365,46 @@ pub fn span_len_in(xs: &[i32], lo: i32, hi: i32) -> i64 {
 /// Total overlap length of two sorted crossing lists (each encoding
 /// half-open intervals as consecutive pairs), clipped to `[lo, hi)`: the
 /// number of pixels in the window inside *both* polygons on this row.
+///
+/// Lane-chunked: for each interval of `a` (clipped to the window), `b`'s
+/// intervals are evaluated in branchless `LANES`-wide chunks plus a scalar
+/// tail. Because each list's intervals are disjoint, the banded
+/// interval-pair sum `Σᵢⱼ |aᵢ ∩ bⱼ ∩ window|` equals the two-pointer merge
+/// of [`overlap_len_in_scalar`] exactly.
 #[inline]
 pub fn overlap_len_in(a: &[i32], b: &[i32], lo: i32, hi: i32) -> i64 {
+    let mut total = 0i64;
+    for pair in a.chunks_exact(2) {
+        if pair[0] >= hi {
+            break;
+        }
+        // Clip this a-interval to the window once; b's intervals then clip
+        // against the result.
+        let a_lo = pair[0].max(lo);
+        let a_hi = pair[1].min(hi);
+        if a_hi <= a_lo {
+            continue;
+        }
+        let mut chunks = b.chunks_exact(2 * LANES);
+        for chunk in &mut chunks {
+            let mut lane = [0i64; LANES];
+            for (k, slot) in lane.iter_mut().enumerate() {
+                *slot = clipped_len(chunk[2 * k], chunk[2 * k + 1], a_lo, a_hi);
+            }
+            total += lane.iter().sum::<i64>();
+        }
+        for pb in chunks.remainder().chunks_exact(2) {
+            total += clipped_len(pb[0], pb[1], a_lo, a_hi);
+        }
+    }
+    total
+}
+
+/// The retained scalar reference for [`overlap_len_in`]: the two-pointer
+/// interval merge. The lane-boundary proptests assert the two are
+/// bit-identical.
+#[inline]
+pub fn overlap_len_in_scalar(a: &[i32], b: &[i32], lo: i32, hi: i32) -> i64 {
     let mut total = 0i64;
     let mut i = 0;
     let mut j = 0;
@@ -357,5 +547,103 @@ mod tests {
         let table = table(&comb());
         assert!(table.slab_count() >= 1);
         assert!(table.slab_count() < comb().vertex_count());
+    }
+
+    #[test]
+    fn lane_kernels_match_scalar_references() {
+        let lists: Vec<Vec<i32>> = vec![
+            vec![],
+            vec![0, 3],
+            vec![0, 4, 6, 10, 12, 13],
+            (0..(4 * LANES as i32 + 2)).map(|i| 3 * i).collect(),
+            (0..(4 * LANES as i32)).map(|i| 5 * i + 1).collect(),
+            vec![-20, -10, -5, 0, 0, 0, 2, 7], // empty [0, 0) interval
+        ];
+        let windows = [
+            (i32::MIN, i32::MAX),
+            (1, 12),
+            (5, 5),
+            (7, 8), // degenerate single-column window
+            (-30, 4),
+            (100, 90), // inverted window
+        ];
+        for a in &lists {
+            for (lo, hi) in windows {
+                assert_eq!(
+                    span_len_in(a, lo, hi),
+                    span_len_in_scalar(a, lo, hi),
+                    "span {a:?} [{lo}, {hi})"
+                );
+                for b in &lists {
+                    assert_eq!(
+                        overlap_len_in(a, b, lo, hi),
+                        overlap_len_in_scalar(a, b, lo, hi),
+                        "overlap {a:?} ∩ {b:?} [{lo}, {hi})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_ref_reports_runs_and_reuses_the_resolved_slab() {
+        let table = table(&comb());
+        // comb(): base slab rows [0, 1) with one interval, teeth slab
+        // rows [1, 3) with three intervals.
+        let base = table.row(0);
+        assert_eq!(base.crossings(), &[0, 5]);
+        assert_eq!(base.run_end(), 1);
+        let teeth = table.row(1);
+        assert_eq!(teeth.run_end(), 3);
+        assert_eq!(table.row(2).crossings(), teeth.crossings());
+        // Outside the y-extent: empty lists, with the run extending to the
+        // table's first slab (below) or forever (above).
+        assert_eq!(table.row(-7).crossings(), &[] as &[i32]);
+        assert_eq!(table.row(-7).run_end(), 0);
+        assert_eq!(table.row(3).run_end(), i32::MAX);
+        assert_eq!(table.row(99).crossings(), &[] as &[i32]);
+        // Queries through the handle match the per-row entry points.
+        assert_eq!(base.span_len(1, 4), table.row_span_len(0, 1, 4));
+        assert_eq!(
+            base.overlap_len(&teeth, 0, 5),
+            overlap_len_in(base.crossings(), teeth.crossings(), 0, 5)
+        );
+        // Empty table: everything is one infinite empty run.
+        let empty = EdgeTable::from_vertices(&[]);
+        assert_eq!(empty.row(0).run_end(), i32::MAX);
+        assert!(empty.row(0).crossings().is_empty());
+    }
+
+    #[test]
+    fn run_aggregated_sweeps_match_per_row_loops() {
+        for (p, q) in [
+            (l_shape(), comb()),
+            (comb(), comb()),
+            (l_shape(), l_shape()),
+        ] {
+            let (tp, tq) = (table(&p), table(&q));
+            let window = p.mbr().union(&q.mbr());
+            // Grow the window past both extents so out-of-extent runs are
+            // exercised too.
+            let window = Rect::new(
+                window.min_x - 2,
+                window.min_y - 3,
+                window.max_x + 2,
+                window.max_y + 3,
+            );
+            let mut inter = 0i64;
+            let mut union = 0i64;
+            for y in window.min_y..window.max_y {
+                let xs_p = tp.row_crossings(y);
+                let xs_q = tq.row_crossings(y);
+                let row_inter = overlap_len_in_scalar(xs_p, xs_q, window.min_x, window.max_x);
+                inter += row_inter;
+                union += span_len_in_scalar(xs_p, window.min_x, window.max_x)
+                    + span_len_in_scalar(xs_q, window.min_x, window.max_x)
+                    - row_inter;
+            }
+            assert_eq!(intersection_union_in(&tp, &tq, &window), (inter, union));
+            assert_eq!(intersection_len_in(&tp, &tq, &window), inter);
+        }
     }
 }

@@ -55,9 +55,18 @@ pub fn pixels_inside(poly: &RectilinearPolygon, window: &Rect) -> i64 {
         return 0;
     }
     let table = poly.edge_table();
-    (window.min_y..window.max_y)
-        .map(|y| table.row_span_len(y, window.min_x, window.max_x))
-        .sum()
+    let mut total = 0i64;
+    let mut y = window.min_y;
+    while y < window.max_y {
+        // One slab resolution per run of rows sharing the crossing list,
+        // instead of a binary search per row.
+        let row = table.row(y);
+        let run_end = row.run_end().min(window.max_y);
+        let rows = i64::from(run_end) - i64::from(y);
+        total += rows * row.span_len(window.min_x, window.max_x);
+        y = run_end;
+    }
+    total
 }
 
 pub mod brute {
