@@ -97,8 +97,10 @@ fn trajectory_gate() {
     match check_gate(&entries) {
         Ok(lines) => {
             let latest = entries
-                .last()
-                .expect("gate passed on a non-empty trajectory");
+                .iter()
+                .rev()
+                .find(|e| !e.substrates.is_empty())
+                .expect("gate passed on a trajectory with bench entries");
             println!(
                 "  latest entry \"{}\" vs {} recorded entr{}:",
                 latest.label,
@@ -356,7 +358,11 @@ fn table1() {
 
 /// Serving-layer demo: a `SlideStore` + `ComparisonService` answering
 /// concurrent mixed-device whole-slide queries, with response caching,
-/// admission control and pooled hybrid split telemetry exported as JSON.
+/// admission control and pooled hybrid split telemetry exported as JSON —
+/// then the same service fronted by the wire protocol: a loopback
+/// `WireServer` driven by the load generator (≥4 concurrent clients),
+/// streamed responses checked bit-identical to the in-process fold, and the
+/// measured qps/p50/p99 appended to `BENCH_trajectory.json`.
 fn serve() {
     println!("\n[Serve] SlideStore + ComparisonService (sharded engine pool)");
     let dataset = sccg_datagen::generate_dataset(&sccg_datagen::DatasetSpec {
@@ -378,18 +384,20 @@ fn serve() {
     );
 
     let bound = 2;
-    let service = ComparisonService::new(
-        store,
-        ServiceConfig::default()
-            .with_engines(vec![
-                EngineConfig::default(),
-                EngineConfig::default().with_device(AggregationDevice::Cpu),
-                EngineConfig::default().with_device(AggregationDevice::Hybrid),
-                EngineConfig::default().with_device(AggregationDevice::Hybrid),
-            ])
-            .with_max_in_flight(bound),
-    )
-    .expect("service starts");
+    let service = Arc::new(
+        ComparisonService::new(
+            store,
+            ServiceConfig::default()
+                .with_engines(vec![
+                    EngineConfig::default(),
+                    EngineConfig::default().with_device(AggregationDevice::Cpu),
+                    EngineConfig::default().with_device(AggregationDevice::Hybrid),
+                    EngineConfig::default().with_device(AggregationDevice::Hybrid),
+                ])
+                .with_max_in_flight(bound),
+        )
+        .expect("service starts"),
+    );
     println!(
         "  engine pool {:?}, admission bound {bound}, {} tiles per slide",
         service.engine_devices(),
@@ -468,6 +476,78 @@ fn serve() {
             json::split_trace_to_json(&trace)
         );
     }
+
+    // The same service fronted by the framed wire protocol over loopback:
+    // the load generator drives concurrent streaming clients, and every
+    // decoded response must be bit-identical to the in-process fold above
+    // (floats travel as IEEE-754 bit patterns, so this is exact equality).
+    use sccg_net::{LoadGenConfig, NetConfig, WireRequestSpec, WireResponse, WireServer};
+    println!("\n[Serve] Wire front-end: loopback WireServer + load generator");
+    let server = WireServer::start(Arc::clone(&service), "127.0.0.1:0", NetConfig::default())
+        .expect("wire server starts");
+    let clients = 4usize;
+    let queries_per_client = 6usize;
+    let load = LoadGenConfig::new(vec![WireRequestSpec::new(first, second)])
+        .with_clients(clients)
+        .with_queries_per_client(queries_per_client);
+    let report = sccg_net::run_loadgen(server.local_addr(), &load).expect("load run completes");
+
+    let baseline = {
+        let mut wire = WireResponse::of_response(&repeat);
+        wire.cache_hit = false;
+        wire
+    };
+    for outcome in &report.outcomes {
+        let mut over_wire = outcome.outcome.response.clone();
+        over_wire.cache_hit = false;
+        assert_eq!(
+            over_wire, baseline,
+            "streamed wire response must be bit-identical to the in-process response"
+        );
+    }
+    println!(
+        "  {} clients x {} streaming queries over {}: all {} responses bit-identical \
+         ({} tile frames streamed)",
+        clients,
+        queries_per_client,
+        server.local_addr(),
+        report.queries,
+        report.tile_frames
+    );
+    println!(
+        "  {{\"wire_loadgen\": {{\"clients\": {clients}, \"queries\": {}, \"qps\": {:.1}, \
+         \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_ms\": {:.3}, \"max_ms\": {:.3}}}}}",
+        report.queries, report.qps, report.p50_ms, report.p99_ms, report.mean_ms, report.max_ms
+    );
+
+    // Track the serving-layer numbers alongside the bench trajectory; the
+    // perf gate knows to skip serve-only entries when judging substrates.
+    use sccg_bench::trajectory::{append_entry, ServeMetrics, TrajectoryEntry, TRAJECTORY_PATH};
+    let unix_seconds = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let entries = append_entry(
+        std::path::Path::new(TRAJECTORY_PATH),
+        TrajectoryEntry {
+            label: "serve".to_string(),
+            unix_seconds,
+            substrates: Vec::new(),
+            pixelize_dense_speedup: 0.0,
+            serve: Some(ServeMetrics {
+                clients: clients as u64,
+                queries: report.queries as u64,
+                qps: report.qps,
+                p50_ms: report.p50_ms,
+                p99_ms: report.p99_ms,
+            }),
+        },
+    )
+    .expect("append serve metrics to BENCH_trajectory.json");
+    println!(
+        "  appended serve metrics to {TRAJECTORY_PATH} ({} entries)",
+        entries.len()
+    );
 }
 
 /// Streaming-executor smoke: a large synthetic slide flows through
@@ -674,6 +754,7 @@ fn bench_baseline() {
             unix_seconds,
             substrates: rates,
             pixelize_dense_speedup: speedup,
+            serve: None,
         },
     )
     .expect("append to BENCH_trajectory.json");

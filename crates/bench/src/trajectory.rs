@@ -40,10 +40,29 @@ pub struct SubstrateRate {
     pub pairs_per_sec: f64,
 }
 
-/// One timestamped bench run.
+/// Measured serving-layer load-generator metrics (`reproduce -- serve`):
+/// N concurrent loopback wire clients against the `ComparisonService`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeMetrics {
+    /// Concurrent loopback clients driven by the load generator.
+    pub clients: u64,
+    /// Total queries completed across all clients.
+    pub queries: u64,
+    /// Sustained queries per second over the run.
+    pub qps: f64,
+    /// Median end-to-end query latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile end-to-end query latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// One timestamped bench run. A `bench` run carries substrate rates and a
+/// dense-pixelization speedup; a `serve` run carries only [`ServeMetrics`]
+/// (empty `substrates`, speedup 0) — the [gate](check_gate) knows to skip
+/// such entries when looking for the run to check.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrajectoryEntry {
-    /// Free-form label (`pr5-baseline`, `bench`, …).
+    /// Free-form label (`pr5-baseline`, `bench`, `serve`, …).
     pub label: String,
     /// Unix timestamp (seconds) of the run.
     pub unix_seconds: u64,
@@ -51,6 +70,8 @@ pub struct TrajectoryEntry {
     pub substrates: Vec<SubstrateRate>,
     /// The `pixelize_dense` scanline-vs-per-pixel speedup of the run.
     pub pixelize_dense_speedup: f64,
+    /// Wire serving-layer metrics, when the run measured them.
+    pub serve: Option<ServeMetrics>,
 }
 
 /// Reads the trajectory file. A missing file is an empty trajectory; a
@@ -116,11 +137,30 @@ fn parse_entry(value: &Value) -> Result<TrajectoryEntry, String> {
             })
         })
         .collect::<Result<Vec<_>, String>>()?;
+    let serve = match value.get("serve") {
+        None | Some(Value::Null) => None,
+        Some(serve) => {
+            let num = |key: &str| {
+                serve
+                    .get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("\"serve\" missing \"{key}\""))
+            };
+            Some(ServeMetrics {
+                clients: num("clients")? as u64,
+                queries: num("queries")? as u64,
+                qps: num("qps")?,
+                p50_ms: num("p50_ms")?,
+                p99_ms: num("p99_ms")?,
+            })
+        }
+    };
     Ok(TrajectoryEntry {
         label,
         unix_seconds,
         substrates,
         pixelize_dense_speedup,
+        serve,
     })
 }
 
@@ -152,11 +192,19 @@ pub fn format_trajectory(entries: &[TrajectoryEntry]) -> String {
                 s.pairs_per_sec
             );
         }
+        let serve = match &entry.serve {
+            None => String::new(),
+            Some(s) => format!(
+                ",\n      \"serve\": {{\"clients\": {}, \"queries\": {}, \"qps\": {}, \
+                 \"p50_ms\": {}, \"p99_ms\": {}}}",
+                s.clients, s.queries, s.qps, s.p50_ms, s.p99_ms
+            ),
+        };
         let _ = write!(
             out,
             "    {{\n      \"label\": \"{}\",\n      \"unix_seconds\": {},\n      \
-             \"pixelize_dense_speedup\": {},\n      \"substrates\": [{substrates}\n      ]\n    \
-             }}{}\n",
+             \"pixelize_dense_speedup\": {},\n      \"substrates\": [{substrates}\n      \
+             ]{serve}\n    }}{}\n",
             entry.label,
             entry.unix_seconds,
             entry.pixelize_dense_speedup,
@@ -167,14 +215,20 @@ pub fn format_trajectory(entries: &[TrajectoryEntry]) -> String {
     out
 }
 
-/// The regression gate. Checks the *latest* entry against the whole recorded
+/// The regression gate. Checks the *latest bench* entry — the most recent
+/// one with non-empty substrate rates, so a trailing serve-only entry is
+/// never judged by gates it carries no data for — against the whole recorded
 /// history: every substrate it reports must sustain at least
 /// [`SUBSTRATE_FLOOR_RATIO`] of the best `pairs_per_sec` ever recorded for
 /// that substrate, and its `pixelize_dense` speedup must be at least
 /// [`DENSE_SPEEDUP_GATE`]. Returns one human-readable line per passed check,
 /// or the first failure.
 pub fn check_gate(entries: &[TrajectoryEntry]) -> Result<Vec<String>, String> {
-    let latest = entries.last().ok_or("trajectory is empty")?;
+    let latest = entries
+        .iter()
+        .rev()
+        .find(|e| !e.substrates.is_empty())
+        .ok_or("trajectory has no entries with substrate rates")?;
     let mut lines = Vec::new();
     for rate in &latest.substrates {
         let best = entries
@@ -427,6 +481,23 @@ mod tests {
                 })
                 .collect(),
             pixelize_dense_speedup: dense,
+            serve: None,
+        }
+    }
+
+    fn serve_entry(qps: f64) -> TrajectoryEntry {
+        TrajectoryEntry {
+            label: "serve".into(),
+            unix_seconds: 1_785_059_099,
+            substrates: Vec::new(),
+            pixelize_dense_speedup: 0.0,
+            serve: Some(ServeMetrics {
+                clients: 4,
+                queries: 32,
+                qps,
+                p50_ms: 1.25,
+                p99_ms: 4.5,
+            }),
         }
     }
 
@@ -464,6 +535,30 @@ mod tests {
         assert_eq!(all.len(), 2);
         assert_eq!(read_trajectory(&path).unwrap(), all);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn serve_entries_round_trip_and_never_trip_the_bench_gates() {
+        let entries = vec![entry("bench", &[("cpu", 1.0e6)], 600.0), serve_entry(812.5)];
+        let text = format_trajectory(&entries);
+        let root = Value::parse(&text).unwrap();
+        let parsed: Vec<TrajectoryEntry> = root
+            .get("entries")
+            .and_then(Value::as_array)
+            .unwrap()
+            .iter()
+            .map(|e| parse_entry(e).unwrap())
+            .collect();
+        assert_eq!(parsed, entries, "serve metrics survive the round trip");
+
+        // The gate judges the bench entry, not the trailing serve-only entry
+        // (whose empty substrates and 0 speedup would otherwise fail it).
+        let lines = check_gate(&entries).unwrap();
+        assert_eq!(lines.len(), 2);
+        assert!(
+            check_gate(&[serve_entry(100.0)]).is_err(),
+            "a trajectory with only serve entries has nothing to gate"
+        );
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod jaccard;
 pub mod parallel;
 pub mod pipeline;
 pub mod pixelbox;
+pub mod sync;
 
 pub use engine::{CrossComparison, CrossComparisonReport, EngineConfig};
 pub use error::SccgError;

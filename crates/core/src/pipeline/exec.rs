@@ -30,19 +30,14 @@
 //! that finds nothing to do re-registers and suspends again — spurious
 //! wake-ups are cheap, lost wake-ups are deadlocks).
 
+use crate::sync::lock;
 use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::task::{Context, Poll, Wake, Waker};
 use std::thread::JoinHandle;
-
-/// Locks a mutex, recovering the data if a previous holder panicked: the
-/// executor must keep scheduling even if one task's poll panicked.
-fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(PoisonError::into_inner)
-}
 
 /// Registers `waker` in `wakers` unless an equivalent waker (same task) is
 /// already registered — the building block for hand-written futures (the

@@ -1,0 +1,43 @@
+//! Small shared synchronization helpers.
+//!
+//! Every long-lived component in the workspace — the pipeline executor, the
+//! serving layer's job queue and admission semaphore, the wire front-end's
+//! connection state — holds locks that a panicking task may abandon. All of
+//! them share the same recovery policy: a poisoned mutex is recovered, not
+//! propagated, because the panic is already contained at the task/shard
+//! boundary and the protected state is still structurally valid. The policy
+//! lives here once instead of being re-stated per module.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, recovering the data if a previous holder panicked.
+///
+/// Panics inside tasks, shards and connection handlers are contained at
+/// their own boundary (the executor catches poll panics, the service fails
+/// only the affected query); the state a panicking holder leaves behind is
+/// still consistent, so the lock is recovered rather than letting the poison
+/// cascade into every later accessor.
+pub fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn lock_recovers_a_poisoned_mutex() {
+        let mutex = Arc::new(Mutex::new(7));
+        let poisoner = Arc::clone(&mutex);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(mutex.is_poisoned());
+        assert_eq!(*lock(&mutex), 7);
+        *lock(&mutex) = 8;
+        assert_eq!(*lock(&mutex), 8);
+    }
+}

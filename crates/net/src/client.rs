@@ -1,0 +1,435 @@
+//! The wire client: framed queries with acks, timed retries and capped
+//! exponential backoff, in blocking or streaming mode.
+//!
+//! A query's lifecycle on the client side:
+//!
+//! 1. send the `Query` frame and arm the ack timer;
+//! 2. if no `Ack` (or response frame, which implies the ack) arrives within
+//!    [`ClientConfig::ack_timeout`], re-send the same `request_id` after a
+//!    capped exponential backoff ([`backoff_delay`]) — the server's routing
+//!    cache makes the duplicate idempotent;
+//! 3. once acked, consume `Tile` frames (streaming mode) until the terminal
+//!    `Summary`/`Error` frame, reassembling the tile list by position so the
+//!    result is field-for-field (and bit-for-bit) the in-process response.
+
+use crate::conn::{NonBlockingReader, NonBlockingWriter, PopTimeout};
+use crate::wire::{Message, WireRequestSpec, WireResponse, WireTile};
+use sccg::SccgError;
+use std::collections::VecDeque;
+use std::fmt;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Client-side failure of a wire query.
+#[derive(Debug)]
+pub enum WireError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The connection closed before the exchange completed.
+    Disconnected,
+    /// The request was never acknowledged (or never answered) in time.
+    Timeout {
+        /// The request that timed out.
+        request_id: u64,
+        /// Send attempts made (1 initial + retries).
+        attempts: u32,
+    },
+    /// The peer violated the protocol (bad frame, inconsistent response).
+    Protocol(String),
+    /// The server executed the query and reported a failure.
+    Remote(SccgError),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::Disconnected => write!(f, "connection closed mid-exchange"),
+            WireError::Timeout {
+                request_id,
+                attempts,
+            } => write!(
+                f,
+                "request {request_id} unanswered after {attempts} attempts"
+            ),
+            WireError::Protocol(detail) => write!(f, "protocol violation: {detail}"),
+            WireError::Remote(error) => write!(f, "server error: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Configuration of a [`WireClient`].
+///
+/// Marked `#[non_exhaustive]`: construct with [`ClientConfig::default`] and
+/// the `with_*` builders.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ClientConfig {
+    /// How long to wait for the `Ack` before re-sending the query.
+    pub ack_timeout: Duration,
+    /// Re-sends after the initial attempt before giving up.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub initial_backoff: Duration,
+    /// Upper bound the exponential backoff saturates at.
+    pub max_backoff: Duration,
+    /// Overall deadline for the response once acked.
+    pub response_timeout: Duration,
+    /// Send high-water mark (frames) of this client's writer.
+    pub send_hwm: usize,
+    /// Receive high-water mark (frames) of this client's reader.
+    pub recv_hwm: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            ack_timeout: Duration::from_millis(250),
+            max_retries: 5,
+            initial_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_millis(400),
+            response_timeout: Duration::from_secs(60),
+            send_hwm: 64,
+            recv_hwm: 64,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// Returns a copy with a different ack timeout.
+    pub fn with_ack_timeout(mut self, ack_timeout: Duration) -> Self {
+        self.ack_timeout = ack_timeout;
+        self
+    }
+
+    /// Returns a copy with a different retry cap.
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Returns a copy with a different overall response deadline.
+    pub fn with_response_timeout(mut self, response_timeout: Duration) -> Self {
+        self.response_timeout = response_timeout;
+        self
+    }
+}
+
+/// The capped exponential backoff before retry number `retry` (0-based):
+/// `min(initial_backoff << retry, max_backoff)`.
+pub fn backoff_delay(config: &ClientConfig, retry: u32) -> Duration {
+    let factor = 1u32.checked_shl(retry).unwrap_or(u32::MAX);
+    config
+        .initial_backoff
+        .checked_mul(factor)
+        .map_or(config.max_backoff, |d| d.min(config.max_backoff))
+}
+
+/// A streamed or blocking query's resolved result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// The response, with `tiles` complete in both modes.
+    pub response: WireResponse,
+    /// `Tile` frames received before the summary (0 in blocking mode).
+    pub tile_frames: usize,
+}
+
+/// A connected wire client. One query runs at a time per client (open more
+/// clients for concurrency — that is exactly what the load generator does).
+pub struct WireClient {
+    reader: NonBlockingReader,
+    writer: NonBlockingWriter,
+    client_id: u64,
+    next_request: u64,
+    config: ClientConfig,
+    /// Frames received while looking for something else (e.g. a response
+    /// frame that implied a lost ack), replayed before reading the socket.
+    stash: VecDeque<Message>,
+}
+
+impl fmt::Debug for WireClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WireClient")
+            .field("client_id", &self.client_id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WireClient {
+    /// Connects, performs the `Hello`/`HelloAck` handshake, and returns the
+    /// ready client.
+    pub fn connect(addr: impl ToSocketAddrs, config: ClientConfig) -> Result<Self, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = NonBlockingReader::spawn(stream.try_clone()?, config.recv_hwm)?;
+        let writer = NonBlockingWriter::spawn(stream, config.send_hwm)?;
+        writer
+            .send(Message::Hello { client_id: 0 }.to_frame())
+            .map_err(|_| WireError::Disconnected)?;
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let client_id = loop {
+            let left =
+                deadline
+                    .checked_duration_since(Instant::now())
+                    .ok_or(WireError::Timeout {
+                        request_id: 0,
+                        attempts: 1,
+                    })?;
+            match reader.recv_timeout(left.min(Duration::from_millis(50))) {
+                PopTimeout::Item(frame) => match Message::of_frame(&frame) {
+                    Ok(Message::HelloAck { client_id }) => break client_id,
+                    Ok(_) => {}
+                    Err(e) => return Err(WireError::Protocol(e.to_string())),
+                },
+                PopTimeout::TimedOut => {}
+                PopTimeout::Closed => return Err(WireError::Disconnected),
+            }
+        };
+        Ok(WireClient {
+            reader,
+            writer,
+            client_id,
+            next_request: 1,
+            config,
+            stash: VecDeque::new(),
+        })
+    }
+
+    /// The id the server knows this client by.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+
+    /// Runs a query in blocking mode: one summary frame, tile list inline.
+    pub fn query_blocking(&mut self, spec: &WireRequestSpec) -> Result<QueryOutcome, WireError> {
+        self.query(spec, false, |_, _| {})
+    }
+
+    /// Runs a query in streaming mode: `on_tile(position, tile)` fires for
+    /// every tile frame as it arrives (before the summary), and the returned
+    /// outcome's `tiles` list is reassembled in merge order.
+    pub fn query_streaming(
+        &mut self,
+        spec: &WireRequestSpec,
+        on_tile: impl FnMut(u64, &WireTile),
+    ) -> Result<QueryOutcome, WireError> {
+        self.query(spec, true, on_tile)
+    }
+
+    fn next_message(&mut self, timeout: Duration) -> PopTimeout<Result<Message, WireError>> {
+        if let Some(message) = self.stash.pop_front() {
+            return PopTimeout::Item(Ok(message));
+        }
+        match self.reader.recv_timeout(timeout) {
+            PopTimeout::Item(frame) => PopTimeout::Item(
+                Message::of_frame(&frame).map_err(|e| WireError::Protocol(e.to_string())),
+            ),
+            PopTimeout::TimedOut => PopTimeout::TimedOut,
+            PopTimeout::Closed => PopTimeout::Closed,
+        }
+    }
+
+    /// Phase 1: send (and re-send with backoff) until the server
+    /// acknowledges the request. A response frame for this request counts as
+    /// an implicit ack and is stashed for phase 2.
+    fn send_until_acked(&mut self, request_id: u64, query: &Message) -> Result<u32, WireError> {
+        let mut attempts: u32 = 0;
+        loop {
+            self.writer
+                .send(query.to_frame())
+                .map_err(|_| WireError::Disconnected)?;
+            attempts += 1;
+            let deadline = Instant::now() + self.config.ack_timeout;
+            loop {
+                let left = match deadline.checked_duration_since(Instant::now()) {
+                    Some(left) if !left.is_zero() => left,
+                    _ => break, // ack window elapsed: retry
+                };
+                match self.next_message(left) {
+                    PopTimeout::Item(message) => match message? {
+                        Message::Ack { request_id: rid } if rid == request_id => {
+                            return Ok(attempts)
+                        }
+                        message @ (Message::Tile { .. }
+                        | Message::Summary { .. }
+                        | Message::Error { .. })
+                            if message_request_id(&message) == Some(request_id) =>
+                        {
+                            // The response outran the ack bookkeeping: keep
+                            // the frame for phase 2.
+                            self.stash.push_back(message);
+                            return Ok(attempts);
+                        }
+                        // Stale frames of earlier (retried) requests.
+                        _ => {}
+                    },
+                    PopTimeout::TimedOut => break,
+                    PopTimeout::Closed => return Err(WireError::Disconnected),
+                }
+            }
+            if attempts > self.config.max_retries {
+                return Err(WireError::Timeout {
+                    request_id,
+                    attempts,
+                });
+            }
+            std::thread::sleep(backoff_delay(&self.config, attempts - 1));
+        }
+    }
+
+    fn query(
+        &mut self,
+        spec: &WireRequestSpec,
+        streaming: bool,
+        mut on_tile: impl FnMut(u64, &WireTile),
+    ) -> Result<QueryOutcome, WireError> {
+        let request_id = self.next_request;
+        self.next_request += 1;
+        let query = Message::Query {
+            request_id,
+            streaming,
+            spec: spec.clone(),
+        };
+        self.send_until_acked(request_id, &query)?;
+
+        // Phase 2: consume tiles until the terminal frame.
+        let mut tiles: Vec<(u64, WireTile)> = Vec::new();
+        let deadline = Instant::now() + self.config.response_timeout;
+        loop {
+            let left =
+                deadline
+                    .checked_duration_since(Instant::now())
+                    .ok_or(WireError::Timeout {
+                        request_id,
+                        attempts: 1,
+                    })?;
+            match self.next_message(left.min(Duration::from_millis(100))) {
+                PopTimeout::Item(message) => match message? {
+                    Message::Tile {
+                        request_id: rid,
+                        position,
+                        tile,
+                    } if rid == request_id => {
+                        on_tile(position, &tile);
+                        tiles.push((position, tile));
+                    }
+                    Message::Summary {
+                        request_id: rid,
+                        tiles_included,
+                        mut response,
+                    } if rid == request_id => {
+                        let tile_frames = if tiles_included { 0 } else { tiles.len() };
+                        if !tiles_included {
+                            response.tiles = assemble_tiles(tiles, response.shards)?;
+                        }
+                        return Ok(QueryOutcome {
+                            response,
+                            tile_frames,
+                        });
+                    }
+                    Message::Error {
+                        request_id: rid,
+                        failure,
+                    } if rid == request_id => {
+                        return Err(WireError::Remote(failure.to_error()));
+                    }
+                    // Stale frames of earlier requests, duplicate acks.
+                    _ => {}
+                },
+                PopTimeout::TimedOut => {}
+                PopTimeout::Closed => return Err(WireError::Disconnected),
+            }
+        }
+    }
+}
+
+fn message_request_id(message: &Message) -> Option<u64> {
+    match message {
+        Message::Query { request_id, .. }
+        | Message::Ack { request_id }
+        | Message::Tile { request_id, .. }
+        | Message::Summary { request_id, .. }
+        | Message::Error { request_id, .. } => Some(*request_id),
+        Message::Hello { .. } | Message::HelloAck { .. } => None,
+    }
+}
+
+/// Places streamed tiles into merge order by their `position`.
+fn assemble_tiles(received: Vec<(u64, WireTile)>, shards: u64) -> Result<Vec<WireTile>, WireError> {
+    let mut slots: Vec<Option<WireTile>> = (0..shards).map(|_| None).collect();
+    for (position, tile) in received {
+        let slot = slots
+            .get_mut(position as usize)
+            .ok_or_else(|| WireError::Protocol(format!("tile position {position} out of range")))?;
+        if slot.replace(tile).is_some() {
+            return Err(WireError::Protocol(format!(
+                "tile position {position} delivered twice"
+            )));
+        }
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| slot.ok_or_else(|| WireError::Protocol(format!("tile {i} never arrived"))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_saturates_at_the_cap() {
+        let config = ClientConfig::default()
+            .with_max_retries(10)
+            .with_ack_timeout(Duration::from_millis(1));
+        let delays: Vec<u128> = (0..7)
+            .map(|retry| backoff_delay(&config, retry).as_millis())
+            .collect();
+        assert_eq!(delays, vec![25, 50, 100, 200, 400, 400, 400]);
+        // Astronomical retry counts must not overflow.
+        assert_eq!(backoff_delay(&config, 63), Duration::from_millis(400));
+        assert_eq!(backoff_delay(&config, u32::MAX), Duration::from_millis(400));
+    }
+
+    #[test]
+    fn assemble_tiles_orders_by_position_and_rejects_defects() {
+        let tile = |n: u64| WireTile {
+            tile: n,
+            engine: 0,
+            backend: String::new(),
+            candidate_pairs: 0,
+            summary: crate::wire::WireSummary {
+                similarity_bits: 0,
+                intersecting_pairs: 0,
+                candidate_pairs: 0,
+                total_intersection_area: 0,
+                total_union_area: 0,
+            },
+        };
+        let assembled =
+            assemble_tiles(vec![(1, tile(11)), (0, tile(10))], 2).expect("both slots fill");
+        assert_eq!(assembled[0].tile, 10);
+        assert_eq!(assembled[1].tile, 11);
+        assert!(
+            assemble_tiles(vec![(2, tile(0))], 2).is_err(),
+            "out of range"
+        );
+        assert!(
+            assemble_tiles(vec![(0, tile(0)), (0, tile(0))], 1).is_err(),
+            "duplicate position"
+        );
+        assert!(
+            assemble_tiles(vec![(0, tile(0))], 2).is_err(),
+            "missing tile"
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Loopback load generator: N concurrent clients hammering a [`crate::WireServer`],
+//! reporting throughput and latency percentiles.
+//!
+//! Each client owns its own connection (the protocol serializes queries per
+//! connection, so concurrency = connections) and issues its queries
+//! back-to-back, cycling through the configured specs. Latency is measured
+//! per query from send to terminal frame; the report carries p50/p99/mean/max
+//! and queries-per-second over the whole run, plus every outcome so callers
+//! can verify responses bit-for-bit against an in-process baseline.
+
+use crate::client::{ClientConfig, QueryOutcome, WireClient, WireError};
+use crate::wire::WireRequestSpec;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Configuration of one load-generator run.
+///
+/// Marked `#[non_exhaustive]`: construct with [`LoadGenConfig::new`] and the
+/// `with_*` builders.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct LoadGenConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Queries each client issues (serially).
+    pub queries_per_client: usize,
+    /// Whether clients request streaming (per-tile) responses.
+    pub streaming: bool,
+    /// Queries to issue, cycled per client in round-robin order.
+    pub specs: Vec<WireRequestSpec>,
+    /// Per-client connection configuration.
+    pub client: ClientConfig,
+}
+
+impl LoadGenConfig {
+    /// A run of 4 streaming clients, 8 queries each, over `specs`.
+    pub fn new(specs: Vec<WireRequestSpec>) -> Self {
+        LoadGenConfig {
+            clients: 4,
+            queries_per_client: 8,
+            streaming: true,
+            specs,
+            client: ClientConfig::default(),
+        }
+    }
+
+    /// Returns a copy with a different client count.
+    pub fn with_clients(mut self, clients: usize) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Returns a copy with a different per-client query count.
+    pub fn with_queries_per_client(mut self, queries_per_client: usize) -> Self {
+        self.queries_per_client = queries_per_client;
+        self
+    }
+
+    /// Returns a copy with streaming mode on or off.
+    pub fn with_streaming(mut self, streaming: bool) -> Self {
+        self.streaming = streaming;
+        self
+    }
+}
+
+/// One query's measured result.
+#[derive(Debug, Clone)]
+pub struct LoadGenOutcome {
+    /// Index of the client that issued the query.
+    pub client: usize,
+    /// Index into [`LoadGenConfig::specs`] of the issued query.
+    pub spec: usize,
+    /// The resolved response (tiles complete in both modes).
+    pub outcome: QueryOutcome,
+    /// Send-to-terminal-frame latency.
+    pub latency: Duration,
+}
+
+/// Aggregate report of a load-generator run.
+#[derive(Debug, Clone)]
+pub struct LoadGenReport {
+    /// Total queries completed.
+    pub queries: usize,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Queries per second over the run.
+    pub qps: f64,
+    /// Median query latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile query latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean query latency, milliseconds.
+    pub mean_ms: f64,
+    /// Worst query latency, milliseconds.
+    pub max_ms: f64,
+    /// Tile frames received across all queries (0 when not streaming).
+    pub tile_frames: usize,
+    /// Every individual outcome, for response verification.
+    pub outcomes: Vec<LoadGenOutcome>,
+}
+
+/// Latency at percentile `q` (0.0–1.0) of an **ascending-sorted** sample,
+/// by nearest-rank on `(n - 1) * q`.
+fn percentile_ms(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)].as_secs_f64() * 1e3
+}
+
+/// Drives `config.clients` concurrent connections against `addr` and
+/// reports latency/throughput. Fails on the first client error.
+pub fn run_loadgen(addr: SocketAddr, config: &LoadGenConfig) -> Result<LoadGenReport, WireError> {
+    if config.specs.is_empty() {
+        return Err(WireError::Protocol(
+            "load generator needs at least one spec".into(),
+        ));
+    }
+    let started = Instant::now();
+    let results: Vec<Result<Vec<LoadGenOutcome>, WireError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients)
+            .map(|client_index| {
+                scope.spawn(move || -> Result<Vec<LoadGenOutcome>, WireError> {
+                    let mut client = WireClient::connect(addr, config.client.clone())?;
+                    let mut outcomes = Vec::with_capacity(config.queries_per_client);
+                    for query_index in 0..config.queries_per_client {
+                        // Offset the round-robin start per client so the
+                        // specs interleave across connections.
+                        let spec_index = (client_index + query_index) % config.specs.len();
+                        let spec = &config.specs[spec_index];
+                        let sent = Instant::now();
+                        let outcome = if config.streaming {
+                            client.query_streaming(spec, |_, _| {})?
+                        } else {
+                            client.query_blocking(spec)?
+                        };
+                        outcomes.push(LoadGenOutcome {
+                            client: client_index,
+                            spec: spec_index,
+                            outcome,
+                            latency: sent.elapsed(),
+                        });
+                    }
+                    Ok(outcomes)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| {
+                handle
+                    .join()
+                    .unwrap_or_else(|_| Err(WireError::Protocol("client thread panicked".into())))
+            })
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut outcomes = Vec::new();
+    for result in results {
+        outcomes.extend(result?);
+    }
+    let mut latencies: Vec<Duration> = outcomes.iter().map(|o| o.latency).collect();
+    latencies.sort();
+    let queries = outcomes.len();
+    let mean_ms = if queries == 0 {
+        0.0
+    } else {
+        latencies.iter().map(|d| d.as_secs_f64() * 1e3).sum::<f64>() / queries as f64
+    };
+    Ok(LoadGenReport {
+        queries,
+        elapsed,
+        qps: queries as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p99_ms: percentile_ms(&latencies, 0.99),
+        mean_ms,
+        max_ms: latencies.last().map_or(0.0, |d| d.as_secs_f64() * 1e3),
+        tile_frames: outcomes.iter().map(|o| o.outcome.tile_frames).sum(),
+        outcomes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank_on_sorted_samples() {
+        let sorted: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile_ms(&sorted, 0.0), 1.0);
+        assert_eq!(percentile_ms(&sorted, 0.50), 51.0); // rank round(99*0.5)=50
+        assert_eq!(percentile_ms(&sorted, 0.99), 99.0);
+        assert_eq!(percentile_ms(&sorted, 1.0), 100.0);
+        assert_eq!(percentile_ms(&[], 0.5), 0.0);
+        let one = [Duration::from_millis(7)];
+        assert_eq!(percentile_ms(&one, 0.5), 7.0);
+        assert_eq!(percentile_ms(&one, 0.99), 7.0);
+    }
+}

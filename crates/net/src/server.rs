@@ -1,0 +1,400 @@
+//! The wire server: a TCP front-end over a shared [`ComparisonService`].
+//!
+//! One acceptor thread plus one dispatcher per connection. A connection
+//! speaks the protocol of [`crate::wire`]: `Hello`/`HelloAck`, then queries
+//! processed **serially per connection** (concurrency is achieved with
+//! concurrent connections, which is also what keeps the per-connection
+//! send/receive buffers honest HWMs). For every query the dispatcher:
+//!
+//! 1. consults the per-client **routing cache** — a duplicate of an
+//!    in-flight request is re-acked only, a duplicate of a finished request
+//!    replays its stored terminal frame without recomputing (this is what
+//!    makes client retries idempotent);
+//! 2. sends the `Ack` *before* admission, so a query waiting for an
+//!    execution slot does not look lost to the client's retry timer;
+//! 3. submits via [`ComparisonService::submit_streaming`] and forwards each
+//!    [`QueryEvent::Tile`] as its shard completes (streaming mode), then the
+//!    terminal `Summary`/`Error` frame. Blocking mode is the degenerate
+//!    case: tile events are folded into one summary frame with the tile
+//!    list inline.
+//!
+//! Shutdown is a **graceful drain**: stop accepting, let every dispatcher
+//! finish its in-flight query, flush and close the writers, join all
+//! threads. [`WireServer::drop`] performs the same drain.
+
+use crate::conn::{NonBlockingReader, NonBlockingWriter, PopTimeout};
+use crate::frame::Frame;
+use crate::wire::{Message, WireFailure, WireResponse, WireTile};
+use sccg::sync::lock;
+use sccg::SccgError;
+use sccg_serve::{ComparisonService, LruCache, QueryEvent};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of a [`WireServer`].
+///
+/// Marked `#[non_exhaustive]`: construct with [`NetConfig::default`] and the
+/// `with_*` builders.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct NetConfig {
+    /// Send high-water mark: frames buffered per connection before the
+    /// dispatcher blocks (and, transitively, the peer's TCP window fills).
+    pub send_hwm: usize,
+    /// Receive high-water mark: decoded frames buffered per connection
+    /// before the reader thread stops issuing socket reads.
+    pub recv_hwm: usize,
+    /// Capacity of the `(client, request)` routing cache that makes retries
+    /// idempotent. Small by design: it only needs to cover the retry window.
+    pub route_cache: usize,
+    /// How often parked dispatchers re-check the drain flag.
+    pub poll_interval: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            send_hwm: 64,
+            recv_hwm: 64,
+            route_cache: 128,
+            poll_interval: Duration::from_millis(20),
+        }
+    }
+}
+
+impl NetConfig {
+    /// Returns a copy with a different send high-water mark.
+    pub fn with_send_hwm(mut self, send_hwm: usize) -> Self {
+        self.send_hwm = send_hwm;
+        self
+    }
+
+    /// Returns a copy with a different receive high-water mark.
+    pub fn with_recv_hwm(mut self, recv_hwm: usize) -> Self {
+        self.recv_hwm = recv_hwm;
+        self
+    }
+
+    /// Returns a copy with a different routing-cache capacity.
+    pub fn with_route_cache(mut self, route_cache: usize) -> Self {
+        self.route_cache = route_cache;
+        self
+    }
+}
+
+/// Routing state of one `(client_id, request_id)`.
+enum RouteState {
+    /// The query is executing; duplicates are re-acked and otherwise
+    /// ignored.
+    InFlight,
+    /// The query finished; duplicates replay this terminal frame (stored
+    /// with the tile list inline, so the replay is self-contained even for
+    /// originally-streamed queries).
+    Done(Frame),
+}
+
+struct ServerShared {
+    service: Arc<ComparisonService>,
+    config: NetConfig,
+    draining: AtomicBool,
+    next_client: AtomicU64,
+    routes: Mutex<LruCache<(u64, u64), Arc<RouteState>>>,
+    dispatchers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running wire front-end. See the [module docs](self).
+pub struct WireServer {
+    shared: Arc<ServerShared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WireServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WireServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts accepting
+    /// connections against `service`.
+    pub fn start(
+        service: Arc<ComparisonService>,
+        addr: impl ToSocketAddrs,
+        config: NetConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            service,
+            routes: Mutex::new(LruCache::new(config.route_cache)),
+            config,
+            draining: AtomicBool::new(false),
+            next_client: AtomicU64::new(1),
+            dispatchers: Mutex::new(Vec::new()),
+        });
+        let acceptor_shared = Arc::clone(&shared);
+        let acceptor = std::thread::Builder::new()
+            .name("sccg-net-accept".into())
+            .spawn(move || accept_loop(listener, acceptor_shared))?;
+        Ok(WireServer {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Gracefully drains the server: stops accepting, finishes in-flight
+    /// queries, flushes and closes every connection, joins all threads.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let dispatchers = std::mem::take(&mut *lock(&self.shared.dispatchers));
+        for dispatcher in dispatchers {
+            let _ = dispatcher.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
+    while !shared.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                let dispatcher_shared = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name("sccg-net-conn".into())
+                    .spawn(move || dispatch_connection(stream, dispatcher_shared));
+                if let Ok(handle) = spawned {
+                    lock(&shared.dispatchers).push(handle);
+                }
+            }
+            // Nonblocking accept: park briefly so the drain flag stays
+            // responsive without an event queue.
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Runs one connection to completion: handshake, then serial queries until
+/// the peer disconnects or the server drains.
+fn dispatch_connection(stream: TcpStream, shared: Arc<ServerShared>) {
+    let reader = match stream
+        .try_clone()
+        .and_then(|s| NonBlockingReader::spawn(s, shared.config.recv_hwm))
+    {
+        Ok(reader) => reader,
+        Err(_) => return,
+    };
+    let writer = match NonBlockingWriter::spawn(stream, shared.config.send_hwm) {
+        Ok(writer) => writer,
+        Err(_) => return,
+    };
+
+    if let Some(client_id) = handshake(&reader, &writer, &shared) {
+        serve_queries(client_id, &reader, &writer, &shared);
+    }
+    // Graceful teardown either way: drain + flush the send buffer, then
+    // release the read half.
+    let _ = writer.close();
+    reader.close();
+}
+
+/// Waits for the `Hello`, assigns or echoes the client id, acks it.
+fn handshake(
+    reader: &NonBlockingReader,
+    writer: &NonBlockingWriter,
+    shared: &ServerShared,
+) -> Option<u64> {
+    loop {
+        match reader.recv_timeout(shared.config.poll_interval) {
+            PopTimeout::Item(frame) => {
+                return match Message::of_frame(&frame) {
+                    Ok(Message::Hello { client_id }) => {
+                        let client_id = if client_id == 0 {
+                            shared.next_client.fetch_add(1, Ordering::Relaxed)
+                        } else {
+                            client_id
+                        };
+                        writer
+                            .send(Message::HelloAck { client_id }.to_frame())
+                            .ok()?;
+                        Some(client_id)
+                    }
+                    // Anything else before the handshake is a protocol
+                    // violation: drop the connection.
+                    _ => None,
+                };
+            }
+            PopTimeout::TimedOut => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return None;
+                }
+            }
+            PopTimeout::Closed => return None,
+        }
+    }
+}
+
+fn serve_queries(
+    client_id: u64,
+    reader: &NonBlockingReader,
+    writer: &NonBlockingWriter,
+    shared: &ServerShared,
+) {
+    loop {
+        match reader.recv_timeout(shared.config.poll_interval) {
+            // Anything other than a query — an unexpected-but-valid kind (a
+            // late duplicate ack, say) or an undecodable body — poisons only
+            // that message and is skipped.
+            PopTimeout::Item(frame) => {
+                if let Ok(Message::Query {
+                    request_id,
+                    streaming,
+                    spec,
+                }) = Message::of_frame(&frame)
+                {
+                    if serve_one_query(client_id, request_id, streaming, &spec, writer, shared)
+                        .is_err()
+                    {
+                        return; // writer gone: the connection is dead
+                    }
+                }
+            }
+            PopTimeout::TimedOut => {
+                // The drain point: between queries, never mid-query.
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            PopTimeout::Closed => return,
+        }
+    }
+}
+
+/// Handles one query frame end to end. An error means the writer is gone.
+fn serve_one_query(
+    client_id: u64,
+    request_id: u64,
+    streaming: bool,
+    spec: &crate::wire::WireRequestSpec,
+    writer: &NonBlockingWriter,
+    shared: &ServerShared,
+) -> Result<(), crate::conn::WriterClosed> {
+    let key = (client_id, request_id);
+
+    // Retry idempotency: duplicates never recompute.
+    if let Some(route) = lock(&shared.routes).get(&key) {
+        writer.send(Message::Ack { request_id }.to_frame())?;
+        if let RouteState::Done(terminal) = route.as_ref() {
+            writer.send(terminal.clone())?;
+        }
+        return Ok(());
+    }
+    lock(&shared.routes).insert(key, Arc::new(RouteState::InFlight));
+
+    // Ack before admission: a query parked on the admission semaphore is
+    // *accepted*, and must not look lost to the client's retry timer.
+    writer.send(Message::Ack { request_id }.to_frame())?;
+
+    let handle = match shared.service.submit_streaming(spec.to_request()) {
+        Ok(handle) => handle,
+        Err(error) => {
+            let terminal = Message::Error {
+                request_id,
+                failure: WireFailure::of_error(&error),
+            }
+            .to_frame();
+            lock(&shared.routes).insert(key, Arc::new(RouteState::Done(terminal.clone())));
+            writer.send(terminal)?;
+            return Ok(());
+        }
+    };
+
+    // Pump the event stream. Tile frames go out the moment shards complete;
+    // the terminal frame is stored for replay *with* its tile list, so a
+    // replayed response is self-contained even if the live one streamed.
+    let (live, stored) = loop {
+        match handle.next_event() {
+            Some(QueryEvent::Tile { position, report }) => {
+                if streaming {
+                    writer.send(
+                        Message::Tile {
+                            request_id,
+                            position: position as u64,
+                            tile: WireTile::of_report(&report),
+                        }
+                        .to_frame(),
+                    )?;
+                }
+            }
+            Some(QueryEvent::Finished(Ok(response))) => {
+                let full = WireResponse::of_response(&response);
+                let stored = Message::Summary {
+                    request_id,
+                    tiles_included: true,
+                    response: full.clone(),
+                }
+                .to_frame();
+                let live = if streaming {
+                    // The tiles already streamed; the live summary carries
+                    // only the merged result.
+                    Message::Summary {
+                        request_id,
+                        tiles_included: false,
+                        response: WireResponse {
+                            tiles: Vec::new(),
+                            ..full
+                        },
+                    }
+                    .to_frame()
+                } else {
+                    stored.clone()
+                };
+                break (live, stored);
+            }
+            Some(QueryEvent::Finished(Err(error))) => {
+                let terminal = Message::Error {
+                    request_id,
+                    failure: WireFailure::of_error(&error),
+                }
+                .to_frame();
+                break (terminal.clone(), terminal);
+            }
+            None => {
+                let terminal = Message::Error {
+                    request_id,
+                    failure: WireFailure::of_error(&SccgError::ShutDown),
+                }
+                .to_frame();
+                break (terminal.clone(), terminal);
+            }
+        }
+    };
+    lock(&shared.routes).insert(key, Arc::new(RouteState::Done(stored)));
+    writer.send(live)?;
+    Ok(())
+}

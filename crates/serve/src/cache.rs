@@ -1,4 +1,5 @@
-//! Bounded LRU cache of query responses.
+//! Bounded LRU cache of query responses (and, via [`LruCache`]'s generic
+//! form, of the wire front-end's per-client routing state).
 //!
 //! Repeated analytics over the same slide pair dominate real serving
 //! workloads (re-rendered viewers, dashboards, parameter sweeps that revisit
@@ -10,10 +11,9 @@
 //! substrate served it, so preferences cache separately).
 
 use crate::store::SlideId;
-use sccg::pixelbox::{AggregationDevice, PixelBoxConfig};
-use std::collections::hash_map::DefaultHasher;
+use sccg::pixelbox::{AggregationDevice, PixelBoxConfig, Variant};
 use std::collections::{HashMap, VecDeque};
-use std::hash::{Hash, Hasher};
+use std::hash::Hash;
 
 /// Cache key of one query's response.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -27,67 +27,146 @@ pub(crate) struct CacheKey {
     pub device: Option<AggregationDevice>,
 }
 
-/// Stable-within-process fingerprint of a PixelBox configuration.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(hash, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
+}
+
+/// Process-stable fingerprint of a PixelBox configuration: FNV-1a 64 over an
+/// explicit field-wise encoding (integers as little-endian bytes, the variant
+/// as a fixed tag, flags as single bytes).
 ///
-/// `PixelBoxConfig` intentionally does not implement `Hash` (it carries
-/// tuning floats in some forks); its `Debug` rendering covers every field,
-/// so hashing that rendering fingerprints the configuration without adding
-/// trait obligations to the core crate.
+/// `DefaultHasher` over the `Debug` rendering would be simpler, but its
+/// output is deliberately randomized per process — once cache keys are
+/// observable over the wire or ever persisted, a restart would silently
+/// change every fingerprint. The encoding below is the contract instead; the
+/// `paper_default` value is pinned in a unit test so accidental changes fail
+/// loudly.
 pub(crate) fn config_fingerprint(config: &PixelBoxConfig) -> u64 {
-    let mut hasher = DefaultHasher::new();
-    format!("{config:?}").hash(&mut hasher);
-    hasher.finish()
+    let variant_tag: u8 = match config.variant {
+        Variant::PixelOnly => 0,
+        Variant::NoSep => 1,
+        Variant::Full => 2,
+    };
+    let mut hash = FNV_OFFSET;
+    hash = fnv1a(hash, &config.block_size.to_le_bytes());
+    hash = fnv1a(hash, &config.grid_size.to_le_bytes());
+    hash = fnv1a(hash, &config.threshold.to_le_bytes());
+    hash = fnv1a(hash, &[variant_tag]);
+    hash = fnv1a(
+        hash,
+        &[
+            u8::from(config.opts.shared_memory_vertices),
+            u8::from(config.opts.avoid_bank_conflicts),
+            u8::from(config.opts.unroll_loops),
+        ],
+    );
+    fnv1a(hash, &config.cpu_fanout.to_le_bytes())
 }
 
 /// A bounded map with least-recently-used eviction. Capacity `0` disables
 /// caching entirely.
+///
+/// Recency is tracked with monotonic sequence numbers instead of reordering
+/// a queue: every access stamps the entry with a fresh sequence and appends
+/// `(seq, key)` to the order queue, leaving the old position behind as a
+/// stale marker that eviction skips (its sequence no longer matches the
+/// entry's). `get`/`insert` are O(1) amortized — the queue is compacted down
+/// to live markers whenever stale ones outnumber the capacity — where the
+/// previous scheme scanned the whole queue on every hit, exactly the path
+/// the wire front-end makes hot.
 #[derive(Debug)]
-pub(crate) struct LruCache<V> {
+pub struct LruCache<K, V> {
     capacity: usize,
-    map: HashMap<CacheKey, V>,
-    /// Keys from least- to most-recently used.
-    order: VecDeque<CacheKey>,
+    map: HashMap<K, Stamped<V>>,
+    /// `(sequence, key)` markers from least- to most-recently stamped; an
+    /// entry whose sequence differs from its map stamp is stale.
+    order: VecDeque<(u64, K)>,
+    next_seq: u64,
 }
 
-impl<V: Clone> LruCache<V> {
+#[derive(Debug)]
+struct Stamped<V> {
+    value: V,
+    seq: u64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         LruCache {
             capacity,
             map: HashMap::new(),
             order: VecDeque::new(),
+            next_seq: 0,
         }
     }
 
+    /// Number of live entries.
     pub fn len(&self) -> usize {
         self.map.len()
     }
 
-    fn touch(&mut self, key: &CacheKey) {
-        if let Some(pos) = self.order.iter().position(|k| k == key) {
-            let key = self.order.remove(pos).expect("position is in bounds");
-            self.order.push_back(key);
-        }
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
     }
 
-    pub fn get(&mut self, key: &CacheKey) -> Option<V> {
-        let value = self.map.get(key).cloned()?;
+    /// Stamps `key` as most recently used. The caller guarantees the key is
+    /// in the map.
+    fn touch(&mut self, key: &K) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.map.get_mut(key).expect("touched key is present").seq = seq;
+        self.order.push_back((seq, key.clone()));
+        self.compact();
+    }
+
+    /// Drops stale markers once they outnumber live entries by more than the
+    /// capacity, bounding the queue at O(capacity) without per-access scans.
+    fn compact(&mut self) {
+        if self.order.len() <= 2 * self.capacity + 8 {
+            return;
+        }
+        let map = &self.map;
+        self.order
+            .retain(|(seq, key)| map.get(key).is_some_and(|entry| entry.seq == *seq));
+    }
+
+    /// Returns a clone of the value under `key`, marking it most recently
+    /// used.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        let value = self.map.get(key)?.value.clone();
         self.touch(key);
         Some(value)
     }
 
-    pub fn insert(&mut self, key: CacheKey, value: V) {
+    /// Inserts (or replaces) the value under `key` as the most recently used
+    /// entry, evicting the least recently used entries beyond capacity.
+    pub fn insert(&mut self, key: K, value: V) {
         if self.capacity == 0 {
             return;
         }
-        if self.map.insert(key.clone(), value).is_some() {
-            self.touch(&key);
-            return;
-        }
-        self.order.push_back(key);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.map.insert(key.clone(), Stamped { value, seq });
+        self.order.push_back((seq, key));
         while self.map.len() > self.capacity {
-            let evicted = self.order.pop_front().expect("map and order in sync");
-            self.map.remove(&evicted);
+            let (seq, key) = self
+                .order
+                .pop_front()
+                .expect("entries beyond capacity have markers");
+            // Only a *live* marker (sequence still current) names the LRU
+            // entry; stale markers were superseded by a later touch.
+            if self.map.get(&key).is_some_and(|entry| entry.seq == seq) {
+                self.map.remove(&key);
+            }
         }
+        self.compact();
     }
 }
 
@@ -135,11 +214,98 @@ mod tests {
         assert_eq!(cache.get(&key(0)), Some("b"));
     }
 
+    /// Many repeated hits must not let stale markers evict the wrong entry
+    /// or grow the order queue without bound.
+    #[test]
+    fn repeated_hits_keep_recency_exact_and_queue_bounded() {
+        let mut cache = LruCache::new(3);
+        cache.insert(key(0), 0usize);
+        cache.insert(key(1), 1);
+        cache.insert(key(2), 2);
+        for _ in 0..1000 {
+            assert_eq!(cache.get(&key(0)), Some(0));
+            assert_eq!(cache.get(&key(1)), Some(1));
+        }
+        // Queue stays O(capacity) despite 2000 touches.
+        assert!(cache.order.len() <= 2 * 3 + 8, "order queue is bounded");
+        cache.insert(key(3), 3); // evicts 2, the only untouched entry
+        assert_eq!(cache.get(&key(2)), None);
+        assert_eq!(cache.get(&key(0)), Some(0));
+        assert_eq!(cache.get(&key(1)), Some(1));
+        assert_eq!(cache.get(&key(3)), Some(3));
+    }
+
+    /// Eviction order follows touches even when every marker in front is
+    /// stale.
+    #[test]
+    fn eviction_skips_stale_markers() {
+        let mut cache = LruCache::new(2);
+        cache.insert(key(0), "a");
+        cache.insert(key(1), "b");
+        // Touch 0 repeatedly: its old markers go stale in place.
+        for _ in 0..5 {
+            cache.get(&key(0));
+        }
+        cache.insert(key(2), "c"); // must evict 1, not 0
+        assert_eq!(cache.get(&key(0)), Some("a"));
+        assert_eq!(cache.get(&key(1)), None);
+        assert_eq!(cache.get(&key(2)), Some("c"));
+    }
+
     #[test]
     fn fingerprint_distinguishes_configs() {
         let base = PixelBoxConfig::paper_default();
         let other = base.with_variant(sccg::pixelbox::Variant::NoSep);
         assert_eq!(config_fingerprint(&base), config_fingerprint(&base));
         assert_ne!(config_fingerprint(&base), config_fingerprint(&other));
+        let flags = PixelBoxConfig {
+            opts: sccg::pixelbox::OptimizationFlags::none(),
+            ..base
+        };
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&flags));
+    }
+
+    /// The fingerprint is a process-independent contract: the value for the
+    /// paper-default configuration is pinned. If this test fails, the
+    /// encoding changed — which invalidates any persisted or on-the-wire
+    /// cache key.
+    #[test]
+    fn fingerprint_of_paper_default_is_pinned() {
+        assert_eq!(
+            config_fingerprint(&PixelBoxConfig::paper_default()),
+            PAPER_DEFAULT_FINGERPRINT,
+        );
+    }
+
+    /// FNV-1a 64 over: block_size=64, grid_size=256, threshold=2048 (LE
+    /// u32s), variant tag 2 (Full), flags [1, 1, 1], cpu_fanout=4 (LE u32).
+    /// Computed independently (reference FNV-1a over those 20 bytes).
+    const PAPER_DEFAULT_FINGERPRINT: u64 = 0x098f_65e7_7c9c_a161;
+
+    /// The independent const re-derivation must agree with the pinned
+    /// literal, so the byte listing above is auditable in place.
+    #[test]
+    fn pinned_fingerprint_matches_byte_listing() {
+        assert_eq!(compute_paper_default(), PAPER_DEFAULT_FINGERPRINT);
+    }
+
+    /// Independent const re-derivation of the same encoding, so the pinned
+    /// value is auditable without an external tool.
+    const fn compute_paper_default() -> u64 {
+        const BYTES: [u8; 20] = [
+            64, 0, 0, 0, // block_size
+            0, 1, 0, 0, // grid_size
+            0, 8, 0, 0, // threshold = 2048
+            2, // Variant::Full
+            1, 1, 1, // optimization flags
+            4, 0, 0, 0, // cpu_fanout
+        ];
+        let mut hash = FNV_OFFSET;
+        let mut i = 0;
+        while i < BYTES.len() {
+            hash = (hash ^ BYTES[i] as u64).wrapping_mul(FNV_PRIME);
+            i += 1;
+        }
+        hash
     }
 }

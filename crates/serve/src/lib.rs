@@ -48,23 +48,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod cache;
+pub mod cache;
 pub mod json;
 pub mod request;
 pub mod service;
 pub mod store;
 
+pub use cache::LruCache;
 pub use request::{QueryPriority, QueryRequest, TileSelection};
 pub use service::{
-    ComparisonService, QueryHandle, QueryResponse, ServiceConfig, ServiceStats, TileReport,
+    ComparisonService, QueryEvent, QueryHandle, QueryResponse, ServiceConfig, ServiceStats,
+    StreamingHandle, TileReport,
 };
 pub use store::{SlideId, SlideInfo, SlideStore, TileId};
 
 /// Convenient re-exports for application code.
 pub mod prelude {
+    pub use crate::cache::LruCache;
     pub use crate::request::{QueryPriority, QueryRequest, TileSelection};
     pub use crate::service::{
-        ComparisonService, QueryHandle, QueryResponse, ServiceConfig, ServiceStats, TileReport,
+        ComparisonService, QueryEvent, QueryHandle, QueryResponse, ServiceConfig, ServiceStats,
+        StreamingHandle, TileReport,
     };
     pub use crate::store::{SlideId, SlideInfo, SlideStore, TileId};
 }

@@ -41,6 +41,7 @@ use crate::store::{SlideId, SlideStore};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use sccg::pipeline::exec::{register_waker, Executor};
 use sccg::pixelbox::{AggregationDevice, PixelBoxConfig, SplitConfig, SplitController, SplitTrace};
+use sccg::sync::lock;
 use sccg::{CrossComparison, EngineConfig, JaccardAccumulator, JaccardSummary, SccgError};
 use sccg_geometry::text::PolygonRecord;
 use sccg_gpu_sim::{Device, DeviceConfig};
@@ -49,22 +50,16 @@ use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::task::{Context, Poll, Waker};
 
-/// Locks a mutex, recovering the data if a previous holder panicked (the
-/// service must stay serviceable even if one shard computation panics).
-///
-/// This module deliberately uses `std::sync` primitives rather than the
-/// `parking_lot` used elsewhere in the workspace: the admission semaphore
-/// needs a [`Condvar`] paired with its mutex (its waiters are *client*
-/// threads, not executor tasks, so blocking is correct there), `std`'s
-/// `Condvar` only pairs with `std`'s `Mutex`, and the offline `parking_lot`
-/// shim provides no `Condvar` at all. One consistent locking idiom per
-/// module beats mixing two.
-fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(PoisonError::into_inner)
-}
+// This module deliberately uses `std::sync` primitives rather than the
+// `parking_lot` used elsewhere in the workspace: the admission semaphore
+// needs a `Condvar` paired with its mutex (its waiters are *client*
+// threads, not executor tasks, so blocking is correct there), `std`'s
+// `Condvar` only pairs with `std`'s `Mutex`, and the offline `parking_lot`
+// shim provides no `Condvar` at all. Poison recovery goes through the
+// workspace-wide [`sccg::sync::lock`] helper.
 
 /// Configuration of a [`ComparisonService`].
 ///
@@ -247,6 +242,93 @@ pub struct ServiceStats {
     pub cache_entries: usize,
 }
 
+/// One progressive event of a streaming query (see
+/// [`ComparisonService::submit_streaming`]).
+#[derive(Debug, Clone)]
+pub enum QueryEvent {
+    /// One tile's report, delivered as soon as its shard completed. Events
+    /// arrive in *completion* order, which may differ from tile order;
+    /// `position` is the tile's slot in the final response's merge-ordered
+    /// tile list.
+    Tile {
+        /// Index into the final response's `tiles` list (merge order).
+        position: usize,
+        /// The tile's report, bit-identical to the corresponding entry of
+        /// the final response.
+        report: TileReport,
+    },
+    /// Terminal event: the merged response (bit-identical to what
+    /// [`ComparisonService::submit`] would have returned), or the query's
+    /// failure. No event follows it.
+    Finished(Result<QueryResponse, SccgError>),
+}
+
+/// Handle to a query submitted with
+/// [`ComparisonService::submit_streaming`]: a sequence of
+/// [`QueryEvent::Tile`] events terminated by one [`QueryEvent::Finished`].
+///
+/// Cache hits and empty queries replay as the same shape (every tile event,
+/// then the finish), so consumers need no special cases; a blocking caller
+/// is simply one that ignores tile events — the degenerate one-frame case
+/// the wire protocol preserves.
+pub struct StreamingHandle {
+    events: Receiver<QueryEvent>,
+}
+
+impl std::fmt::Debug for StreamingHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingHandle").finish_non_exhaustive()
+    }
+}
+
+impl StreamingHandle {
+    /// Synthesizes the event stream of an already-resolved response (cache
+    /// hit, empty query): every tile as an event, then the finish.
+    fn replay(result: Result<QueryResponse, SccgError>) -> Self {
+        let tiles = result.as_ref().map(|r| r.tiles.len()).unwrap_or(0);
+        let (tx, rx) = bounded(tiles + 1);
+        if let Ok(response) = &result {
+            for (position, report) in response.tiles.iter().enumerate() {
+                let _ = tx.send(QueryEvent::Tile {
+                    position,
+                    report: report.clone(),
+                });
+            }
+        }
+        let _ = tx.send(QueryEvent::Finished(result));
+        StreamingHandle { events: rx }
+    }
+
+    /// Blocks for the next event. Returns `None` once the terminal
+    /// [`QueryEvent::Finished`] has been consumed (or if the service was
+    /// dropped before the query resolved).
+    pub fn next_event(&self) -> Option<QueryEvent> {
+        self.events.recv().ok()
+    }
+
+    /// Drains the stream, invoking `on_tile` for every tile event, and
+    /// returns the merged response. Returns [`SccgError::ShutDown`] if the
+    /// service was dropped before the query finished.
+    pub fn wait_with(
+        self,
+        mut on_tile: impl FnMut(usize, &TileReport),
+    ) -> Result<QueryResponse, SccgError> {
+        while let Some(event) = self.next_event() {
+            match event {
+                QueryEvent::Tile { position, report } => on_tile(position, &report),
+                QueryEvent::Finished(result) => return result,
+            }
+        }
+        Err(SccgError::ShutDown)
+    }
+
+    /// Drains the stream ignoring tile events and returns the merged
+    /// response (the blocking degenerate case).
+    pub fn wait(self) -> Result<QueryResponse, SccgError> {
+        self.wait_with(|_, _| {})
+    }
+}
+
 /// One tile's computed partial: the public report plus the exact accumulator
 /// needed for bit-identical merging.
 struct TilePartial {
@@ -273,6 +355,11 @@ struct QueryState {
     /// with [`SccgError::Internal`] instead of wedging the service.
     failure: Mutex<Option<String>>,
     responder: Sender<Result<QueryResponse, SccgError>>,
+    /// Streaming subscriber: per-tile events pushed as shards complete (the
+    /// PR 4 aggregator seam). The channel is sized `shards + 1`, so workers
+    /// never block on a slow stream consumer — a lagging client backs up in
+    /// its own transport, not in the engine pool.
+    stream: Option<Sender<QueryEvent>>,
 }
 
 /// One unit of engine work: a single tile of a query.
@@ -460,7 +547,7 @@ struct Counters {
 struct ServiceInner {
     queue: JobQueue,
     admission: Admission,
-    cache: Mutex<LruCache<QueryResponse>>,
+    cache: Mutex<LruCache<CacheKey, QueryResponse>>,
     counters: Counters,
 }
 
@@ -470,7 +557,11 @@ impl ServiceInner {
         // slot is still returned so the service stays serviceable.
         if let Some(detail) = lock(&query.failure).take() {
             self.admission.release();
-            let _ = query.responder.send(Err(SccgError::Internal { detail }));
+            let result = Err(SccgError::Internal { detail });
+            if let Some(stream) = &query.stream {
+                let _ = stream.send(QueryEvent::Finished(result.clone()));
+            }
+            let _ = query.responder.send(result);
             return;
         }
         let mut total = JaccardAccumulator::new();
@@ -498,7 +589,13 @@ impl ServiceInner {
         lock(&self.cache).insert(query.key.clone(), response.clone());
         self.counters.completed.fetch_add(1, Ordering::Relaxed);
         self.admission.release();
-        // The caller may have dropped its handle; that is not an error.
+        // The caller may have dropped its handle; that is not an error. The
+        // terminal stream event goes out first so a streaming consumer that
+        // also holds the blocking handle never observes the response before
+        // its own stream finished.
+        if let Some(stream) = &query.stream {
+            let _ = stream.send(QueryEvent::Finished(Ok(response.clone())));
+        }
         let _ = query.responder.send(Ok(response));
     }
 }
@@ -717,6 +814,30 @@ impl ComparisonService {
         self.enqueue(request, false)
     }
 
+    /// Submits a query whose results stream progressively: one
+    /// [`QueryEvent::Tile`] per tile, pushed as its shard completes on the
+    /// engine pool, terminated by [`QueryEvent::Finished`] carrying the
+    /// merged response — bit-identical (per-tile areas *and* merged `J'`) to
+    /// what [`ComparisonService::submit`] returns for the same request.
+    ///
+    /// Blocks while the admission bound is reached, like `submit`. Cache
+    /// hits and empty queries replay the same event shape without taking an
+    /// execution slot.
+    pub fn submit_streaming(&self, request: QueryRequest) -> Result<StreamingHandle, SccgError> {
+        let prepared = self.prepare(&request)?;
+        self.inner
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        if let Some(resolved) = self.fast_path(&request, &prepared) {
+            return Ok(StreamingHandle::replay(Ok(resolved)));
+        }
+        self.inner.admission.acquire();
+        let (tx, rx) = bounded(prepared.indices.len() + 1);
+        let _responder = self.launch(request, prepared, Some(tx));
+        Ok(StreamingHandle { events: rx })
+    }
+
     fn enqueue(&self, request: QueryRequest, blocking: bool) -> Result<QueryHandle, SccgError> {
         let prepared = self.prepare(&request)?;
         self.inner
@@ -724,32 +845,8 @@ impl ComparisonService {
             .submitted
             .fetch_add(1, Ordering::Relaxed);
 
-        if let Some(mut cached) = lock(&self.inner.cache).get(&prepared.key) {
-            cached.cache_hit = true;
-            // Echo *this* request's priority (it is not part of the cache
-            // key, and the response reports the request it answered).
-            cached.priority = request.priority;
-            self.inner
-                .counters
-                .cache_hits
-                .fetch_add(1, Ordering::Relaxed);
-            return Ok(QueryHandle::ready(Ok(cached)));
-        }
-
-        if prepared.indices.is_empty() {
-            // Nothing to shard: resolve immediately, without an execution
-            // slot. The guarded similarity of the empty summary is 0.0.
-            let response = QueryResponse {
-                first: request.first,
-                second: request.second,
-                tiles: Vec::new(),
-                summary: JaccardAccumulator::new().summary(),
-                shards: 0,
-                cache_hit: false,
-                priority: request.priority,
-                device: request.device,
-            };
-            return Ok(QueryHandle::ready(Ok(response)));
+        if let Some(resolved) = self.fast_path(&request, &prepared) {
+            return Ok(QueryHandle::ready(Ok(resolved)));
         }
 
         if blocking {
@@ -761,6 +858,49 @@ impl ComparisonService {
             });
         }
 
+        Ok(QueryHandle::waiting(self.launch(request, prepared, None)))
+    }
+
+    /// Resolves a prepared query without an execution slot when possible:
+    /// from the response cache, or immediately for an empty tile selection.
+    fn fast_path(&self, request: &QueryRequest, prepared: &Prepared) -> Option<QueryResponse> {
+        if let Some(mut cached) = lock(&self.inner.cache).get(&prepared.key) {
+            cached.cache_hit = true;
+            // Echo *this* request's priority (it is not part of the cache
+            // key, and the response reports the request it answered).
+            cached.priority = request.priority;
+            self.inner
+                .counters
+                .cache_hits
+                .fetch_add(1, Ordering::Relaxed);
+            return Some(cached);
+        }
+        if prepared.indices.is_empty() {
+            // Nothing to shard: resolve immediately, without an execution
+            // slot. The guarded similarity of the empty summary is 0.0.
+            return Some(QueryResponse {
+                first: request.first,
+                second: request.second,
+                tiles: Vec::new(),
+                summary: JaccardAccumulator::new().summary(),
+                shards: 0,
+                cache_hit: false,
+                priority: request.priority,
+                device: request.device,
+            });
+        }
+        None
+    }
+
+    /// Shards an admitted query across the engine pool. The caller has
+    /// already taken an admission slot; the returned receiver resolves when
+    /// the last shard completes.
+    fn launch(
+        &self,
+        request: QueryRequest,
+        prepared: Prepared,
+        stream: Option<Sender<QueryEvent>>,
+    ) -> Receiver<Result<QueryResponse, SccgError>> {
         let shard_count = prepared.indices.len();
         let (tx, rx) = bounded(1);
         let query = Arc::new(QueryState {
@@ -776,6 +916,7 @@ impl ComparisonService {
             remaining: AtomicUsize::new(shard_count),
             failure: Mutex::new(None),
             responder: tx,
+            stream,
         });
         let lane = request.priority.lane();
         for (position, ((tile_index, first), second)) in prepared
@@ -797,7 +938,7 @@ impl ComparisonService {
                 lane,
             );
         }
-        Ok(QueryHandle::waiting(rx))
+        rx
     }
 
     /// Validates a request and snapshots its inputs.
@@ -905,6 +1046,16 @@ async fn worker_task(index: usize, engine: CrossComparison, inner: Arc<ServiceIn
                     },
                     accumulator,
                 };
+                // Push the tile to streaming subscribers the moment it is
+                // done — before the query's own completion — so progressive
+                // consumers render results as shards land. The channel is
+                // sized to hold every event, so this never blocks a worker.
+                if let Some(stream) = &job.query.stream {
+                    let _ = stream.send(QueryEvent::Tile {
+                        position: job.position,
+                        report: partial.report.clone(),
+                    });
+                }
                 lock(&job.query.partials)[job.position] = Some(partial);
             }
             Err(payload) => {
@@ -920,5 +1071,67 @@ async fn worker_task(index: usize, engine: CrossComparison, inner: Arc<ServiceIn
         if job.query.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             inner.finalize(&job.query);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    /// More blocked `acquire` waiters than slots: every waiter must
+    /// eventually be admitted through the `Condvar::notify_one` release
+    /// path, and the semaphore must end exactly where it started.
+    #[test]
+    fn admission_wakes_every_waiter_with_more_waiters_than_slots() {
+        const BOUND: usize = 2;
+        const WAITERS: usize = 7;
+        let admission = Arc::new(Admission::new(BOUND));
+        let admitted = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..WAITERS)
+            .map(|_| {
+                let admission = Arc::clone(&admission);
+                let admitted = Arc::clone(&admitted);
+                std::thread::spawn(move || {
+                    admission.acquire();
+                    admitted.fetch_add(1, Ordering::SeqCst);
+                    // Hold the slot briefly so waiters genuinely queue up
+                    // behind a full semaphore before releases begin.
+                    std::thread::sleep(Duration::from_millis(5));
+                    admission.release();
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("waiter thread");
+        }
+        assert_eq!(admitted.load(Ordering::SeqCst), WAITERS);
+        let (in_flight, peak) = admission.snapshot();
+        assert_eq!(in_flight, 0, "every slot returned");
+        assert!(peak <= BOUND, "peak {peak} exceeded the bound {BOUND}");
+        assert!(peak >= 1, "at least one admission was observed");
+        // All slots are usable again: the releases leaked nothing.
+        for _ in 0..BOUND {
+            admission.try_acquire().expect("slot available");
+        }
+        assert_eq!(admission.try_acquire(), Err(BOUND));
+    }
+
+    /// A failed `try_acquire` must not consume a slot: after the rejection
+    /// the same number of slots is still available.
+    #[test]
+    fn failed_try_acquire_leaks_no_permit() {
+        let admission = Admission::new(1);
+        admission.try_acquire().expect("first slot");
+        for _ in 0..10 {
+            assert_eq!(admission.try_acquire(), Err(1), "full semaphore rejects");
+        }
+        admission.release();
+        let (in_flight, _) = admission.snapshot();
+        assert_eq!(in_flight, 0);
+        admission
+            .try_acquire()
+            .expect("slot came back after release");
     }
 }

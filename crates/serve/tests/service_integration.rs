@@ -504,3 +504,159 @@ fn engine_pool_larger_than_executor_thread_pool_still_serves() {
     assert_eq!(stats.completed, 4);
     assert_eq!(stats.backend_batches, 4 * data.tiles.len() as u64);
 }
+
+/// The concurrent-overload contract of the admission path, probed while the
+/// semaphore is genuinely full:
+///
+/// * cache hits return ready without taking an execution slot;
+/// * `try_submit` fails with `Overloaded` and leaks no permit;
+/// * every blocked `submit` (more waiters than slots) eventually wakes
+///   through the `notify_one` release chain and completes.
+#[test]
+fn full_admission_serves_cache_hits_rejects_try_submit_and_wakes_all_waiters() {
+    let data = dataset(12, 100, 7007);
+    let store = SlideStore::new();
+    let (first, second) = register(&store, &data);
+    let service = ComparisonService::new(
+        store,
+        ServiceConfig::default()
+            .with_engines(vec![EngineConfig::default()
+                .with_device(AggregationDevice::Cpu)
+                .with_cpu_workers(1)])
+            .with_max_in_flight(1)
+            .with_cache_capacity(8),
+    )
+    .expect("service starts");
+
+    // Prime the cache while the service is idle.
+    let cached_request = || QueryRequest::new(first, second).tiles(vec![0]);
+    let primed = service.submit(cached_request()).unwrap().wait().unwrap();
+    assert!(!primed.cache_hit);
+
+    // Occupy the only slot with a whole-slide query.
+    let heavy = service
+        .submit(QueryRequest::new(first, second).priority(QueryPriority::Low))
+        .expect("heavy query admitted");
+
+    // try_submit: typed rejection, repeatedly, without consuming anything.
+    for _ in 0..3 {
+        let err = service
+            .try_submit(QueryRequest::new(first, second).tiles(vec![1]))
+            .expect_err("semaphore is full");
+        assert!(matches!(
+            err,
+            SccgError::Overloaded {
+                in_flight: 1,
+                bound: 1
+            }
+        ));
+    }
+
+    // Cache hit: resolves ready *while the semaphore is full*, because the
+    // cache check precedes admission.
+    let hit = service
+        .submit(cached_request())
+        .expect("cache hit admitted");
+    assert!(hit.is_ready(), "cache hit needs no execution slot");
+    assert!(hit.wait().unwrap().cache_hit);
+    assert_eq!(
+        service.stats().in_flight,
+        1,
+        "only the heavy query holds a slot"
+    );
+
+    // More blocked submitters than slots: all of them must eventually wake
+    // and complete once the heavy query (and then each other) release.
+    let waiter_summaries: Vec<usize> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (1..=3)
+            .map(|tile| {
+                let service = &service;
+                scope.spawn(move || {
+                    service
+                        .submit(QueryRequest::new(first, second).tiles(vec![tile]))
+                        .unwrap()
+                        .wait()
+                        .unwrap()
+                        .shards
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(
+        waiter_summaries,
+        vec![1, 1, 1],
+        "every blocked submit completed"
+    );
+    assert_eq!(heavy.wait().unwrap().shards, 12);
+
+    let stats = service.stats();
+    assert_eq!(stats.in_flight, 0, "all slots returned");
+    assert_eq!(stats.peak_in_flight, 1, "the bound was never exceeded");
+    // Nothing leaked: the slot is immediately grantable again.
+    let after = service
+        .try_submit(QueryRequest::new(first, second).tiles(vec![4]))
+        .expect("slot available after the storm");
+    after.wait().expect("post-storm query resolves");
+}
+
+/// Streaming submissions deliver one tile event per shard, in completion
+/// order, each bit-identical to the final response's corresponding entry,
+/// terminated by a finish event carrying the same response `submit` returns.
+#[test]
+fn streaming_submission_matches_blocking_response_tile_for_tile() {
+    let data = dataset(6, 80, 9009);
+    let store = SlideStore::new();
+    let (first, second) = register(&store, &data);
+    let service = ComparisonService::new(store, ServiceConfig::default().with_cache_capacity(0))
+        .expect("service starts");
+
+    let blocking = service
+        .submit(QueryRequest::new(first, second))
+        .unwrap()
+        .wait()
+        .unwrap();
+
+    let mut events: Vec<(usize, JaccardSummary)> = Vec::new();
+    let streamed = service
+        .submit_streaming(QueryRequest::new(first, second))
+        .expect("streaming submit")
+        .wait_with(|position, report| events.push((position, report.summary)))
+        .expect("streaming query resolves");
+
+    assert_eq!(events.len(), streamed.tiles.len(), "one event per shard");
+    for (position, summary) in &events {
+        assert_eq!(
+            *summary, streamed.tiles[*position].summary,
+            "tile event {position} is bit-identical to the merged response"
+        );
+    }
+    assert_eq!(
+        streamed.summary, blocking.summary,
+        "merged J' matches blocking"
+    );
+    assert_eq!(streamed.shards, blocking.shards);
+
+    // Cache hits replay the same event shape.
+    let store = SlideStore::new();
+    let (first, second) = register(&store, &data);
+    let service = ComparisonService::new(store, ServiceConfig::default()).unwrap();
+    let warm = service
+        .submit_streaming(QueryRequest::new(first, second))
+        .unwrap()
+        .wait()
+        .unwrap();
+    let mut replayed = 0;
+    let hit = service
+        .submit_streaming(QueryRequest::new(first, second))
+        .unwrap()
+        .wait_with(|_, _| replayed += 1)
+        .unwrap();
+    assert!(hit.cache_hit);
+    assert_eq!(
+        replayed,
+        warm.tiles.len(),
+        "cache hits replay every tile event"
+    );
+    assert_eq!(hit.summary, warm.summary);
+}

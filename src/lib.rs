@@ -8,6 +8,8 @@
 //!   high-level [`sccg::CrossComparison`] API (the paper's contribution).
 //! * [`sccg_serve`] — the slide-serving query API: [`sccg_serve::SlideStore`]
 //!   and [`sccg_serve::ComparisonService`] over a pooled engine fleet.
+//! * [`sccg_net`] — the framed TCP wire front-end: [`sccg_net::WireServer`],
+//!   [`sccg_net::WireClient`] and the loopback load generator.
 //! * [`sccg_geometry`] — rectilinear polygon geometry.
 //! * [`sccg_rtree`] — Hilbert R-tree index and MBR join.
 //! * [`sccg_clip`] — exact overlay (the GEOS stand-in) and Monte-Carlo baseline.
@@ -22,6 +24,7 @@ pub use sccg_clip;
 pub use sccg_datagen;
 pub use sccg_geometry;
 pub use sccg_gpu_sim;
+pub use sccg_net;
 pub use sccg_rtree;
 pub use sccg_sdbms;
 pub use sccg_serve;
