@@ -1,12 +1,12 @@
 //! Regenerates every table and figure of the paper's evaluation section,
-//! plus demos of the serving layer (`serve`), the bounded-memory streaming
-//! executor (`stream`), and the JSON perf baseline (`bench`, which writes
-//! `BENCH_pixelbox.json`).
+//! plus demos of the serving layer (`serve`), the out-of-core slide storage
+//! (`store`), the bounded-memory streaming executor (`stream`), and the JSON
+//! perf baseline (`bench`, which writes `BENCH_pixelbox.json`).
 //!
 //! ```text
 //! cargo run -p sccg-bench --release --bin reproduce -- all
 //! cargo run -p sccg-bench --release --bin reproduce -- fig8 fig10 table1
-//! cargo run -p sccg-bench --release --bin reproduce -- serve stream bench
+//! cargo run -p sccg-bench --release --bin reproduce -- serve store stream bench
 //! ```
 //!
 //! Each experiment prints the same rows/series the paper reports. Absolute
@@ -66,6 +66,9 @@ fn main() {
     }
     if want("serve") {
         serve();
+    }
+    if want("store") {
+        store_smoke();
     }
     if want("stream") {
         stream();
@@ -541,6 +544,7 @@ fn serve() {
                 p50_ms: report.p50_ms,
                 p99_ms: report.p99_ms,
             }),
+            store: None,
         },
     )
     .expect("append serve metrics to BENCH_trajectory.json");
@@ -548,6 +552,184 @@ fn serve() {
         "  appended serve metrics to {TRAJECTORY_PATH} ({} entries)",
         entries.len()
     );
+}
+
+/// `store`: out-of-core storage smoke. Streams a dataset larger than the
+/// pager's residency bound onto disk through `SlideStore::with_spill`, runs
+/// a whole-slide query against it and against an in-memory twin of the same
+/// tiles, and asserts the answers are bit-identical while peak residency
+/// stayed within the bound — the paper's bounded-buffer discipline (§4.1)
+/// applied to storage. Then measures cold-read (every fetch decodes its
+/// block from disk) and warm-read (working set within the bound) tile rates
+/// against a standalone pager and appends them to `BENCH_trajectory.json`;
+/// the perf gate skips store-only entries just as it skips serve-only ones.
+fn store_smoke() {
+    use sccg_bench::trajectory::{append_entry, StoreMetrics, TrajectoryEntry, TRAJECTORY_PATH};
+    use sccg_geometry::text::write_polygon_file;
+    use sccg_store::{SlideFileWriter, TileStorage};
+
+    println!("\n[Store] Out-of-core slide storage (columnar tile format + demand pager)");
+    const TILES: u32 = 24;
+    const RESIDENCY_BOUND: usize = 6;
+    let dataset = sccg_datagen::generate_dataset(&sccg_datagen::DatasetSpec {
+        name: "store-smoke".into(),
+        tiles: TILES,
+        polygons_per_tile: 64,
+        tile_size: 512,
+        seed: 77,
+        nucleus_radius: 6,
+    });
+    let first_texts: Vec<String> = dataset
+        .tiles
+        .iter()
+        .map(|t| write_polygon_file(&t.first))
+        .collect();
+    let second_texts: Vec<String> = dataset
+        .tiles
+        .iter()
+        .map(|t| write_polygon_file(&t.second))
+        .collect();
+
+    // The in-memory twin: the classic whole-slide-resident registration.
+    let memory_store = SlideStore::new();
+    let mem_first = memory_store
+        .register_slide_text("store-smoke-a", &first_texts)
+        .expect("register in-memory slide");
+    let mem_second = memory_store
+        .register_slide_text("store-smoke-b", &second_texts)
+        .expect("register in-memory slide");
+
+    // The out-of-core path: registration streams tile-by-tile onto disk
+    // (never holding the whole slide), queries fault tiles back in through a
+    // pager bounded well below the slide size.
+    let dir = std::env::temp_dir().join(format!("sccg-store-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let disk_store = SlideStore::with_spill(&dir, RESIDENCY_BOUND).expect("create spill dir");
+    let disk_first = disk_store
+        .register_slide_streaming("store-smoke-a", first_texts)
+        .expect("stream slide to disk");
+    let disk_second = disk_store
+        .register_slide_streaming("store-smoke-b", second_texts)
+        .expect("stream slide to disk");
+    let registered = disk_store.storage_stats();
+    println!(
+        "  {} tiles/slide streamed to disk ({} bytes across {} files), residency bound \
+         {RESIDENCY_BOUND} tiles/slide",
+        TILES, registered.bytes_on_disk, registered.disk_slides
+    );
+    assert!(
+        TILES as usize > RESIDENCY_BOUND,
+        "the smoke must page: dataset no larger than the residency bound"
+    );
+
+    let memory_service =
+        ComparisonService::new(memory_store, ServiceConfig::default()).expect("service starts");
+    let disk_service = ComparisonService::new(disk_store.clone(), ServiceConfig::default())
+        .expect("service starts");
+    let mem = memory_service
+        .submit(QueryRequest::new(mem_first, mem_second))
+        .unwrap()
+        .wait()
+        .expect("in-memory query");
+    let disk = disk_service
+        .submit(QueryRequest::new(disk_first, disk_second))
+        .unwrap()
+        .wait()
+        .expect("disk-backed query");
+    assert_eq!(
+        mem.summary, disk.summary,
+        "disk-backed whole-slide query must be bit-identical to the in-memory path"
+    );
+    assert_eq!(mem.tiles.len(), disk.tiles.len());
+    for (m, d) in mem.tiles.iter().zip(&disk.tiles) {
+        assert_eq!(m.tile, d.tile);
+        assert_eq!(m.summary, d.summary, "tile {} diverged", m.tile);
+        assert_eq!(m.candidate_pairs, d.candidate_pairs);
+    }
+    let storage = disk_service.store().storage_stats();
+    assert!(
+        storage.peak_resident_tiles <= 2 * RESIDENCY_BOUND,
+        "peak residency {} exceeded the bound {}",
+        storage.peak_resident_tiles,
+        2 * RESIDENCY_BOUND
+    );
+    println!(
+        "  whole-slide query: J' {:.6} — bit-identical to the in-memory path; peak resident \
+         {} tiles (bound {} across both slides), pager hit rate {:.3}",
+        disk.similarity(),
+        storage.peak_resident_tiles,
+        2 * RESIDENCY_BOUND,
+        storage.pager_hit_rate
+    );
+
+    // Cold vs warm read rates against a standalone pager over one slide:
+    // a full sequential scan misses every fetch (the scan is longer than the
+    // bound), then repeated passes over a bound-sized working set hit.
+    let rates_path = dir.join("rates.sccgt");
+    let mut writer = SlideFileWriter::create(&rates_path).expect("create rates slide");
+    for tile in &dataset.tiles {
+        writer.append_tile(&tile.first).expect("append tile");
+    }
+    let file = writer.finish().expect("finish rates slide");
+    let pager = TileStorage::new(file, RESIDENCY_BOUND);
+
+    let started = Instant::now();
+    for tile in 0..pager.tile_count() {
+        pager.fetch(tile).expect("cold fetch");
+    }
+    let cold_seconds = started.elapsed().as_secs_f64();
+    let cold_tiles_per_sec = pager.tile_count() as f64 / cold_seconds;
+
+    const WARM_PASSES: usize = 64;
+    let working_set = RESIDENCY_BOUND.min(pager.tile_count());
+    for tile in 0..working_set {
+        pager.fetch(tile).expect("prime fetch"); // fault the working set in
+    }
+    let started = Instant::now();
+    for _ in 0..WARM_PASSES {
+        for tile in 0..working_set {
+            pager.fetch(tile).expect("warm fetch");
+        }
+    }
+    let warm_seconds = started.elapsed().as_secs_f64();
+    let warm_tiles_per_sec = (WARM_PASSES * working_set) as f64 / warm_seconds;
+    let pager_stats = pager.stats();
+    assert!(pager_stats.peak_resident <= RESIDENCY_BOUND);
+    println!(
+        "  cold read {cold_tiles_per_sec:10.0} tiles/s   warm read {warm_tiles_per_sec:10.0} \
+         tiles/s   pager hit rate {:.3} ({} hits / {} misses)",
+        pager_stats.hit_rate, pager_stats.hits, pager_stats.misses
+    );
+
+    let unix_seconds = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let entries = append_entry(
+        std::path::Path::new(TRAJECTORY_PATH),
+        TrajectoryEntry {
+            label: "store".to_string(),
+            unix_seconds,
+            substrates: Vec::new(),
+            pixelize_dense_speedup: 0.0,
+            serve: None,
+            store: Some(StoreMetrics {
+                cold_tiles_per_sec,
+                warm_tiles_per_sec,
+                pager_hit_rate: pager_stats.hit_rate,
+            }),
+        },
+    )
+    .expect("append store metrics to BENCH_trajectory.json");
+    println!(
+        "  appended store metrics to {TRAJECTORY_PATH} ({} entries)",
+        entries.len()
+    );
+
+    drop(disk_service);
+    drop(pager);
+    drop(disk_store);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Streaming-executor smoke: a large synthetic slide flows through
@@ -755,6 +937,7 @@ fn bench_baseline() {
             substrates: rates,
             pixelize_dense_speedup: speedup,
             serve: None,
+            store: None,
         },
     )
     .expect("append to BENCH_trajectory.json");

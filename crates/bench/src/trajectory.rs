@@ -56,13 +56,28 @@ pub struct ServeMetrics {
     pub p99_ms: f64,
 }
 
+/// Measured out-of-core storage metrics (`reproduce -- store`): whole-slide
+/// queries paging a disk-backed dataset larger than the residency bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreMetrics {
+    /// Tiles per wall-clock second with a cold pager (every fetch reads and
+    /// decodes its block from disk).
+    pub cold_tiles_per_sec: f64,
+    /// Tiles per wall-clock second re-reading a working set within the
+    /// residency bound (served from the resident set).
+    pub warm_tiles_per_sec: f64,
+    /// The pager's overall hit rate across the run.
+    pub pager_hit_rate: f64,
+}
+
 /// One timestamped bench run. A `bench` run carries substrate rates and a
 /// dense-pixelization speedup; a `serve` run carries only [`ServeMetrics`]
-/// (empty `substrates`, speedup 0) — the [gate](check_gate) knows to skip
-/// such entries when looking for the run to check.
+/// and a `store` run only [`StoreMetrics`] (empty `substrates`, speedup 0)
+/// — the [gate](check_gate) knows to skip such entries when looking for the
+/// run to check.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrajectoryEntry {
-    /// Free-form label (`pr5-baseline`, `bench`, `serve`, …).
+    /// Free-form label (`pr5-baseline`, `bench`, `serve`, `store`, …).
     pub label: String,
     /// Unix timestamp (seconds) of the run.
     pub unix_seconds: u64,
@@ -72,6 +87,8 @@ pub struct TrajectoryEntry {
     pub pixelize_dense_speedup: f64,
     /// Wire serving-layer metrics, when the run measured them.
     pub serve: Option<ServeMetrics>,
+    /// Out-of-core storage metrics, when the run measured them.
+    pub store: Option<StoreMetrics>,
 }
 
 /// Reads the trajectory file. A missing file is an empty trajectory; a
@@ -155,12 +172,29 @@ fn parse_entry(value: &Value) -> Result<TrajectoryEntry, String> {
             })
         }
     };
+    let store = match value.get("store") {
+        None | Some(Value::Null) => None,
+        Some(store) => {
+            let num = |key: &str| {
+                store
+                    .get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("\"store\" missing \"{key}\""))
+            };
+            Some(StoreMetrics {
+                cold_tiles_per_sec: num("cold_tiles_per_sec")?,
+                warm_tiles_per_sec: num("warm_tiles_per_sec")?,
+                pager_hit_rate: num("pager_hit_rate")?,
+            })
+        }
+    };
     Ok(TrajectoryEntry {
         label,
         unix_seconds,
         substrates,
         pixelize_dense_speedup,
         serve,
+        store,
     })
 }
 
@@ -200,11 +234,19 @@ pub fn format_trajectory(entries: &[TrajectoryEntry]) -> String {
                 s.clients, s.queries, s.qps, s.p50_ms, s.p99_ms
             ),
         };
+        let store = match &entry.store {
+            None => String::new(),
+            Some(s) => format!(
+                ",\n      \"store\": {{\"cold_tiles_per_sec\": {}, \"warm_tiles_per_sec\": {}, \
+                 \"pager_hit_rate\": {}}}",
+                s.cold_tiles_per_sec, s.warm_tiles_per_sec, s.pager_hit_rate
+            ),
+        };
         let _ = write!(
             out,
             "    {{\n      \"label\": \"{}\",\n      \"unix_seconds\": {},\n      \
              \"pixelize_dense_speedup\": {},\n      \"substrates\": [{substrates}\n      \
-             ]{serve}\n    }}{}\n",
+             ]{serve}{store}\n    }}{}\n",
             entry.label,
             entry.unix_seconds,
             entry.pixelize_dense_speedup,
@@ -482,6 +524,7 @@ mod tests {
                 .collect(),
             pixelize_dense_speedup: dense,
             serve: None,
+            store: None,
         }
     }
 
@@ -497,6 +540,22 @@ mod tests {
                 qps,
                 p50_ms: 1.25,
                 p99_ms: 4.5,
+            }),
+            store: None,
+        }
+    }
+
+    fn store_entry(cold: f64) -> TrajectoryEntry {
+        TrajectoryEntry {
+            label: "store".into(),
+            unix_seconds: 1_785_059_123,
+            substrates: Vec::new(),
+            pixelize_dense_speedup: 0.0,
+            serve: None,
+            store: Some(StoreMetrics {
+                cold_tiles_per_sec: cold,
+                warm_tiles_per_sec: cold * 8.0,
+                pager_hit_rate: 0.75,
             }),
         }
     }
@@ -558,6 +617,30 @@ mod tests {
         assert!(
             check_gate(&[serve_entry(100.0)]).is_err(),
             "a trajectory with only serve entries has nothing to gate"
+        );
+    }
+
+    #[test]
+    fn store_entries_round_trip_and_never_trip_the_bench_gates() {
+        let entries = vec![entry("bench", &[("cpu", 1.0e6)], 600.0), store_entry(96.5)];
+        let text = format_trajectory(&entries);
+        let root = Value::parse(&text).unwrap();
+        let parsed: Vec<TrajectoryEntry> = root
+            .get("entries")
+            .and_then(Value::as_array)
+            .unwrap()
+            .iter()
+            .map(|e| parse_entry(e).unwrap())
+            .collect();
+        assert_eq!(parsed, entries, "store metrics survive the round trip");
+
+        // A trailing store-only entry (empty substrates, 0 speedup) must not
+        // be the entry the substrate/speedup gates judge.
+        let lines = check_gate(&entries).unwrap();
+        assert_eq!(lines.len(), 2);
+        assert!(
+            check_gate(&[store_entry(10.0)]).is_err(),
+            "a trajectory with only store entries has nothing to gate"
         );
     }
 

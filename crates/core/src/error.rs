@@ -75,6 +75,14 @@ pub enum SccgError {
         /// Human-readable failure detail.
         detail: String,
     },
+    /// The on-disk slide storage failed: a tile block's checksum did not
+    /// match, the file was truncated, or an I/O operation failed. The
+    /// failure is contained per tile — only queries touching the affected
+    /// tile fail; the store and the service stay healthy.
+    Storage {
+        /// Human-readable storage failure detail.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SccgError {
@@ -103,6 +111,7 @@ impl fmt::Display for SccgError {
             SccgError::ShutDown => write!(f, "service shut down before the query resolved"),
             SccgError::InvalidRequest { detail } => write!(f, "invalid request: {detail}"),
             SccgError::Internal { detail } => write!(f, "internal service failure: {detail}"),
+            SccgError::Storage { detail } => write!(f, "slide storage failure: {detail}"),
         }
     }
 }
@@ -143,6 +152,9 @@ mod tests {
             },
             SccgError::Internal {
                 detail: "shard worker panicked".into(),
+            },
+            SccgError::Storage {
+                detail: "tile 3: checksum mismatch".into(),
             },
         ];
         for error in variants {

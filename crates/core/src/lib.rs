@@ -44,6 +44,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod collections;
 pub mod engine;
 pub mod error;
 pub mod jaccard;
@@ -52,6 +53,7 @@ pub mod pipeline;
 pub mod pixelbox;
 pub mod sync;
 
+pub use collections::LruCache;
 pub use engine::{CrossComparison, CrossComparisonReport, EngineConfig};
 pub use error::SccgError;
 pub use jaccard::{JaccardAccumulator, JaccardSummary};

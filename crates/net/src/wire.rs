@@ -468,6 +468,7 @@ impl WireFailure {
             SccgError::ShutDown => (8, 0, 0, 0, error.to_string()),
             SccgError::InvalidRequest { detail } => (9, 0, 0, 0, detail.clone()),
             SccgError::Internal { detail } => (10, 0, 0, 0, detail.clone()),
+            SccgError::Storage { detail } => (11, 0, 0, 0, detail.clone()),
             // `SccgError` is non_exhaustive: future variants travel as their
             // rendered detail.
             _ => (0, 0, 0, 0, error.to_string()),
@@ -511,6 +512,9 @@ impl WireFailure {
             },
             8 => SccgError::ShutDown,
             9 => SccgError::InvalidRequest {
+                detail: self.detail.clone(),
+            },
+            11 => SccgError::Storage {
                 detail: self.detail.clone(),
             },
             _ => SccgError::Internal {
@@ -915,6 +919,9 @@ mod tests {
             SccgError::ShutDown,
             SccgError::InvalidRequest {
                 detail: "tile index 3 selected twice".into(),
+            },
+            SccgError::Storage {
+                detail: "tile 3: block checksum mismatch".into(),
             },
         ];
         for error in cases {

@@ -1,19 +1,23 @@
-//! Bounded LRU cache of query responses (and, via [`LruCache`]'s generic
-//! form, of the wire front-end's per-client routing state).
+//! Response-cache keying for the serving layer.
 //!
 //! Repeated analytics over the same slide pair dominate real serving
 //! workloads (re-rendered viewers, dashboards, parameter sweeps that revisit
-//! a baseline), so the service memoizes full [`crate::QueryResponse`]s. The
-//! key captures everything that determines the result *and* the response
-//! shape: the slide pair, the resolved tile index list (in merge order), the
-//! effective PixelBox configuration fingerprint, and the device preference
-//! (results are bit-identical across devices, but the response records which
-//! substrate served it, so preferences cache separately).
+//! a baseline), so the service memoizes full [`crate::QueryResponse`]s in an
+//! [`LruCache`]. The cache implementation itself is the workspace-shared
+//! [`sccg::collections::LruCache`] (the storage layer's tile pager and the
+//! wire front-end's routing cache use the same one); this module re-exports
+//! it and owns what is serve-specific: the cache key and the configuration
+//! fingerprint. The key captures everything that determines the result *and*
+//! the response shape: the slide pair, the resolved tile index list (in
+//! merge order), the effective PixelBox configuration fingerprint, and the
+//! device preference (results are bit-identical across devices, but the
+//! response records which substrate served it, so preferences cache
+//! separately).
 
 use crate::store::SlideId;
 use sccg::pixelbox::{AggregationDevice, PixelBoxConfig, Variant};
-use std::collections::{HashMap, VecDeque};
-use std::hash::Hash;
+
+pub use sccg::collections::LruCache;
 
 /// Cache key of one query's response.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -68,108 +72,6 @@ pub(crate) fn config_fingerprint(config: &PixelBoxConfig) -> u64 {
     fnv1a(hash, &config.cpu_fanout.to_le_bytes())
 }
 
-/// A bounded map with least-recently-used eviction. Capacity `0` disables
-/// caching entirely.
-///
-/// Recency is tracked with monotonic sequence numbers instead of reordering
-/// a queue: every access stamps the entry with a fresh sequence and appends
-/// `(seq, key)` to the order queue, leaving the old position behind as a
-/// stale marker that eviction skips (its sequence no longer matches the
-/// entry's). `get`/`insert` are O(1) amortized — the queue is compacted down
-/// to live markers whenever stale ones outnumber the capacity — where the
-/// previous scheme scanned the whole queue on every hit, exactly the path
-/// the wire front-end makes hot.
-#[derive(Debug)]
-pub struct LruCache<K, V> {
-    capacity: usize,
-    map: HashMap<K, Stamped<V>>,
-    /// `(sequence, key)` markers from least- to most-recently stamped; an
-    /// entry whose sequence differs from its map stamp is stale.
-    order: VecDeque<(u64, K)>,
-    next_seq: u64,
-}
-
-#[derive(Debug)]
-struct Stamped<V> {
-    value: V,
-    seq: u64,
-}
-
-impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
-    /// Creates a cache holding at most `capacity` entries.
-    pub fn new(capacity: usize) -> Self {
-        LruCache {
-            capacity,
-            map: HashMap::new(),
-            order: VecDeque::new(),
-            next_seq: 0,
-        }
-    }
-
-    /// Number of live entries.
-    pub fn len(&self) -> usize {
-        self.map.len()
-    }
-
-    /// Whether the cache holds no entries.
-    pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
-    }
-
-    /// Stamps `key` as most recently used. The caller guarantees the key is
-    /// in the map.
-    fn touch(&mut self, key: &K) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.map.get_mut(key).expect("touched key is present").seq = seq;
-        self.order.push_back((seq, key.clone()));
-        self.compact();
-    }
-
-    /// Drops stale markers once they outnumber live entries by more than the
-    /// capacity, bounding the queue at O(capacity) without per-access scans.
-    fn compact(&mut self) {
-        if self.order.len() <= 2 * self.capacity + 8 {
-            return;
-        }
-        let map = &self.map;
-        self.order
-            .retain(|(seq, key)| map.get(key).is_some_and(|entry| entry.seq == *seq));
-    }
-
-    /// Returns a clone of the value under `key`, marking it most recently
-    /// used.
-    pub fn get(&mut self, key: &K) -> Option<V> {
-        let value = self.map.get(key)?.value.clone();
-        self.touch(key);
-        Some(value)
-    }
-
-    /// Inserts (or replaces) the value under `key` as the most recently used
-    /// entry, evicting the least recently used entries beyond capacity.
-    pub fn insert(&mut self, key: K, value: V) {
-        if self.capacity == 0 {
-            return;
-        }
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.map.insert(key.clone(), Stamped { value, seq });
-        self.order.push_back((seq, key));
-        while self.map.len() > self.capacity {
-            let (seq, key) = self
-                .order
-                .pop_front()
-                .expect("entries beyond capacity have markers");
-            // Only a *live* marker (sequence still current) names the LRU
-            // entry; stale markers were superseded by a later touch.
-            if self.map.get(&key).is_some_and(|entry| entry.seq == seq) {
-                self.map.remove(&key);
-            }
-        }
-        self.compact();
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,8 +86,10 @@ mod tests {
         }
     }
 
+    /// The hoisted cache still works keyed by the serve-specific `CacheKey`
+    /// (the shape the response cache uses).
     #[test]
-    fn lru_evicts_the_least_recently_used_entry() {
+    fn lru_works_with_cache_keys() {
         let mut cache = LruCache::new(2);
         cache.insert(key(0), "a");
         cache.insert(key(1), "b");
@@ -194,61 +98,6 @@ mod tests {
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.get(&key(1)), None);
         assert_eq!(cache.get(&key(0)), Some("a"));
-        assert_eq!(cache.get(&key(2)), Some("c"));
-    }
-
-    #[test]
-    fn zero_capacity_disables_caching() {
-        let mut cache = LruCache::new(0);
-        cache.insert(key(0), "a");
-        assert_eq!(cache.len(), 0);
-        assert_eq!(cache.get(&key(0)), None);
-    }
-
-    #[test]
-    fn reinsert_updates_value_without_growth() {
-        let mut cache = LruCache::new(2);
-        cache.insert(key(0), "a");
-        cache.insert(key(0), "b");
-        assert_eq!(cache.len(), 1);
-        assert_eq!(cache.get(&key(0)), Some("b"));
-    }
-
-    /// Many repeated hits must not let stale markers evict the wrong entry
-    /// or grow the order queue without bound.
-    #[test]
-    fn repeated_hits_keep_recency_exact_and_queue_bounded() {
-        let mut cache = LruCache::new(3);
-        cache.insert(key(0), 0usize);
-        cache.insert(key(1), 1);
-        cache.insert(key(2), 2);
-        for _ in 0..1000 {
-            assert_eq!(cache.get(&key(0)), Some(0));
-            assert_eq!(cache.get(&key(1)), Some(1));
-        }
-        // Queue stays O(capacity) despite 2000 touches.
-        assert!(cache.order.len() <= 2 * 3 + 8, "order queue is bounded");
-        cache.insert(key(3), 3); // evicts 2, the only untouched entry
-        assert_eq!(cache.get(&key(2)), None);
-        assert_eq!(cache.get(&key(0)), Some(0));
-        assert_eq!(cache.get(&key(1)), Some(1));
-        assert_eq!(cache.get(&key(3)), Some(3));
-    }
-
-    /// Eviction order follows touches even when every marker in front is
-    /// stale.
-    #[test]
-    fn eviction_skips_stale_markers() {
-        let mut cache = LruCache::new(2);
-        cache.insert(key(0), "a");
-        cache.insert(key(1), "b");
-        // Touch 0 repeatedly: its old markers go stale in place.
-        for _ in 0..5 {
-            cache.get(&key(0));
-        }
-        cache.insert(key(2), "c"); // must evict 1, not 0
-        assert_eq!(cache.get(&key(0)), Some("a"));
-        assert_eq!(cache.get(&key(1)), None);
         assert_eq!(cache.get(&key(2)), Some("c"));
     }
 

@@ -97,7 +97,8 @@ pub fn stats_to_json(stats: &ServiceStats) -> String {
         .collect();
     format!(
         "{{\"submitted\":{},\"completed\":{},\"cache_hits\":{},\"backend_batches\":{},\
-         \"in_flight\":{},\"peak_in_flight\":{},\"cache_entries\":{},\"shards_per_engine\":[{}]}}",
+         \"in_flight\":{},\"peak_in_flight\":{},\"cache_entries\":{},\"shards_per_engine\":[{}],\
+         \"resident_tiles\":{},\"pager_hit_rate\":{},\"bytes_on_disk\":{}}}",
         stats.submitted,
         stats.completed,
         stats.cache_hits,
@@ -106,6 +107,9 @@ pub fn stats_to_json(stats: &ServiceStats) -> String {
         stats.peak_in_flight,
         stats.cache_entries,
         shards.join(","),
+        stats.resident_tiles,
+        json_f64(stats.pager_hit_rate),
+        stats.bytes_on_disk,
     )
 }
 

@@ -60,7 +60,7 @@ pub use service::{
     ComparisonService, QueryEvent, QueryHandle, QueryResponse, ServiceConfig, ServiceStats,
     StreamingHandle, TileReport,
 };
-pub use store::{SlideId, SlideInfo, SlideStore, TileId};
+pub use store::{SlideId, SlideInfo, SlideStore, StorageStats, TileId};
 
 /// Convenient re-exports for application code.
 pub mod prelude {
@@ -70,5 +70,5 @@ pub mod prelude {
         ComparisonService, QueryEvent, QueryHandle, QueryResponse, ServiceConfig, ServiceStats,
         StreamingHandle, TileReport,
     };
-    pub use crate::store::{SlideId, SlideInfo, SlideStore, TileId};
+    pub use crate::store::{SlideId, SlideInfo, SlideStore, StorageStats, TileId};
 }

@@ -37,13 +37,12 @@
 
 use crate::cache::{config_fingerprint, CacheKey, LruCache};
 use crate::request::{QueryPriority, QueryRequest, TileSelection};
-use crate::store::{SlideId, SlideStore};
+use crate::store::{SlideId, SlideStore, TileId};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use sccg::pipeline::exec::{register_waker, Executor};
 use sccg::pixelbox::{AggregationDevice, PixelBoxConfig, SplitConfig, SplitController, SplitTrace};
 use sccg::sync::lock;
 use sccg::{CrossComparison, EngineConfig, JaccardAccumulator, JaccardSummary, SccgError};
-use sccg_geometry::text::PolygonRecord;
 use sccg_gpu_sim::{Device, DeviceConfig};
 use serde::Serialize;
 use std::collections::VecDeque;
@@ -240,6 +239,14 @@ pub struct ServiceStats {
     pub shards_per_engine: Vec<u64>,
     /// Responses currently held by the cache.
     pub cache_entries: usize,
+    /// Decoded tiles currently resident across the store's disk-backed
+    /// slides (zero for a fully in-memory store).
+    pub resident_tiles: usize,
+    /// Fraction of tile faults served from the resident sets, 0.0 before
+    /// any disk-backed fetch.
+    pub pager_hit_rate: f64,
+    /// Total bytes of slide files the store keeps on disk.
+    pub bytes_on_disk: u64,
 }
 
 /// One progressive event of a streaming query (see
@@ -348,12 +355,17 @@ struct QueryMeta {
 struct QueryState {
     key: CacheKey,
     meta: QueryMeta,
+    /// The registry shards fault their tiles from at compute time — never
+    /// snapshotted up front, so a disk-backed slide's memory footprint
+    /// during a query is its pager's residency bound, not the slide.
+    store: SlideStore,
     pixelbox: PixelBoxConfig,
     partials: Mutex<Vec<Option<TilePartial>>>,
     remaining: AtomicUsize,
-    /// First shard failure (a panic in a backend), if any: the query fails
-    /// with [`SccgError::Internal`] instead of wedging the service.
-    failure: Mutex<Option<String>>,
+    /// First shard failure, if any: a typed storage error from faulting a
+    /// tile in, or [`SccgError::Internal`] for a panic in a backend. The
+    /// query fails with it instead of wedging the service.
+    failure: Mutex<Option<SccgError>>,
     responder: Sender<Result<QueryResponse, SccgError>>,
     /// Streaming subscriber: per-tile events pushed as shards complete (the
     /// PR 4 aggregator seam). The channel is sized `shards + 1`, so workers
@@ -362,15 +374,15 @@ struct QueryState {
     stream: Option<Sender<QueryEvent>>,
 }
 
-/// One unit of engine work: a single tile of a query.
+/// One unit of engine work: a single tile of a query. Carries only the tile
+/// *index* — the worker faults both slides' records in through the store
+/// (the pager, for disk-backed slides) when the shard actually runs.
 struct ShardJob {
     query: Arc<QueryState>,
     /// Index into the query's merge-ordered tile list.
     position: usize,
     /// Original tile index (reported to the caller).
     tile_index: usize,
-    first: Arc<Vec<PolygonRecord>>,
-    second: Arc<Vec<PolygonRecord>>,
     /// Device restriction copied from the request.
     device: Option<AggregationDevice>,
 }
@@ -555,9 +567,9 @@ impl ServiceInner {
     fn finalize(&self, query: &QueryState) {
         // A query with a failed shard resolves to an error; the admission
         // slot is still returned so the service stays serviceable.
-        if let Some(detail) = lock(&query.failure).take() {
+        if let Some(error) = lock(&query.failure).take() {
             self.admission.release();
-            let result = Err(SccgError::Internal { detail });
+            let result = Err(error);
             if let Some(stream) = &query.stream {
                 let _ = stream.send(QueryEvent::Finished(result.clone()));
             }
@@ -655,11 +667,12 @@ impl QueryHandle {
     }
 }
 
-/// A query's resolved inputs, ready to shard.
+/// A query's validated inputs, ready to shard. Holds tile *indices* only:
+/// validation proves every index exists in both slides, and the records are
+/// faulted in per shard at compute time (out-of-core slides never
+/// materialize).
 struct Prepared {
     indices: Vec<usize>,
-    first_tiles: Vec<Arc<Vec<PolygonRecord>>>,
-    second_tiles: Vec<Arc<Vec<PolygonRecord>>>,
     pixelbox: PixelBoxConfig,
     key: CacheKey,
 }
@@ -781,9 +794,11 @@ impl ComparisonService {
         &self.engine_devices
     }
 
-    /// Snapshot of the service's lifetime counters.
+    /// Snapshot of the service's lifetime counters, including the slide
+    /// store's out-of-core paging telemetry.
     pub fn stats(&self) -> ServiceStats {
         let (in_flight, peak_in_flight) = self.inner.admission.snapshot();
+        let storage = self.store.storage_stats();
         let counters = &self.inner.counters;
         ServiceStats {
             submitted: counters.submitted.load(Ordering::Relaxed),
@@ -798,6 +813,9 @@ impl ComparisonService {
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
             cache_entries: lock(&self.inner.cache).len(),
+            resident_tiles: storage.resident_tiles,
+            pager_hit_rate: storage.pager_hit_rate,
+            bytes_on_disk: storage.bytes_on_disk,
         }
     }
 
@@ -911,6 +929,7 @@ impl ComparisonService {
                 priority: request.priority,
                 device: request.device,
             },
+            store: self.store.clone(),
             pixelbox: prepared.pixelbox,
             partials: Mutex::new((0..shard_count).map(|_| None).collect()),
             remaining: AtomicUsize::new(shard_count),
@@ -919,20 +938,12 @@ impl ComparisonService {
             stream,
         });
         let lane = request.priority.lane();
-        for (position, ((tile_index, first), second)) in prepared
-            .indices
-            .into_iter()
-            .zip(prepared.first_tiles)
-            .zip(prepared.second_tiles)
-            .enumerate()
-        {
+        for (position, tile_index) in prepared.indices.into_iter().enumerate() {
             self.inner.queue.push(
                 ShardJob {
                     query: Arc::clone(&query),
                     position,
                     tile_index,
-                    first,
-                    second,
                     device: request.device,
                 },
                 lane,
@@ -941,7 +952,9 @@ impl ComparisonService {
         rx
     }
 
-    /// Validates a request and snapshots its inputs.
+    /// Validates a request: devices, slide handles and every tile index —
+    /// by *count*, never by loading records, so preparation touches no
+    /// polygon data and pages nothing in.
     fn prepare(&self, request: &QueryRequest) -> Result<Prepared, SccgError> {
         if let Some(device) = request.device {
             if !self.engine_devices.contains(&device) {
@@ -969,11 +982,25 @@ impl ComparisonService {
                         });
                     }
                 }
+                for &index in list {
+                    if index >= first_count {
+                        return Err(SccgError::UnknownTile {
+                            slide: request.first.value(),
+                            tile: index,
+                            tiles: first_count,
+                        });
+                    }
+                    if index >= second_count {
+                        return Err(SccgError::UnknownTile {
+                            slide: request.second.value(),
+                            tile: index,
+                            tiles: second_count,
+                        });
+                    }
+                }
                 list.clone()
             }
         };
-        let first_tiles = self.store.snapshot(request.first, &indices)?;
-        let second_tiles = self.store.snapshot(request.second, &indices)?;
         let pixelbox = match request.variant {
             Some(variant) => self.config.pixelbox.with_variant(variant),
             None => self.config.pixelbox,
@@ -987,8 +1014,6 @@ impl ComparisonService {
         };
         Ok(Prepared {
             indices,
-            first_tiles,
-            second_tiles,
             pixelbox,
             key,
         })
@@ -1004,24 +1029,45 @@ impl Drop for ComparisonService {
     }
 }
 
-/// One engine's worker task: pull eligible shards, compute, merge, finalize
-/// the query on its last shard. While no eligible shard exists the task is
-/// suspended on the job queue's waker list — it occupies no executor thread.
+/// One engine's worker task: pull eligible shards, fault the shard's tiles
+/// in through the store (the demand pager, for disk-backed slides),
+/// compute, merge, finalize the query on its last shard. While no eligible
+/// shard exists the task is suspended on the job queue's waker list — it
+/// occupies no executor thread.
 ///
-/// A panic inside a backend is contained per shard: the query fails with
-/// [`SccgError::Internal`], its admission slot is returned, and the worker
-/// task survives to serve the next shard — one poisoned input must not
-/// wedge the whole service.
+/// Failures are contained per shard: a storage fault (corrupt or truncated
+/// tile) fails the query with its typed [`SccgError::Storage`], a panic
+/// inside a backend with [`SccgError::Internal`]; either way the admission
+/// slot is returned and the worker task survives to serve the next shard —
+/// one poisoned input must not wedge the whole service.
 async fn worker_task(index: usize, engine: CrossComparison, inner: Arc<ServiceInner>) {
     let worker_device = engine.config().device;
     let backend_name = engine.backend().name();
     while let Some(job) = inner.queue.pop(worker_device).await {
-        let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            engine.compare_records_with(&job.first, &job.second, &job.query.pixelbox)
-        }));
+        let query = &job.query;
+        let faulted = query
+            .store
+            .tile(TileId {
+                slide: query.meta.first,
+                index: job.tile_index,
+            })
+            .and_then(|first| {
+                query
+                    .store
+                    .tile(TileId {
+                        slide: query.meta.second,
+                        index: job.tile_index,
+                    })
+                    .map(|second| (first, second))
+            });
+        let computed = faulted.map(|(first, second)| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                engine.compare_records_with(&first, &second, &query.pixelbox)
+            }))
+        });
 
         match computed {
-            Ok(report) => {
+            Ok(Ok(report)) => {
                 // Only successfully computed shards count as backend work
                 // (the cache tests diff these counters).
                 inner
@@ -1058,14 +1104,20 @@ async fn worker_task(index: usize, engine: CrossComparison, inner: Arc<ServiceIn
                 }
                 lock(&job.query.partials)[job.position] = Some(partial);
             }
-            Err(payload) => {
+            Ok(Err(payload)) => {
                 let detail = payload
                     .downcast_ref::<&str>()
                     .map(|s| s.to_string())
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "shard computation panicked".to_string());
-                lock(&job.query.failure)
-                    .get_or_insert(format!("tile {}: {detail}", job.tile_index));
+                lock(&job.query.failure).get_or_insert(SccgError::Internal {
+                    detail: format!("tile {}: {detail}", job.tile_index),
+                });
+            }
+            Err(error) => {
+                // The tile could not be faulted in (typically a storage
+                // fault); the query fails with the typed error itself.
+                lock(&job.query.failure).get_or_insert(error);
             }
         }
         if job.query.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {

@@ -7,11 +7,38 @@
 //! every later [`crate::QueryRequest`] references the handles, so the parse
 //! and validation cost is paid exactly once per slide rather than once per
 //! query.
+//!
+//! # Out-of-core backing
+//!
+//! A store created with [`SlideStore::with_spill`] keeps registered slides
+//! *on disk* in the `sccg-store` columnar tile format instead of in memory:
+//!
+//! * [`SlideStore::register_slide_streaming`] parses tile texts one at a
+//!   time and streams the parse output through a bounded executor channel
+//!   (the pipeline's [`sccg::pipeline::exec`] seam) to a writer task that
+//!   appends each tile to the slide file — the whole slide is never
+//!   materialized in memory, so registration runs in O(channel × tile).
+//! * [`SlideStore::tile`] faults disk-backed tiles in through a per-slide
+//!   demand pager ([`sccg_store::TileStorage`]) holding at most the
+//!   configured residency bound of decoded tiles; query sharding touches
+//!   tiles through exactly this path, so peak memory during a whole-slide
+//!   query is bounded regardless of slide size.
+//! * A corrupt or truncated tile fails *its own* reads with
+//!   [`SccgError::Storage`]; other tiles, other slides and the process stay
+//!   healthy.
+//!
+//! A store without a spill directory behaves exactly as before: everything
+//! in memory, and the streaming registration degrades to an in-memory
+//! accumulation with identical results.
 
 use parking_lot::Mutex;
+use sccg::pipeline::exec::{channel, Executor};
 use sccg::SccgError;
 use sccg_geometry::text::{parse_polygon_file, PolygonRecord};
+use sccg_store::{PagerStats, SlideFileWriter, TileStorage};
 use serde::Serialize;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Handle of a registered slide (one segmentation result: a sequence of
@@ -43,10 +70,34 @@ pub struct TileId {
     pub index: usize,
 }
 
+/// Where a slide's tiles live.
+enum TileBacking {
+    /// Fully decoded in memory (the classic path).
+    Memory(Vec<Arc<Vec<PolygonRecord>>>),
+    /// On disk in the columnar tile format, paged in on demand.
+    Disk(Arc<TileStorage>),
+}
+
+impl TileBacking {
+    fn tile_count(&self) -> usize {
+        match self {
+            TileBacking::Memory(tiles) => tiles.len(),
+            TileBacking::Disk(storage) => storage.tile_count(),
+        }
+    }
+
+    fn polygons(&self) -> usize {
+        match self {
+            TileBacking::Memory(tiles) => tiles.iter().map(|t| t.len()).sum(),
+            TileBacking::Disk(storage) => storage.total_polygons(),
+        }
+    }
+}
+
 /// Immutable per-slide registry entry.
 struct SlideEntry {
     name: String,
-    tiles: Vec<Arc<Vec<PolygonRecord>>>,
+    backing: TileBacking,
 }
 
 /// Summary of one registered slide.
@@ -60,18 +111,65 @@ pub struct SlideInfo {
     pub tiles: usize,
     /// Total polygon records across all tiles.
     pub polygons: usize,
+    /// Whether the slide's tiles live on disk (paged in on demand) rather
+    /// than in memory.
+    pub on_disk: bool,
+}
+
+/// Aggregate out-of-core telemetry across every disk-backed slide of a
+/// store. A store with no disk-backed slides reports all zeros.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+#[non_exhaustive]
+pub struct StorageStats {
+    /// Number of disk-backed slides.
+    pub disk_slides: usize,
+    /// Decoded tiles currently resident across all pagers.
+    pub resident_tiles: usize,
+    /// Sum of each pager's peak resident-tile count.
+    pub peak_resident_tiles: usize,
+    /// Tile fetches served from the resident sets.
+    pub pager_hits: u64,
+    /// Tile fetches that read and decoded a block from disk.
+    pub pager_misses: u64,
+    /// `hits / (hits + misses)` across all pagers, or 0.0 before any fetch.
+    pub pager_hit_rate: f64,
+    /// Total bytes of slide files on disk.
+    pub bytes_on_disk: u64,
+}
+
+impl StorageStats {
+    fn absorb(&mut self, stats: &PagerStats) {
+        self.disk_slides += 1;
+        self.resident_tiles += stats.resident;
+        self.peak_resident_tiles += stats.peak_resident;
+        self.pager_hits += stats.hits;
+        self.pager_misses += stats.misses;
+        self.bytes_on_disk += stats.bytes_on_disk;
+    }
+}
+
+/// Out-of-core configuration plus the executor that drives streaming
+/// registration's writer task.
+struct SpillState {
+    dir: PathBuf,
+    residency_bound: usize,
+    /// One-thread executor the per-registration writer tasks run on (the
+    /// pipeline's event-driven executor, not a dedicated thread per call).
+    executor: Executor,
+    next_file: AtomicU64,
 }
 
 /// Registry of parsed slide data, shared between callers and a
 /// [`crate::ComparisonService`].
 ///
 /// Cheap to clone: clones share the same underlying registry. Tiles are
-/// immutable once registered (appending new tiles is allowed and simply
-/// extends the slide), so queries can snapshot `Arc`s to tile data without
-/// copying polygons.
+/// immutable once registered (appending new tiles to an in-memory slide is
+/// allowed and simply extends the slide), so queries can snapshot `Arc`s to
+/// tile data without copying polygons.
 #[derive(Clone, Default)]
 pub struct SlideStore {
     inner: Arc<Mutex<Vec<SlideEntry>>>,
+    spill: Option<Arc<SpillState>>,
 }
 
 impl std::fmt::Debug for SlideStore {
@@ -79,37 +177,65 @@ impl std::fmt::Debug for SlideStore {
         let slides = self.inner.lock();
         f.debug_struct("SlideStore")
             .field("slides", &slides.len())
+            .field("spilling", &self.spill.is_some())
             .finish()
     }
 }
 
 impl SlideStore {
-    /// Creates an empty store.
+    /// Creates an empty in-memory store.
     pub fn new() -> Self {
         SlideStore::default()
     }
 
+    /// Creates an empty store that keeps registered slides on disk under
+    /// `dir` (created if missing), paging at most `residency_bound` decoded
+    /// tiles per slide back into memory on demand (clamped to at least 1).
+    ///
+    /// # Errors
+    ///
+    /// [`SccgError::Storage`] if the spill directory cannot be created.
+    pub fn with_spill(dir: impl Into<PathBuf>, residency_bound: usize) -> Result<Self, SccgError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| SccgError::Storage {
+            detail: format!("create spill directory {}: {e}", dir.display()),
+        })?;
+        Ok(SlideStore {
+            inner: Arc::new(Mutex::new(Vec::new())),
+            spill: Some(Arc::new(SpillState {
+                dir,
+                residency_bound: residency_bound.max(1),
+                executor: Executor::new(1),
+                next_file: AtomicU64::new(0),
+            })),
+        })
+    }
+
+    /// The per-slide residency bound, when the store spills to disk.
+    pub fn residency_bound(&self) -> Option<usize> {
+        self.spill.as_ref().map(|s| s.residency_bound)
+    }
+
     /// Registers a slide from already-parsed per-tile polygon records and
-    /// returns its handle.
+    /// returns its handle. Always lands in memory — out-of-core
+    /// registration goes through [`SlideStore::register_slide_streaming`].
     pub fn register_slide(
         &self,
         name: impl Into<String>,
         tiles: Vec<Vec<PolygonRecord>>,
     ) -> SlideId {
-        let mut slides = self.inner.lock();
-        let id = SlideId(slides.len() as u64);
-        slides.push(SlideEntry {
+        self.push_entry(SlideEntry {
             name: name.into(),
-            tiles: tiles.into_iter().map(Arc::new).collect(),
-        });
-        id
+            backing: TileBacking::Memory(tiles.into_iter().map(Arc::new).collect()),
+        })
     }
 
     /// Registers a slide from raw polygon-file texts (one text per tile),
-    /// parsing each tile up front. Unlike the batch pipeline — which skips
-    /// malformed tiles so one bad file cannot abort a whole-slide run — the
-    /// serving route fails registration with [`SccgError::Parse`]: a service
-    /// must not silently serve queries over partially-loaded slides.
+    /// parsing each tile up front into memory. Unlike the batch pipeline —
+    /// which skips malformed tiles so one bad file cannot abort a
+    /// whole-slide run — the serving route fails registration with
+    /// [`SccgError::Parse`]: a service must not silently serve queries over
+    /// partially-loaded slides.
     pub fn register_slide_text(
         &self,
         name: impl Into<String>,
@@ -117,16 +243,107 @@ impl SlideStore {
     ) -> Result<SlideId, SccgError> {
         let mut tiles = Vec::with_capacity(tile_texts.len());
         for (index, text) in tile_texts.iter().enumerate() {
-            let records = parse_polygon_file(text).map_err(|e| SccgError::Parse {
-                detail: format!("tile {index}: {e}"),
-            })?;
-            tiles.push(records);
+            tiles.push(parse_tile(index, text)?);
         }
         Ok(self.register_slide(name, tiles))
     }
 
-    /// Appends one tile's records to an existing slide, returning the new
-    /// tile's handle.
+    /// Registers a slide by *streaming*: tile texts are parsed one at a
+    /// time and, on a spilling store, the parse output flows tile-by-tile
+    /// through a bounded executor channel to a writer task appending the
+    /// on-disk slide file — the whole slide is never materialized in
+    /// memory. Queries then page tiles back in on demand. On a store
+    /// without a spill directory this degrades to an in-memory
+    /// registration with identical query results.
+    ///
+    /// A parse or write failure aborts the registration, removes the
+    /// partial file, and leaves no slide entry behind.
+    ///
+    /// # Errors
+    ///
+    /// [`SccgError::Parse`] for a malformed tile text;
+    /// [`SccgError::Storage`] for an I/O failure on the slide file.
+    pub fn register_slide_streaming<I>(
+        &self,
+        name: impl Into<String>,
+        tile_texts: I,
+    ) -> Result<SlideId, SccgError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let Some(spill) = &self.spill else {
+            let mut tiles = Vec::new();
+            for (index, text) in tile_texts.into_iter().enumerate() {
+                tiles.push(parse_tile(index, &text)?);
+            }
+            return Ok(self.register_slide(name, tiles));
+        };
+
+        let file_id = spill.next_file.fetch_add(1, Ordering::Relaxed);
+        let path = spill.dir.join(format!("slide-{file_id:06}.sccgt"));
+        let mut writer = SlideFileWriter::create(&path)?;
+        // The streaming seam: a bounded channel keeps at most a couple of
+        // parsed tiles in flight between this thread and the writer task.
+        let (tile_tx, tile_rx) = channel::<Vec<PolygonRecord>>(2);
+        let (done_tx, done_rx) = crossbeam::channel::bounded(1);
+        spill.executor.spawn(async move {
+            let result = loop {
+                match tile_rx.recv().await {
+                    Some(records) => {
+                        if let Err(error) = writer.append_tile(&records) {
+                            break Err(error);
+                        }
+                    }
+                    None => break writer.finish(),
+                }
+            };
+            let _ = done_tx.send(result);
+        });
+
+        let mut parse_error = None;
+        for (index, text) in tile_texts.into_iter().enumerate() {
+            match parse_tile(index, &text) {
+                // A send fails only when the writer task already died on a
+                // write error; stop feeding and surface that error below.
+                Ok(records) => {
+                    if tile_tx.send_blocking(records).is_err() {
+                        break;
+                    }
+                }
+                Err(error) => {
+                    parse_error = Some(error);
+                    break;
+                }
+            }
+        }
+        drop(tile_tx);
+        let written = done_rx.recv().map_err(|_| SccgError::Storage {
+            detail: "slide writer task vanished before finishing".to_string(),
+        })?;
+
+        let failure = parse_error.or(written.as_ref().err().cloned());
+        if let Some(error) = failure {
+            let _ = std::fs::remove_file(&path);
+            return Err(error);
+        }
+        let file = written.expect("checked above");
+        Ok(self.push_entry(SlideEntry {
+            name: name.into(),
+            backing: TileBacking::Disk(Arc::new(TileStorage::new(file, spill.residency_bound))),
+        }))
+    }
+
+    fn push_entry(&self, entry: SlideEntry) -> SlideId {
+        let mut slides = self.inner.lock();
+        let id = SlideId(slides.len() as u64);
+        slides.push(entry);
+        id
+    }
+
+    /// Appends one tile's records to an existing in-memory slide, returning
+    /// the new tile's handle. Disk-backed slides are immutable once
+    /// registered (their footer index is final) and fail with
+    /// [`SccgError::Storage`].
     pub fn append_tile(
         &self,
         slide: SlideId,
@@ -136,11 +353,21 @@ impl SlideStore {
         let entry = slides
             .get_mut(slide.0 as usize)
             .ok_or(SccgError::UnknownSlide { slide: slide.0 })?;
-        entry.tiles.push(Arc::new(records));
-        Ok(TileId {
-            slide,
-            index: entry.tiles.len() - 1,
-        })
+        match &mut entry.backing {
+            TileBacking::Memory(tiles) => {
+                tiles.push(Arc::new(records));
+                Ok(TileId {
+                    slide,
+                    index: tiles.len() - 1,
+                })
+            }
+            TileBacking::Disk(_) => Err(SccgError::Storage {
+                detail: format!(
+                    "slide {} is disk-backed and immutable; register a new slide instead",
+                    slide.0
+                ),
+            }),
+        }
     }
 
     /// Number of registered slides.
@@ -162,8 +389,9 @@ impl SlideStore {
         Ok(SlideInfo {
             id: slide,
             name: entry.name.clone(),
-            tiles: entry.tiles.len(),
-            polygons: entry.tiles.iter().map(|t| t.len()).sum(),
+            tiles: entry.backing.tile_count(),
+            polygons: entry.backing.polygons(),
+            on_disk: matches!(entry.backing, TileBacking::Disk(_)),
         })
     }
 
@@ -172,61 +400,98 @@ impl SlideStore {
         Ok(self.slide(slide)?.tiles)
     }
 
-    /// Snapshots the records of one tile (shared, no copy).
+    /// The records of one tile: a shared snapshot for in-memory slides, a
+    /// demand-paged fetch for disk-backed ones (at most the residency bound
+    /// of decoded tiles stays resident per slide).
+    ///
+    /// # Errors
+    ///
+    /// [`SccgError::UnknownSlide`]/[`SccgError::UnknownTile`] for bad
+    /// handles; [`SccgError::Storage`] when a disk-backed tile's block is
+    /// corrupt, truncated or unreadable — contained to this tile.
     pub fn tile(&self, tile: TileId) -> Result<Arc<Vec<PolygonRecord>>, SccgError> {
-        let slides = self.inner.lock();
-        let entry = slides
-            .get(tile.slide.0 as usize)
-            .ok_or(SccgError::UnknownSlide {
-                slide: tile.slide.0,
-            })?;
-        entry
-            .tiles
-            .get(tile.index)
-            .cloned()
-            .ok_or(SccgError::UnknownTile {
-                slide: tile.slide.0,
-                tile: tile.index,
-                tiles: entry.tiles.len(),
-            })
+        // Clone the pager handle out of the registry lock before the
+        // (possibly I/O-bound) fetch: a disk read must not block lookups.
+        let storage = {
+            let slides = self.inner.lock();
+            let entry = slides
+                .get(tile.slide.0 as usize)
+                .ok_or(SccgError::UnknownSlide {
+                    slide: tile.slide.0,
+                })?;
+            match &entry.backing {
+                TileBacking::Memory(tiles) => {
+                    return tiles
+                        .get(tile.index)
+                        .cloned()
+                        .ok_or(SccgError::UnknownTile {
+                            slide: tile.slide.0,
+                            tile: tile.index,
+                            tiles: tiles.len(),
+                        });
+                }
+                TileBacking::Disk(storage) => {
+                    if tile.index >= storage.tile_count() {
+                        return Err(SccgError::UnknownTile {
+                            slide: tile.slide.0,
+                            tile: tile.index,
+                            tiles: storage.tile_count(),
+                        });
+                    }
+                    Arc::clone(storage)
+                }
+            }
+        };
+        storage.fetch(tile.index)
     }
 
-    /// Snapshots the tiles of `slide` at the given indices (shared `Arc`s,
-    /// no polygon copies), validating every index.
-    pub(crate) fn snapshot(
-        &self,
-        slide: SlideId,
-        indices: &[usize],
-    ) -> Result<Vec<Arc<Vec<PolygonRecord>>>, SccgError> {
-        let slides = self.inner.lock();
-        let entry = slides
-            .get(slide.0 as usize)
-            .ok_or(SccgError::UnknownSlide { slide: slide.0 })?;
-        indices
-            .iter()
-            .map(|&index| {
-                entry
-                    .tiles
-                    .get(index)
-                    .cloned()
-                    .ok_or(SccgError::UnknownTile {
-                        slide: slide.0,
-                        tile: index,
-                        tiles: entry.tiles.len(),
-                    })
-            })
-            .collect()
+    /// Aggregate out-of-core telemetry across every disk-backed slide.
+    pub fn storage_stats(&self) -> StorageStats {
+        let pagers: Vec<Arc<TileStorage>> = {
+            let slides = self.inner.lock();
+            slides
+                .iter()
+                .filter_map(|entry| match &entry.backing {
+                    TileBacking::Disk(storage) => Some(Arc::clone(storage)),
+                    TileBacking::Memory(_) => None,
+                })
+                .collect()
+        };
+        let mut stats = StorageStats::default();
+        for pager in pagers {
+            stats.absorb(&pager.stats());
+        }
+        let fetches = stats.pager_hits + stats.pager_misses;
+        if fetches > 0 {
+            stats.pager_hit_rate = stats.pager_hits as f64 / fetches as f64;
+        }
+        stats
     }
+}
+
+fn parse_tile(index: usize, text: &str) -> Result<Vec<PolygonRecord>, SccgError> {
+    parse_polygon_file(text).map_err(|e| SccgError::Parse {
+        detail: format!("tile {index}: {e}"),
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sccg_geometry::text::write_polygon_file;
 
     fn record() -> PolygonRecord {
         parse_polygon_file("0 4 0 0 10 0 10 10 0 10")
             .unwrap()
             .remove(0)
+    }
+
+    fn spill_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("sccg-serve-store-tests")
+            .join(format!("{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -239,6 +504,7 @@ mod tests {
         assert_eq!(info.name, "algo-a");
         assert_eq!(info.tiles, 2);
         assert_eq!(info.polygons, 1);
+        assert!(!info.on_disk);
         assert_eq!(store.tile_count(id).unwrap(), 2);
     }
 
@@ -290,5 +556,111 @@ mod tests {
         assert!(matches!(err, SccgError::Parse { .. }), "{err:?}");
         // The failed registration left no partial slide behind.
         assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn streaming_registration_spills_to_disk_and_pages_back() {
+        let dir = spill_dir("spill");
+        let store = SlideStore::with_spill(&dir, 2).unwrap();
+        assert_eq!(store.residency_bound(), Some(2));
+        let texts: Vec<String> = (0..6)
+            .map(|i| {
+                let mut rec = record();
+                rec.id = i;
+                write_polygon_file(&[rec])
+            })
+            .collect();
+        let id = store
+            .register_slide_streaming("disk", texts.clone())
+            .unwrap();
+        let info = store.slide(id).unwrap();
+        assert!(info.on_disk);
+        assert_eq!(info.tiles, 6);
+        assert_eq!(info.polygons, 6);
+        // Every tile pages back bit-identical to its source text.
+        for (index, text) in texts.iter().enumerate() {
+            let fetched = store.tile(TileId { slide: id, index }).unwrap();
+            assert_eq!(&write_polygon_file(&fetched), text);
+        }
+        let stats = store.storage_stats();
+        assert_eq!(stats.disk_slides, 1);
+        assert!(stats.resident_tiles <= 2);
+        assert!(stats.peak_resident_tiles <= 2);
+        assert_eq!(stats.pager_hits + stats.pager_misses, 6);
+        assert!(stats.bytes_on_disk > 0);
+        // Disk-backed slides are immutable.
+        assert!(matches!(
+            store.append_tile(id, vec![record()]),
+            Err(SccgError::Storage { .. })
+        ));
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn streaming_registration_without_spill_lands_in_memory() {
+        let store = SlideStore::new();
+        let id = store
+            .register_slide_streaming("mem", vec![write_polygon_file(&[record()])])
+            .unwrap();
+        let info = store.slide(id).unwrap();
+        assert!(!info.on_disk);
+        assert_eq!(info.tiles, 1);
+        assert_eq!(store.storage_stats(), StorageStats::default());
+    }
+
+    #[test]
+    fn failed_streaming_registration_leaves_nothing_behind() {
+        let dir = spill_dir("abort");
+        let store = SlideStore::with_spill(&dir, 4).unwrap();
+        let err = store
+            .register_slide_streaming(
+                "broken",
+                vec![write_polygon_file(&[record()]), "not a polygon".to_string()],
+            )
+            .unwrap_err();
+        assert!(matches!(err, SccgError::Parse { .. }), "{err:?}");
+        assert_eq!(store.len(), 0);
+        // The partial slide file was deleted.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupting_a_disk_tile_fails_only_that_tile() {
+        let dir = spill_dir("corrupt");
+        let store = SlideStore::with_spill(&dir, 1).unwrap();
+        let texts: Vec<String> = (0..3)
+            .map(|i| {
+                let mut rec = record();
+                rec.id = i;
+                write_polygon_file(&[rec])
+            })
+            .collect();
+        let id = store.register_slide_streaming("c", texts.clone()).unwrap();
+        // Flip one byte inside tile 1's block, behind the pager's back.
+        let file = std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap();
+        let mut bytes = std::fs::read(file.path()).unwrap();
+        // Header is 16 bytes; tile blocks are identical in size, so tile 1
+        // starts at 16 + len and we flip a byte a little inside it.
+        let block_len = (bytes.len() - 16 - 24 - 4 - 3 * 28) / 3;
+        bytes[16 + block_len + 6] ^= 0xFF;
+        std::fs::write(file.path(), &bytes).unwrap();
+        let err = store
+            .tile(TileId {
+                slide: id,
+                index: 1,
+            })
+            .unwrap_err();
+        assert!(matches!(err, SccgError::Storage { .. }), "{err:?}");
+        // The other tiles still page in fine.
+        for index in [0usize, 2] {
+            let fetched = store.tile(TileId { slide: id, index }).unwrap();
+            assert_eq!(&write_polygon_file(&fetched), &texts[index]);
+        }
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,639 @@
+//! The on-disk columnar tile format.
+//!
+//! One slide is one file of *blocks* — one block per tile — followed by a
+//! footer index that maps each tile to its block. All integers are
+//! little-endian; every block and the footer carry an FNV-1a 64 checksum
+//! (the same process-stable fingerprint idiom the serving layer uses for
+//! cache keys), so a bit flip anywhere in a block is caught at read time and
+//! fails *that tile's* reads with [`SccgError::Storage`] instead of
+//! corrupting query results or crashing the process.
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────────┐
+//! │ header   magic "SCCGTILE" (8) · version u32 · reserved u32       │ 16 B
+//! ├──────────────────────────────────────────────────────────────────┤
+//! │ block 0  ┐ columnar tile payload (see below)                     │
+//! │ block 1  │ one block per tile, byte-addressed by the footer      │
+//! │   …      ┘                                                       │
+//! ├──────────────────────────────────────────────────────────────────┤
+//! │ footer   tile_count u32                                          │
+//! │          per tile: offset u64 · len u64 · polygons u32 ·         │
+//! │                    checksum u64                    (28 B each)   │
+//! ├──────────────────────────────────────────────────────────────────┤
+//! │ trailer  footer_offset u64 · footer_checksum u64 ·               │ 24 B
+//! │          magic "SCCGINDX" (8)                                    │
+//! └──────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! A block stores its polygon records in *columns*, not row-by-row:
+//!
+//! ```text
+//! polygon_count u32
+//! ids            u64 × n      (record identifiers)
+//! vertex_counts  u32 × n      (per-polygon chain lengths)
+//! xs             i32 × Σ counts   (all x coordinates, chain-concatenated)
+//! ys             i32 × Σ counts   (all y coordinates, chain-concatenated)
+//! ```
+//!
+//! Columnar layout keeps the vertex data contiguous (the decode hot loop is
+//! two straight `i32` scans) and makes the record codec trivially
+//! round-trippable: decode rebuilds each vertex chain in order, so the
+//! decoded records are bit-identical to what was encoded — id, vertex order,
+//! tile and polygon counts. The footer is read once at open; tile reads are
+//! one seek + one contiguous read each, which is what the demand pager
+//! ([`crate::TileStorage`]) amortizes behind its LRU.
+
+use sccg::sync::lock;
+use sccg::SccgError;
+use sccg_geometry::text::PolygonRecord;
+use sccg_geometry::{Point, RectilinearPolygon};
+use std::fs::File;
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Magic bytes opening every slide file.
+pub const HEADER_MAGIC: &[u8; 8] = b"SCCGTILE";
+/// Magic bytes closing every slide file (the trailer).
+pub const TRAILER_MAGIC: &[u8; 8] = b"SCCGINDX";
+/// Format version stamped into (and required from) the header.
+pub const FORMAT_VERSION: u32 = 1;
+
+const HEADER_BYTES: u64 = 16;
+const TRAILER_BYTES: u64 = 24;
+const INDEX_ENTRY_BYTES: usize = 28;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 over a byte slice. Any single-byte change changes the digest
+/// (xor-then-multiply-by-odd-prime is injective in the running state), which
+/// is exactly the containment the per-block checksums need.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(FNV_OFFSET, |h, &b| {
+        (h ^ u64::from(b)).wrapping_mul(FNV_PRIME)
+    })
+}
+
+/// One tile's entry in the footer index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileIndexEntry {
+    /// Byte offset of the tile's block from the start of the file.
+    pub offset: u64,
+    /// Length of the block in bytes.
+    pub len: u64,
+    /// Number of polygon records in the block.
+    pub polygon_count: u32,
+    /// FNV-1a 64 of the block's bytes.
+    pub checksum: u64,
+}
+
+fn storage_error(detail: impl Into<String>) -> SccgError {
+    SccgError::Storage {
+        detail: detail.into(),
+    }
+}
+
+fn io_error(context: &str, path: &Path, err: std::io::Error) -> SccgError {
+    storage_error(format!("{context} {}: {err}", path.display()))
+}
+
+/// Encodes one tile's records as a columnar block (see the module docs).
+pub fn encode_tile(records: &[PolygonRecord]) -> Vec<u8> {
+    let total_vertices: usize = records.iter().map(|r| r.polygon.vertex_count()).sum();
+    let mut out = Vec::with_capacity(4 + records.len() * 12 + total_vertices * 8);
+    out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+    for record in records {
+        out.extend_from_slice(&record.id.to_le_bytes());
+    }
+    for record in records {
+        out.extend_from_slice(&(record.polygon.vertex_count() as u32).to_le_bytes());
+    }
+    for record in records {
+        for v in record.polygon.vertices() {
+            out.extend_from_slice(&v.x.to_le_bytes());
+        }
+    }
+    for record in records {
+        for v in record.polygon.vertices() {
+            out.extend_from_slice(&v.y.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Cursor over a block's bytes; every read is bounds-checked so a truncated
+/// or miscounted block decodes to a typed error, never a panic.
+struct BlockReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BlockReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SccgError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| {
+                storage_error(format!(
+                    "block truncated: wanted {n} bytes at offset {}, block is {} bytes",
+                    self.pos,
+                    self.bytes.len()
+                ))
+            })?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, SccgError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SccgError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i32(&mut self) -> Result<i32, SccgError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+}
+
+/// Decodes a columnar block back into its polygon records. The decoded
+/// records are bit-identical to what [`encode_tile`] consumed: same ids,
+/// same vertex chains in the same order.
+pub fn decode_tile(bytes: &[u8]) -> Result<Vec<PolygonRecord>, SccgError> {
+    let mut reader = BlockReader { bytes, pos: 0 };
+    let polygon_count = reader.u32()? as usize;
+    let mut ids = Vec::with_capacity(polygon_count);
+    for _ in 0..polygon_count {
+        ids.push(reader.u64()?);
+    }
+    let mut vertex_counts = Vec::with_capacity(polygon_count);
+    for _ in 0..polygon_count {
+        vertex_counts.push(reader.u32()? as usize);
+    }
+    let total: usize = vertex_counts.iter().sum();
+    let mut xs = Vec::with_capacity(total);
+    for _ in 0..total {
+        xs.push(reader.i32()?);
+    }
+    let mut ys = Vec::with_capacity(total);
+    for _ in 0..total {
+        ys.push(reader.i32()?);
+    }
+    if reader.pos != bytes.len() {
+        return Err(storage_error(format!(
+            "block has {} trailing bytes after the last column",
+            bytes.len() - reader.pos
+        )));
+    }
+    let mut records = Vec::with_capacity(polygon_count);
+    let mut cursor = 0usize;
+    for (id, count) in ids.into_iter().zip(vertex_counts) {
+        let vertices: Vec<Point> = (cursor..cursor + count)
+            .map(|i| Point::new(xs[i], ys[i]))
+            .collect();
+        cursor += count;
+        let polygon = RectilinearPolygon::new(vertices).map_err(|e| {
+            storage_error(format!("record {id} decodes to an invalid polygon: {e}"))
+        })?;
+        records.push(PolygonRecord { id, polygon });
+    }
+    Ok(records)
+}
+
+/// Streaming writer of one slide file: append tiles one at a time, then
+/// [`finish`](SlideFileWriter::finish). Nothing but the footer index (28
+/// bytes per tile) is retained in memory, so registration of an
+/// arbitrarily large slide runs in O(largest tile), not O(slide).
+#[derive(Debug)]
+pub struct SlideFileWriter {
+    file: BufWriter<File>,
+    path: PathBuf,
+    index: Vec<TileIndexEntry>,
+    offset: u64,
+}
+
+impl SlideFileWriter {
+    /// Creates (truncating) the slide file at `path` and writes the header.
+    pub fn create(path: impl Into<PathBuf>) -> Result<Self, SccgError> {
+        let path = path.into();
+        let file = File::create(&path).map_err(|e| io_error("create", &path, e))?;
+        let mut file = BufWriter::new(file);
+        let mut header = Vec::with_capacity(HEADER_BYTES as usize);
+        header.extend_from_slice(HEADER_MAGIC);
+        header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        header.extend_from_slice(&0u32.to_le_bytes());
+        file.write_all(&header)
+            .map_err(|e| io_error("write header of", &path, e))?;
+        Ok(SlideFileWriter {
+            file,
+            path,
+            index: Vec::new(),
+            offset: HEADER_BYTES,
+        })
+    }
+
+    /// Encodes `records` as the next tile's block, appends it and indexes
+    /// it. Returns the tile's index within the slide.
+    pub fn append_tile(&mut self, records: &[PolygonRecord]) -> Result<usize, SccgError> {
+        let block = encode_tile(records);
+        self.file
+            .write_all(&block)
+            .map_err(|e| io_error("append tile block to", &self.path, e))?;
+        let entry = TileIndexEntry {
+            offset: self.offset,
+            len: block.len() as u64,
+            polygon_count: records.len() as u32,
+            checksum: fnv1a_64(&block),
+        };
+        self.offset += entry.len;
+        self.index.push(entry);
+        Ok(self.index.len() - 1)
+    }
+
+    /// Number of tiles appended so far.
+    pub fn tile_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Writes the footer index and trailer, flushes, and reopens the file
+    /// for reading as a [`SlideFile`].
+    pub fn finish(mut self) -> Result<SlideFile, SccgError> {
+        let footer_offset = self.offset;
+        let mut footer = Vec::with_capacity(4 + self.index.len() * INDEX_ENTRY_BYTES);
+        footer.extend_from_slice(&(self.index.len() as u32).to_le_bytes());
+        for entry in &self.index {
+            footer.extend_from_slice(&entry.offset.to_le_bytes());
+            footer.extend_from_slice(&entry.len.to_le_bytes());
+            footer.extend_from_slice(&entry.polygon_count.to_le_bytes());
+            footer.extend_from_slice(&entry.checksum.to_le_bytes());
+        }
+        let footer_checksum = fnv1a_64(&footer);
+        self.file
+            .write_all(&footer)
+            .map_err(|e| io_error("write footer of", &self.path, e))?;
+        let mut trailer = Vec::with_capacity(TRAILER_BYTES as usize);
+        trailer.extend_from_slice(&footer_offset.to_le_bytes());
+        trailer.extend_from_slice(&footer_checksum.to_le_bytes());
+        trailer.extend_from_slice(TRAILER_MAGIC);
+        self.file
+            .write_all(&trailer)
+            .map_err(|e| io_error("write trailer of", &self.path, e))?;
+        self.file
+            .flush()
+            .map_err(|e| io_error("flush", &self.path, e))?;
+        drop(self.file);
+        SlideFile::open(&self.path)
+    }
+}
+
+/// A finished slide file, opened for demand reads. The footer index is
+/// validated (magic, version, footer checksum) once at open; each
+/// [`read_tile`](SlideFile::read_tile) is one seek + one contiguous read,
+/// verified against the tile's block checksum before decoding.
+#[derive(Debug)]
+pub struct SlideFile {
+    /// Reads seek, so the handle lives behind a mutex; the pager above this
+    /// keeps hot tiles resident precisely so this lock stays cold.
+    file: Mutex<File>,
+    path: PathBuf,
+    index: Vec<TileIndexEntry>,
+    file_bytes: u64,
+}
+
+impl SlideFile {
+    /// Opens and validates a slide file written by [`SlideFileWriter`].
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, SccgError> {
+        let path = path.into();
+        let mut file = File::open(&path).map_err(|e| io_error("open", &path, e))?;
+        let file_bytes = file
+            .metadata()
+            .map_err(|e| io_error("stat", &path, e))?
+            .len();
+        if file_bytes < HEADER_BYTES + 4 + TRAILER_BYTES {
+            return Err(storage_error(format!(
+                "{}: {file_bytes} bytes is too short to be a slide file",
+                path.display()
+            )));
+        }
+
+        let mut header = [0u8; HEADER_BYTES as usize];
+        file.read_exact(&mut header)
+            .map_err(|e| io_error("read header of", &path, e))?;
+        if &header[..8] != HEADER_MAGIC {
+            return Err(storage_error(format!(
+                "{}: bad header magic (not a slide file)",
+                path.display()
+            )));
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(storage_error(format!(
+                "{}: format version {version} is not {FORMAT_VERSION}",
+                path.display()
+            )));
+        }
+
+        let mut trailer = [0u8; TRAILER_BYTES as usize];
+        file.seek(SeekFrom::End(-(TRAILER_BYTES as i64)))
+            .map_err(|e| io_error("seek trailer of", &path, e))?;
+        file.read_exact(&mut trailer)
+            .map_err(|e| io_error("read trailer of", &path, e))?;
+        if &trailer[16..24] != TRAILER_MAGIC {
+            return Err(storage_error(format!(
+                "{}: bad trailer magic (truncated or not a slide file)",
+                path.display()
+            )));
+        }
+        let footer_offset = u64::from_le_bytes(trailer[0..8].try_into().unwrap());
+        let footer_checksum = u64::from_le_bytes(trailer[8..16].try_into().unwrap());
+        let footer_end = file_bytes - TRAILER_BYTES;
+        if footer_offset < HEADER_BYTES || footer_offset > footer_end {
+            return Err(storage_error(format!(
+                "{}: footer offset {footer_offset} is outside the file",
+                path.display()
+            )));
+        }
+
+        let mut footer = vec![0u8; (footer_end - footer_offset) as usize];
+        file.seek(SeekFrom::Start(footer_offset))
+            .map_err(|e| io_error("seek footer of", &path, e))?;
+        file.read_exact(&mut footer)
+            .map_err(|e| io_error("read footer of", &path, e))?;
+        if fnv1a_64(&footer) != footer_checksum {
+            return Err(storage_error(format!(
+                "{}: footer checksum mismatch (index is corrupt)",
+                path.display()
+            )));
+        }
+        let index = Self::parse_footer(&footer, footer_offset, &path)?;
+
+        Ok(SlideFile {
+            file: Mutex::new(file),
+            path,
+            index,
+            file_bytes,
+        })
+    }
+
+    fn parse_footer(
+        footer: &[u8],
+        footer_offset: u64,
+        path: &Path,
+    ) -> Result<Vec<TileIndexEntry>, SccgError> {
+        let mut reader = BlockReader {
+            bytes: footer,
+            pos: 0,
+        };
+        let count = reader.u32()? as usize;
+        if footer.len() != 4 + count * INDEX_ENTRY_BYTES {
+            return Err(storage_error(format!(
+                "{}: footer declares {count} tiles but is {} bytes",
+                path.display(),
+                footer.len()
+            )));
+        }
+        let mut index = Vec::with_capacity(count);
+        let mut expected_offset = HEADER_BYTES;
+        for i in 0..count {
+            let entry = TileIndexEntry {
+                offset: reader.u64()?,
+                len: reader.u64()?,
+                polygon_count: reader.u32()?,
+                checksum: reader.u64()?,
+            };
+            // Blocks are written back to back: a gap or overlap means the
+            // index (or the file) is corrupt even if its checksum holds.
+            if entry.offset != expected_offset
+                || entry.offset.checked_add(entry.len).is_none()
+                || entry.offset + entry.len > footer_offset
+            {
+                return Err(storage_error(format!(
+                    "{}: tile {i} block [{}, +{}) is inconsistent with the file layout",
+                    path.display(),
+                    entry.offset,
+                    entry.len
+                )));
+            }
+            expected_offset = entry.offset + entry.len;
+            index.push(entry);
+        }
+        Ok(index)
+    }
+
+    /// Number of tiles the slide holds.
+    pub fn tile_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Total polygon records across all tiles (from the index; no block
+    /// reads).
+    pub fn total_polygons(&self) -> usize {
+        self.index.iter().map(|e| e.polygon_count as usize).sum()
+    }
+
+    /// The footer index, one entry per tile.
+    pub fn index(&self) -> &[TileIndexEntry] {
+        &self.index
+    }
+
+    /// Total size of the file on disk in bytes.
+    pub fn bytes_on_disk(&self) -> u64 {
+        self.file_bytes
+    }
+
+    /// The file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Reads, verifies and decodes one tile's block.
+    ///
+    /// A corrupt block (checksum mismatch), a truncated read or an undecodable
+    /// payload fails with [`SccgError::Storage`] naming the tile — the error
+    /// is contained to reads of this tile; every other tile stays readable.
+    pub fn read_tile(&self, tile: usize) -> Result<Vec<PolygonRecord>, SccgError> {
+        let entry = *self.index.get(tile).ok_or_else(|| {
+            storage_error(format!(
+                "tile {tile} is out of range ({} tiles on disk)",
+                self.index.len()
+            ))
+        })?;
+        let mut block = vec![0u8; entry.len as usize];
+        {
+            let mut file = lock(&self.file);
+            file.seek(SeekFrom::Start(entry.offset))
+                .map_err(|e| io_error("seek block of", &self.path, e))?;
+            file.read_exact(&mut block)
+                .map_err(|e| io_error("read block of", &self.path, e))?;
+        }
+        if fnv1a_64(&block) != entry.checksum {
+            return Err(storage_error(format!(
+                "tile {tile}: block checksum mismatch ({} bytes at offset {})",
+                entry.len, entry.offset
+            )));
+        }
+        let records =
+            decode_tile(&block).map_err(|e| storage_error(format!("tile {tile}: {e}")))?;
+        if records.len() != entry.polygon_count as usize {
+            return Err(storage_error(format!(
+                "tile {tile}: decoded {} records, index says {}",
+                records.len(),
+                entry.polygon_count
+            )));
+        }
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sccg_geometry::text::parse_polygon_file;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("sccg-store-format-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}-{}.sccgt", std::process::id()))
+    }
+
+    fn sample_tiles() -> Vec<Vec<PolygonRecord>> {
+        vec![
+            parse_polygon_file("0 4 0 0 10 0 10 10 0 10\n1 4 5 5 9 5 9 9 5 9\n").unwrap(),
+            Vec::new(), // an empty tile is legal
+            parse_polygon_file("7 6 0 0 4 0 4 2 2 2 2 4 0 4\n").unwrap(),
+        ]
+    }
+
+    fn write_sample(tag: &str) -> (PathBuf, Vec<Vec<PolygonRecord>>) {
+        let path = temp_path(tag);
+        let tiles = sample_tiles();
+        let mut writer = SlideFileWriter::create(&path).unwrap();
+        for tile in &tiles {
+            writer.append_tile(tile).unwrap();
+        }
+        let file = writer.finish().unwrap();
+        assert_eq!(file.tile_count(), tiles.len());
+        (path, tiles)
+    }
+
+    #[test]
+    fn round_trips_every_tile_bit_identically() {
+        let (path, tiles) = write_sample("round-trip");
+        let file = SlideFile::open(&path).unwrap();
+        assert_eq!(file.tile_count(), 3);
+        assert_eq!(file.total_polygons(), 3);
+        assert!(file.bytes_on_disk() > 0);
+        for (i, expected) in tiles.iter().enumerate() {
+            assert_eq!(&file.read_tile(i).unwrap(), expected, "tile {i}");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_tiles_and_codec_defects_are_typed_errors() {
+        let (path, _) = write_sample("bounds");
+        let file = SlideFile::open(&path).unwrap();
+        assert!(matches!(file.read_tile(3), Err(SccgError::Storage { .. })));
+        // A declared count larger than the payload must not panic.
+        let mut bogus = (3u32).to_le_bytes().to_vec();
+        bogus.extend_from_slice(&7u64.to_le_bytes());
+        assert!(matches!(
+            decode_tile(&bogus),
+            Err(SccgError::Storage { .. })
+        ));
+        // Trailing bytes after the last column are rejected too.
+        let mut padded = encode_tile(&[]);
+        padded.push(0);
+        assert!(matches!(
+            decode_tile(&padded),
+            Err(SccgError::Storage { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupting_a_block_fails_only_that_tile() {
+        let (path, tiles) = write_sample("contained");
+        let file = SlideFile::open(&path).unwrap();
+        let target = file.index()[0];
+        drop(file);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[target.offset as usize + 4] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let file = SlideFile::open(&path).unwrap();
+        let err = file.read_tile(0).unwrap_err();
+        assert!(
+            matches!(&err, SccgError::Storage { detail } if detail.contains("checksum")),
+            "{err:?}"
+        );
+        // The other tiles are untouched and still read back exactly.
+        assert_eq!(&file.read_tile(1).unwrap(), &tiles[1]);
+        assert_eq!(&file.read_tile(2).unwrap(), &tiles[2]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncation_bad_magic_and_footer_corruption_fail_open() {
+        let (path, _) = write_sample("open-failures");
+        let original = std::fs::read(&path).unwrap();
+
+        // Truncated behind the trailer.
+        std::fs::write(&path, &original[..original.len() - 9]).unwrap();
+        assert!(matches!(
+            SlideFile::open(&path),
+            Err(SccgError::Storage { .. })
+        ));
+
+        // Wrong header magic.
+        let mut bad = original.clone();
+        bad[0] ^= 0xFF;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            SlideFile::open(&path),
+            Err(SccgError::Storage { .. })
+        ));
+
+        // Unsupported version.
+        let mut bad = original.clone();
+        bad[8] = 99;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            SlideFile::open(&path),
+            Err(SccgError::Storage { .. })
+        ));
+
+        // A flipped footer byte breaks the footer checksum.
+        let mut bad = original.clone();
+        let footer_offset = u64::from_le_bytes(
+            original[original.len() - 24..original.len() - 16]
+                .try_into()
+                .unwrap(),
+        );
+        bad[footer_offset as usize + 1] ^= 0x01;
+        std::fs::write(&path, &bad).unwrap();
+        let err = SlideFile::open(&path).unwrap_err();
+        assert!(
+            matches!(&err, SccgError::Storage { detail } if detail.contains("footer")),
+            "{err:?}"
+        );
+
+        // A missing file is an error, not a panic.
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(
+            SlideFile::open(&path),
+            Err(SccgError::Storage { .. })
+        ));
+    }
+
+    #[test]
+    fn fnv1a_matches_the_reference_vector() {
+        // Classic FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -1,0 +1,239 @@
+//! Demand paging over a [`SlideFile`]: a bounded LRU of resident decoded
+//! tiles.
+//!
+//! The serving layer shards a whole-slide query into per-tile jobs; with the
+//! slide on disk, each job *faults its tile in* through [`TileStorage`]
+//! instead of holding the whole slide in memory. The pager keeps at most
+//! `residency_bound` decoded tiles resident (the generic
+//! [`sccg::collections::LruCache`] shared with the serving layer's response
+//! cache), so peak memory is O(bound × tile), independent of slide size —
+//! the out-of-core discipline the paper's pipeline applies to its buffers
+//! (§4.1), applied to storage.
+//!
+//! Failure containment is inherited from the format layer: a corrupt or
+//! truncated tile fails *its own* fetch with [`sccg::SccgError::Storage`]
+//! and is never cached, so other tiles keep paging normally and a later
+//! fetch of a repaired tile retries the disk read.
+
+use crate::format::SlideFile;
+use sccg::collections::LruCache;
+use sccg::sync::lock;
+use sccg::SccgError;
+use sccg_geometry::text::PolygonRecord;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Counters describing a pager's behaviour since creation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PagerStats {
+    /// Fetches served from the resident set.
+    pub hits: u64,
+    /// Fetches that had to read and decode a block from disk.
+    pub misses: u64,
+    /// `hits / (hits + misses)`, or 0.0 before the first fetch.
+    pub hit_rate: f64,
+    /// Decoded tiles currently resident.
+    pub resident: usize,
+    /// Maximum number of tiles ever resident at once.
+    pub peak_resident: usize,
+    /// The configured residency bound.
+    pub residency_bound: usize,
+    /// Size of the backing slide file in bytes.
+    pub bytes_on_disk: u64,
+}
+
+/// A paged view of one on-disk slide: fetches fault tiles in on demand and
+/// keep at most `residency_bound` of them decoded in memory.
+#[derive(Debug)]
+pub struct TileStorage {
+    file: SlideFile,
+    resident: Mutex<LruCache<usize, Arc<Vec<PolygonRecord>>>>,
+    residency_bound: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    peak_resident: AtomicU64,
+}
+
+impl TileStorage {
+    /// Wraps an opened slide file in a pager holding at most
+    /// `residency_bound` decoded tiles (clamped to at least 1 — a pager that
+    /// can hold nothing can serve nothing).
+    pub fn new(file: SlideFile, residency_bound: usize) -> Self {
+        let residency_bound = residency_bound.max(1);
+        TileStorage {
+            file,
+            resident: Mutex::new(LruCache::new(residency_bound)),
+            residency_bound,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            peak_resident: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of tiles in the backing slide.
+    pub fn tile_count(&self) -> usize {
+        self.file.tile_count()
+    }
+
+    /// Total polygon records across all tiles (from the footer index).
+    pub fn total_polygons(&self) -> usize {
+        self.file.total_polygons()
+    }
+
+    /// Size of the backing slide file on disk in bytes.
+    pub fn bytes_on_disk(&self) -> u64 {
+        self.file.bytes_on_disk()
+    }
+
+    /// The configured residency bound.
+    pub fn residency_bound(&self) -> usize {
+        self.residency_bound
+    }
+
+    /// The backing slide file.
+    pub fn file(&self) -> &SlideFile {
+        &self.file
+    }
+
+    /// Returns the tile's decoded records, faulting them in from disk on a
+    /// miss. Shared `Arc`s mean concurrent shards of the same tile decode
+    /// once and an eviction never invalidates records a query still holds.
+    ///
+    /// # Errors
+    ///
+    /// [`SccgError::Storage`] for an out-of-range index or a corrupt,
+    /// truncated or unreadable block. Failed fetches are not cached.
+    pub fn fetch(&self, tile: usize) -> Result<Arc<Vec<PolygonRecord>>, SccgError> {
+        if let Some(records) = lock(&self.resident).get(&tile) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(records);
+        }
+        // Read outside the cache lock: a slow or failing disk read must not
+        // stall hits on other tiles. Two concurrent misses of one tile may
+        // both decode it; the second insert simply refreshes the entry.
+        let records = Arc::new(self.file.read_tile(tile)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let resident_now = {
+            let mut resident = lock(&self.resident);
+            resident.insert(tile, Arc::clone(&records));
+            resident.len() as u64
+        };
+        self.peak_resident
+            .fetch_max(resident_now, Ordering::Relaxed);
+        Ok(records)
+    }
+
+    /// Current pager counters.
+    pub fn stats(&self) -> PagerStats {
+        let hits = self.hits.load(Ordering::Relaxed);
+        let misses = self.misses.load(Ordering::Relaxed);
+        let total = hits + misses;
+        PagerStats {
+            hits,
+            misses,
+            hit_rate: if total == 0 {
+                0.0
+            } else {
+                hits as f64 / total as f64
+            },
+            resident: lock(&self.resident).len(),
+            peak_resident: self.peak_resident.load(Ordering::Relaxed) as usize,
+            residency_bound: self.residency_bound,
+            bytes_on_disk: self.file.bytes_on_disk(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::SlideFileWriter;
+    use sccg_geometry::text::parse_polygon_file;
+    use std::path::PathBuf;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("sccg-store-pager-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}-{}.sccgt", std::process::id()))
+    }
+
+    fn tile(id: u64) -> Vec<PolygonRecord> {
+        let base = (id as i32) * 100;
+        parse_polygon_file(&format!(
+            "{id} 4 {x0} {y0} {x1} {y0} {x1} {y1} {x0} {y1}\n",
+            x0 = base,
+            y0 = base,
+            x1 = base + 10,
+            y1 = base + 10,
+        ))
+        .unwrap()
+    }
+
+    fn build(tag: &str, tiles: usize, bound: usize) -> (TileStorage, PathBuf) {
+        let path = temp_path(tag);
+        let mut writer = SlideFileWriter::create(&path).unwrap();
+        for i in 0..tiles {
+            writer.append_tile(&tile(i as u64)).unwrap();
+        }
+        (TileStorage::new(writer.finish().unwrap(), bound), path)
+    }
+
+    #[test]
+    fn residency_never_exceeds_the_bound() {
+        let (pager, path) = build("bound", 8, 3);
+        for round in 0..2 {
+            for i in 0..8 {
+                let records = pager.fetch(i).unwrap();
+                assert_eq!(records.as_ref(), &tile(i as u64), "round {round} tile {i}");
+                assert!(pager.stats().resident <= 3);
+            }
+        }
+        let stats = pager.stats();
+        assert!(stats.peak_resident <= 3);
+        assert_eq!(stats.hits + stats.misses, 16);
+        // Sequential scans over a working set larger than the bound are the
+        // LRU's worst case: every fetch misses.
+        assert_eq!(stats.misses, 16);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn refetches_within_the_bound_hit() {
+        let (pager, path) = build("hits", 2, 4);
+        for _ in 0..3 {
+            pager.fetch(0).unwrap();
+            pager.fetch(1).unwrap();
+        }
+        let stats = pager.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 4);
+        assert!((stats.hit_rate - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(stats.resident, 2);
+        assert_eq!(stats.peak_resident, 2);
+        assert!(stats.bytes_on_disk > 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn zero_bound_is_clamped_and_out_of_range_is_typed() {
+        let (pager, path) = build("clamp", 1, 0);
+        assert_eq!(pager.residency_bound(), 1);
+        assert_eq!(pager.fetch(0).unwrap().as_ref(), &tile(0));
+        assert!(matches!(pager.fetch(1), Err(SccgError::Storage { .. })));
+        // The failed fetch was not cached and did not disturb residency.
+        assert_eq!(pager.stats().resident, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn evicted_tiles_stay_valid_for_holders() {
+        let (pager, path) = build("arc", 4, 1);
+        let held = pager.fetch(0).unwrap();
+        for i in 1..4 {
+            pager.fetch(i).unwrap();
+        }
+        // Tile 0 has long been evicted; the held Arc still reads correctly.
+        assert_eq!(held.as_ref(), &tile(0));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

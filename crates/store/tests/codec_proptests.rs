@@ -1,0 +1,154 @@
+//! Property-based tests for the columnar tile codec.
+//!
+//! Two properties carry the storage subsystem's correctness story:
+//!
+//! 1. **Round trip** — any tile of valid rectilinear polygon records
+//!    encodes and decodes back bit-identically (ids, vertex chains, record
+//!    order). This is what makes the on-disk query path's results
+//!    interchangeable with the in-memory path's.
+//! 2. **Corruption detection** — flipping any single byte of an encoded
+//!    block changes its FNV-1a checksum, so every such corruption is caught
+//!    at read time and surfaces as a typed [`SccgError::Storage`], never as
+//!    silently wrong polygons.
+
+// The vendored proptest shim's `proptest!` macro expands bodies token by
+// token; these test bodies are long enough to overflow the default limit.
+#![recursion_limit = "1024"]
+
+use proptest::prelude::*;
+use sccg::SccgError;
+use sccg_geometry::text::PolygonRecord;
+use sccg_geometry::{Point, RectilinearPolygon};
+use sccg_store::{decode_tile, encode_tile, fnv1a_64, SlideFile, SlideFileWriter};
+use std::path::PathBuf;
+
+/// A random rectilinear "staircase" polygon (always simple and valid),
+/// offset anywhere in the i32-safe window.
+fn staircase_polygon() -> impl Strategy<Value = RectilinearPolygon> {
+    (2usize..8).prop_flat_map(|steps| {
+        (
+            prop::collection::vec(1i32..6, steps),
+            prop::collection::vec(1i32..6, steps),
+            -1000i32..1000,
+            -1000i32..1000,
+        )
+            .prop_map(|(dxs, dys, ox, oy)| {
+                let total_h: i32 = dys.iter().sum();
+                let mut vertices = vec![Point::new(ox, oy), Point::new(ox, oy + total_h)];
+                let mut x = ox;
+                let mut y = oy + total_h;
+                for (dx, dy) in dxs.iter().zip(dys.iter()) {
+                    x += dx;
+                    vertices.push(Point::new(x, y));
+                    y -= dy;
+                    vertices.push(Point::new(x, y));
+                }
+                RectilinearPolygon::new(vertices).expect("staircase is valid")
+            })
+    })
+}
+
+/// A random tile: up to a dozen records with arbitrary ids.
+fn tile() -> impl Strategy<Value = Vec<PolygonRecord>> {
+    prop::collection::vec(((0u64..u64::MAX), staircase_polygon()), 0..12).prop_map(|entries| {
+        entries
+            .into_iter()
+            .map(|(id, polygon)| PolygonRecord { id, polygon })
+            .collect()
+    })
+}
+
+fn temp_path(tag: &str, seed: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join("sccg-store-proptests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}-{}-{seed}.sccgt", std::process::id()))
+}
+
+proptest! {
+    // encode → decode is the identity on arbitrary tiles.
+    #[test]
+    fn encode_decode_round_trips(records in tile()) {
+        let block = encode_tile(&records);
+        let decoded = decode_tile(&block).expect("encoded block decodes");
+        prop_assert_eq!(decoded, records);
+    }
+
+    // Flipping any one byte of a block changes its FNV-1a digest: the
+    // write-time checksum always catches a single-byte corruption.
+    #[test]
+    fn every_single_byte_flip_changes_the_checksum(
+        records in tile(),
+        flip in (0u8..255),
+    ) {
+        let block = encode_tile(&records);
+        let clean = fnv1a_64(&block);
+        let flip = if flip == 0 { 1 } else { flip };
+        let mut corrupt = block;
+        for i in 0..corrupt.len() {
+            corrupt[i] ^= flip;
+            prop_assert_ne!(fnv1a_64(&corrupt), clean);
+            corrupt[i] ^= flip;
+        }
+    }
+
+    // End to end through the file layer: write a slide, flip one byte
+    // inside a tile block on disk, and the read of that tile (and only
+    // that tile) fails with the typed storage error.
+    #[test]
+    fn on_disk_bit_flips_surface_as_typed_storage_errors(
+        tiles in prop::collection::vec(tile(), 1..4),
+        seed in (0u64..u64::MAX),
+        byte in (0u8..255),
+    ) {
+        let path = temp_path("bitflip", seed);
+        let mut writer = SlideFileWriter::create(&path).unwrap();
+        for records in &tiles {
+            writer.append_tile(records).unwrap();
+        }
+        let file = writer.finish().unwrap();
+
+        // Pick a victim tile with a non-empty block and a byte inside it.
+        let victim = (seed as usize) % tiles.len();
+        let entry = file.index()[victim];
+        drop(file);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let within = (byte as u64) % entry.len;
+        let pos = (entry.offset + within) as usize;
+        let flip = if byte == 0 { 0xA5 } else { byte };
+        bytes[pos] ^= flip;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let file = SlideFile::open(&path).unwrap();
+        let err = file.read_tile(victim).unwrap_err();
+        prop_assert!(
+            matches!(&err, SccgError::Storage { detail } if detail.contains("checksum")),
+            "expected a checksum failure, got {:?}", err
+        );
+        // Containment: every other tile still reads back bit-identically.
+        for (i, expected) in tiles.iter().enumerate() {
+            if i != victim {
+                prop_assert_eq!(&file.read_tile(i).unwrap(), expected);
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    // The full file layer round trip: stream tiles out, read them back.
+    #[test]
+    fn slide_files_round_trip_through_disk(
+        tiles in prop::collection::vec(tile(), 0..5),
+        seed in (0u64..u64::MAX),
+    ) {
+        let path = temp_path("roundtrip", seed);
+        let mut writer = SlideFileWriter::create(&path).unwrap();
+        for records in &tiles {
+            writer.append_tile(records).unwrap();
+        }
+        let file = writer.finish().unwrap();
+        prop_assert_eq!(file.tile_count(), tiles.len());
+        for (i, expected) in tiles.iter().enumerate() {
+            prop_assert_eq!(&file.read_tile(i).unwrap(), expected);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -6,6 +6,9 @@
 //!
 //! * [`sccg`] — PixelBox, the pipelined framework, task migration and the
 //!   high-level [`sccg::CrossComparison`] API (the paper's contribution).
+//! * [`sccg_store`] — out-of-core slide storage: the on-disk columnar tile
+//!   format ([`sccg_store::SlideFile`]) and its demand pager
+//!   ([`sccg_store::TileStorage`]).
 //! * [`sccg_serve`] — the slide-serving query API: [`sccg_serve::SlideStore`]
 //!   and [`sccg_serve::ComparisonService`] over a pooled engine fleet.
 //! * [`sccg_net`] — the framed TCP wire front-end: [`sccg_net::WireServer`],
@@ -28,6 +31,7 @@ pub use sccg_net;
 pub use sccg_rtree;
 pub use sccg_sdbms;
 pub use sccg_serve;
+pub use sccg_store;
 
 /// One-stop prelude over the whole stack: the core engine/pipeline API
 /// (`sccg::prelude`) plus the serving layer (`sccg_serve::prelude`).
