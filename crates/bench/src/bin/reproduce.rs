@@ -1,7 +1,8 @@
 //! Regenerates every table and figure of the paper's evaluation section,
 //! plus demos of the serving layer (`serve`), the out-of-core slide storage
-//! (`store`), the bounded-memory streaming executor (`stream`), and the JSON
-//! perf baseline (`bench`, which writes `BENCH_pixelbox.json`).
+//! (`store`), the locality-aware shard scheduler (`locality`), the
+//! bounded-memory streaming executor (`stream`), and the JSON perf baseline
+//! (`bench`, which writes `BENCH_pixelbox.json`).
 //!
 //! ```text
 //! cargo run -p sccg-bench --release --bin reproduce -- all
@@ -27,7 +28,8 @@ use sccg_datagen::generate_tile_pair;
 use sccg_gpu_sim::{Device, DeviceConfig};
 use sccg_sdbms::{execute_cross_comparison, PolygonTable, QueryPlan};
 use sccg_serve::{
-    json, ComparisonService, QueryPriority, QueryRequest, QueryResponse, ServiceConfig, SlideStore,
+    json, ComparisonService, PlacementPolicy, QueryPriority, QueryRequest, QueryResponse,
+    ServiceConfig, SlideStore,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -69,6 +71,9 @@ fn main() {
     }
     if want("store") {
         store_smoke();
+    }
+    if want("locality") {
+        locality();
     }
     if want("stream") {
         stream();
@@ -545,6 +550,7 @@ fn serve() {
                 p99_ms: report.p99_ms,
             }),
             store: None,
+            locality: None,
         },
     )
     .expect("append serve metrics to BENCH_trajectory.json");
@@ -718,6 +724,7 @@ fn store_smoke() {
                 warm_tiles_per_sec,
                 pager_hit_rate: pager_stats.hit_rate,
             }),
+            locality: None,
         },
     )
     .expect("append store metrics to BENCH_trajectory.json");
@@ -730,6 +737,194 @@ fn store_smoke() {
     drop(pager);
     drop(disk_store);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `locality`: locality-aware scheduling smoke. Runs the identical
+/// disk-backed whole-slide workload under both placement policies — the
+/// historical round-robin dispatch and the residency-aware default — for
+/// several repeated query rounds, checks every paged response bit-identical
+/// to an in-memory twin (placement can reorder work but never change the
+/// answer), and asserts the residency-aware run faulted *fewer* tiles from
+/// disk: resident-first ordering turns the start of each round into pager
+/// hits, and the background prefetcher overlaps upcoming faults with
+/// compute. The miss gap and the scheduler counters are appended to
+/// `BENCH_trajectory.json` as a `locality` entry (empty substrates, so the
+/// perf gate skips it just as it skips serve- and store-only entries).
+fn locality() {
+    use sccg_bench::trajectory::{append_entry, LocalityMetrics, TrajectoryEntry, TRAJECTORY_PATH};
+    use sccg_geometry::text::write_polygon_file;
+
+    println!("\n[Locality] Residency-aware shard placement vs the round-robin baseline");
+    const TILES: u32 = 12;
+    const RESIDENCY_BOUND: usize = 4;
+    const ROUNDS: usize = 4;
+    let dataset = sccg_datagen::generate_dataset(&sccg_datagen::DatasetSpec {
+        name: "locality-smoke".into(),
+        tiles: TILES,
+        polygons_per_tile: 48,
+        tile_size: 512,
+        seed: 91,
+        nucleus_radius: 6,
+    });
+    let first_texts: Vec<String> = dataset
+        .tiles
+        .iter()
+        .map(|t| write_polygon_file(&t.first))
+        .collect();
+    let second_texts: Vec<String> = dataset
+        .tiles
+        .iter()
+        .map(|t| write_polygon_file(&t.second))
+        .collect();
+
+    // Both runs share this config: one CPU engine so dispatch order is the
+    // only degree of freedom, a second executor thread so the prefetcher can
+    // overlap with the worker, and no response cache so every round actually
+    // recomputes (and therefore re-pages) the slide pair.
+    let config = |policy: PlacementPolicy| {
+        ServiceConfig::default()
+            .with_engines(vec![
+                EngineConfig::default().with_device(AggregationDevice::Cpu)
+            ])
+            .with_executor_threads(2)
+            .with_cache_capacity(0)
+            .with_placement(policy)
+    };
+
+    // The in-memory twin: the answer every paged round must reproduce.
+    let memory_store = SlideStore::new();
+    let mem_first = memory_store
+        .register_slide_text("locality-a", &first_texts)
+        .expect("register in-memory slide");
+    let mem_second = memory_store
+        .register_slide_text("locality-b", &second_texts)
+        .expect("register in-memory slide");
+    let memory_service = ComparisonService::new(memory_store, config(PlacementPolicy::RoundRobin))
+        .expect("service starts");
+    let baseline = memory_service
+        .submit(QueryRequest::new(mem_first, mem_second))
+        .unwrap()
+        .wait()
+        .expect("in-memory query");
+
+    // One disk-backed run per policy: same tiles, same residency bound, same
+    // repeated whole-slide query — only the placement differs.
+    let run = |policy: PlacementPolicy| {
+        let dir =
+            std::env::temp_dir().join(format!("sccg-locality-{}-{:?}", std::process::id(), policy));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SlideStore::with_spill(&dir, RESIDENCY_BOUND).expect("create spill dir");
+        let first = store
+            .register_slide_streaming("locality-a", first_texts.clone())
+            .expect("stream slide to disk");
+        let second = store
+            .register_slide_streaming("locality-b", second_texts.clone())
+            .expect("stream slide to disk");
+        let service = ComparisonService::new(store, config(policy)).expect("service starts");
+        let mut responses = Vec::new();
+        for _ in 0..ROUNDS {
+            responses.push(
+                service
+                    .submit(QueryRequest::new(first, second))
+                    .unwrap()
+                    .wait()
+                    .expect("disk-backed query"),
+            );
+        }
+        let stats = service.stats();
+        let storage = service.store().storage_stats();
+        drop(service);
+        let _ = std::fs::remove_dir_all(&dir);
+        (responses, stats, storage)
+    };
+    let (rr_responses, rr_stats, rr_storage) = run(PlacementPolicy::RoundRobin);
+    let (ra_responses, ra_stats, ra_storage) = run(PlacementPolicy::ResidencyAware);
+
+    for (label, responses) in [
+        ("round-robin", &rr_responses),
+        ("residency-aware", &ra_responses),
+    ] {
+        for (round, response) in responses.iter().enumerate() {
+            assert_eq!(
+                response.summary, baseline.summary,
+                "{label} round {round} diverged from the in-memory twin"
+            );
+            assert_eq!(response.tiles.len(), baseline.tiles.len());
+            for (paged, mem) in response.tiles.iter().zip(&baseline.tiles) {
+                assert_eq!(paged.tile, mem.tile);
+                assert_eq!(paged.summary, mem.summary, "tile {} diverged", mem.tile);
+                assert_eq!(paged.candidate_pairs, mem.candidate_pairs);
+            }
+        }
+    }
+    println!(
+        "  {ROUNDS} whole-slide rounds per policy, {TILES} tiles/slide, residency bound \
+         {RESIDENCY_BOUND}: all responses bit-identical to the in-memory twin"
+    );
+    println!(
+        "  round-robin      {:4} pager misses  ({} hits)",
+        rr_storage.pager_misses, rr_storage.pager_hits
+    );
+    println!(
+        "  residency-aware  {:4} pager misses  ({} hits, {} faults avoided, {} affinity hits, \
+         prefetch {} issued / {} used / {} wasted)",
+        ra_storage.pager_misses,
+        ra_storage.pager_hits,
+        ra_stats.scheduler.faults_avoided,
+        ra_stats.scheduler.affinity_hits,
+        ra_stats.scheduler.prefetch_issued,
+        ra_stats.scheduler.prefetch_used,
+        ra_stats.scheduler.prefetch_wasted
+    );
+    println!("  stats: {}", json::stats_to_json(&ra_stats));
+    assert!(
+        ra_storage.pager_misses < rr_storage.pager_misses,
+        "residency-aware placement must fault fewer tiles than round-robin ({} vs {})",
+        ra_storage.pager_misses,
+        rr_storage.pager_misses
+    );
+    assert!(
+        ra_stats.scheduler.faults_avoided > 0,
+        "resident-first ordering must dispatch some shards without touching disk"
+    );
+    assert!(
+        ra_stats.scheduler.affinity_hits > 0,
+        "some shards must land on the engine holding their tiles resident"
+    );
+    assert!(
+        ra_stats.scheduler.prefetch_issued > 0,
+        "the background prefetcher must have faulted tiles ahead of demand"
+    );
+    assert_eq!(rr_stats.scheduler.policy, "round-robin");
+    assert_eq!(ra_stats.scheduler.policy, "residency-aware");
+
+    let unix_seconds = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let entries = append_entry(
+        std::path::Path::new(TRAJECTORY_PATH),
+        TrajectoryEntry {
+            label: "locality".to_string(),
+            unix_seconds,
+            substrates: Vec::new(),
+            pixelize_dense_speedup: 0.0,
+            serve: None,
+            store: None,
+            locality: Some(LocalityMetrics {
+                policy: ra_stats.scheduler.policy.clone(),
+                affinity_hits: ra_stats.scheduler.affinity_hits,
+                prefetch_issued: ra_stats.scheduler.prefetch_issued,
+                residency_aware_pager_misses: ra_storage.pager_misses,
+                round_robin_pager_misses: rr_storage.pager_misses,
+            }),
+        },
+    )
+    .expect("append locality metrics to BENCH_trajectory.json");
+    println!(
+        "  appended locality metrics to {TRAJECTORY_PATH} ({} entries)",
+        entries.len()
+    );
 }
 
 /// Streaming-executor smoke: a large synthetic slide flows through
@@ -938,6 +1133,7 @@ fn bench_baseline() {
             pixelize_dense_speedup: speedup,
             serve: None,
             store: None,
+            locality: None,
         },
     )
     .expect("append to BENCH_trajectory.json");

@@ -70,11 +70,30 @@ pub struct StoreMetrics {
     pub pager_hit_rate: f64,
 }
 
+/// Measured locality-scheduling metrics (`reproduce -- locality`): the same
+/// disk-backed workload dispatched under both placement policies, so the
+/// entry records the pager-miss gap that residency-aware placement opens
+/// over the round-robin baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalityMetrics {
+    /// The placement policy the headline counters below were measured under.
+    pub policy: String,
+    /// Shards dispatched to the engine that last faulted their tiles.
+    pub affinity_hits: u64,
+    /// Tile faults issued ahead of demand by the background prefetcher.
+    pub prefetch_issued: u64,
+    /// Pager misses across the run under residency-aware placement.
+    pub residency_aware_pager_misses: u64,
+    /// Pager misses for the identical workload under round-robin placement.
+    pub round_robin_pager_misses: u64,
+}
+
 /// One timestamped bench run. A `bench` run carries substrate rates and a
-/// dense-pixelization speedup; a `serve` run carries only [`ServeMetrics`]
-/// and a `store` run only [`StoreMetrics`] (empty `substrates`, speedup 0)
-/// — the [gate](check_gate) knows to skip such entries when looking for the
-/// run to check.
+/// dense-pixelization speedup; a `serve` run carries only [`ServeMetrics`],
+/// a `store` run only [`StoreMetrics`], and a `locality` run only
+/// [`LocalityMetrics`] (empty `substrates`, speedup 0) — the
+/// [gate](check_gate) knows to skip such entries when looking for the run
+/// to check.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrajectoryEntry {
     /// Free-form label (`pr5-baseline`, `bench`, `serve`, `store`, …).
@@ -89,6 +108,8 @@ pub struct TrajectoryEntry {
     pub serve: Option<ServeMetrics>,
     /// Out-of-core storage metrics, when the run measured them.
     pub store: Option<StoreMetrics>,
+    /// Locality-scheduling metrics, when the run measured them.
+    pub locality: Option<LocalityMetrics>,
 }
 
 /// Reads the trajectory file. A missing file is an empty trajectory; a
@@ -188,6 +209,28 @@ fn parse_entry(value: &Value) -> Result<TrajectoryEntry, String> {
             })
         }
     };
+    let locality = match value.get("locality") {
+        None | Some(Value::Null) => None,
+        Some(locality) => {
+            let num = |key: &str| {
+                locality
+                    .get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("\"locality\" missing \"{key}\""))
+            };
+            Some(LocalityMetrics {
+                policy: locality
+                    .get("policy")
+                    .and_then(Value::as_str)
+                    .ok_or("\"locality\" missing \"policy\"")?
+                    .to_string(),
+                affinity_hits: num("affinity_hits")? as u64,
+                prefetch_issued: num("prefetch_issued")? as u64,
+                residency_aware_pager_misses: num("residency_aware_pager_misses")? as u64,
+                round_robin_pager_misses: num("round_robin_pager_misses")? as u64,
+            })
+        }
+    };
     Ok(TrajectoryEntry {
         label,
         unix_seconds,
@@ -195,6 +238,7 @@ fn parse_entry(value: &Value) -> Result<TrajectoryEntry, String> {
         pixelize_dense_speedup,
         serve,
         store,
+        locality,
     })
 }
 
@@ -242,11 +286,24 @@ pub fn format_trajectory(entries: &[TrajectoryEntry]) -> String {
                 s.cold_tiles_per_sec, s.warm_tiles_per_sec, s.pager_hit_rate
             ),
         };
+        let locality = match &entry.locality {
+            None => String::new(),
+            Some(l) => format!(
+                ",\n      \"locality\": {{\"policy\": \"{}\", \"affinity_hits\": {}, \
+                 \"prefetch_issued\": {}, \"residency_aware_pager_misses\": {}, \
+                 \"round_robin_pager_misses\": {}}}",
+                l.policy,
+                l.affinity_hits,
+                l.prefetch_issued,
+                l.residency_aware_pager_misses,
+                l.round_robin_pager_misses
+            ),
+        };
         let _ = write!(
             out,
             "    {{\n      \"label\": \"{}\",\n      \"unix_seconds\": {},\n      \
              \"pixelize_dense_speedup\": {},\n      \"substrates\": [{substrates}\n      \
-             ]{serve}{store}\n    }}{}\n",
+             ]{serve}{store}{locality}\n    }}{}\n",
             entry.label,
             entry.unix_seconds,
             entry.pixelize_dense_speedup,
@@ -525,6 +582,7 @@ mod tests {
             pixelize_dense_speedup: dense,
             serve: None,
             store: None,
+            locality: None,
         }
     }
 
@@ -542,6 +600,7 @@ mod tests {
                 p99_ms: 4.5,
             }),
             store: None,
+            locality: None,
         }
     }
 
@@ -556,6 +615,25 @@ mod tests {
                 cold_tiles_per_sec: cold,
                 warm_tiles_per_sec: cold * 8.0,
                 pager_hit_rate: 0.75,
+            }),
+            locality: None,
+        }
+    }
+
+    fn locality_entry(ra_misses: u64, rr_misses: u64) -> TrajectoryEntry {
+        TrajectoryEntry {
+            label: "locality".into(),
+            unix_seconds: 1_785_059_150,
+            substrates: Vec::new(),
+            pixelize_dense_speedup: 0.0,
+            serve: None,
+            store: None,
+            locality: Some(LocalityMetrics {
+                policy: "residency-aware".into(),
+                affinity_hits: 17,
+                prefetch_issued: 9,
+                residency_aware_pager_misses: ra_misses,
+                round_robin_pager_misses: rr_misses,
             }),
         }
     }
@@ -641,6 +719,34 @@ mod tests {
         assert!(
             check_gate(&[store_entry(10.0)]).is_err(),
             "a trajectory with only store entries has nothing to gate"
+        );
+    }
+
+    #[test]
+    fn locality_entries_round_trip_and_never_trip_the_bench_gates() {
+        let entries = vec![
+            entry("bench", &[("cpu", 1.0e6)], 600.0),
+            locality_entry(40, 96),
+        ];
+        let text = format_trajectory(&entries);
+        let root = Value::parse(&text).unwrap();
+        let parsed: Vec<TrajectoryEntry> = root
+            .get("entries")
+            .and_then(Value::as_array)
+            .unwrap()
+            .iter()
+            .map(|e| parse_entry(e).unwrap())
+            .collect();
+        assert_eq!(parsed, entries, "locality metrics survive the round trip");
+
+        // A trailing locality-only entry (empty substrates, 0 speedup) must
+        // not be the entry the substrate/speedup gates judge: the gate skips
+        // it and still checks the bench entry before it.
+        let lines = check_gate(&entries).unwrap();
+        assert_eq!(lines.len(), 2);
+        assert!(
+            check_gate(&[locality_entry(40, 96)]).is_err(),
+            "a trajectory with only locality entries has nothing to gate"
         );
     }
 

@@ -13,7 +13,7 @@
 //!    result is field-for-field (and bit-for-bit) the in-process response.
 
 use crate::conn::{NonBlockingReader, NonBlockingWriter, PopTimeout};
-use crate::wire::{Message, WireRequestSpec, WireResponse, WireTile};
+use crate::wire::{Message, WireRequestSpec, WireResponse, WireStats, WireTile};
 use sccg::SccgError;
 use std::collections::VecDeque;
 use std::fmt;
@@ -224,6 +224,36 @@ impl WireClient {
         self.query(spec, true, on_tile)
     }
 
+    /// Fetches the server's telemetry snapshot (service counters plus the
+    /// scheduler's placement counters), bit-identical to the in-process
+    /// [`sccg_serve::ServiceStats`] it was captured from.
+    pub fn stats(&mut self) -> Result<WireStats, WireError> {
+        self.writer
+            .send(Message::StatsRequest.to_frame())
+            .map_err(|_| WireError::Disconnected)?;
+        let deadline = Instant::now() + self.config.response_timeout;
+        loop {
+            let left =
+                deadline
+                    .checked_duration_since(Instant::now())
+                    .ok_or(WireError::Timeout {
+                        request_id: 0,
+                        attempts: 1,
+                    })?;
+            match self.next_message(left.min(Duration::from_millis(100))) {
+                // Anything else is a stale frame of an earlier (retried)
+                // request; keep draining until the stats frame arrives.
+                PopTimeout::Item(message) => {
+                    if let Message::Stats { stats } = message? {
+                        return Ok(stats);
+                    }
+                }
+                PopTimeout::TimedOut => {}
+                PopTimeout::Closed => return Err(WireError::Disconnected),
+            }
+        }
+    }
+
     fn next_message(&mut self, timeout: Duration) -> PopTimeout<Result<Message, WireError>> {
         if let Some(message) = self.stash.pop_front() {
             return PopTimeout::Item(Ok(message));
@@ -358,7 +388,10 @@ fn message_request_id(message: &Message) -> Option<u64> {
         | Message::Tile { request_id, .. }
         | Message::Summary { request_id, .. }
         | Message::Error { request_id, .. } => Some(*request_id),
-        Message::Hello { .. } | Message::HelloAck { .. } => None,
+        Message::Hello { .. }
+        | Message::HelloAck { .. }
+        | Message::StatsRequest
+        | Message::Stats { .. } => None,
     }
 }
 

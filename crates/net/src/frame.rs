@@ -42,6 +42,10 @@ pub enum FrameKind {
     Summary = 6,
     /// Server → client: the query failed; terminates the query.
     Error = 7,
+    /// Client → server: asks for the service's telemetry snapshot.
+    StatsRequest = 8,
+    /// Server → client: the telemetry snapshot.
+    Stats = 9,
 }
 
 impl FrameKind {
@@ -55,6 +59,8 @@ impl FrameKind {
             5 => FrameKind::Tile,
             6 => FrameKind::Summary,
             7 => FrameKind::Error,
+            8 => FrameKind::StatsRequest,
+            9 => FrameKind::Stats,
             other => return Err(FrameError::UnknownKind(other)),
         })
     }

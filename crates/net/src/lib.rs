@@ -68,4 +68,4 @@ pub mod wire;
 pub use client::{backoff_delay, ClientConfig, QueryOutcome, WireClient, WireError};
 pub use loadgen::{run_loadgen, LoadGenConfig, LoadGenOutcome, LoadGenReport};
 pub use server::{NetConfig, WireServer};
-pub use wire::{WireRequestSpec, WireResponse, WireSummary, WireTile};
+pub use wire::{WireRequestSpec, WireResponse, WireStats, WireSummary, WireTile};

@@ -24,7 +24,7 @@
 
 use crate::conn::{NonBlockingReader, NonBlockingWriter, PopTimeout};
 use crate::frame::Frame;
-use crate::wire::{Message, WireFailure, WireResponse, WireTile};
+use crate::wire::{Message, WireFailure, WireResponse, WireStats, WireTile};
 use sccg::sync::lock;
 use sccg::SccgError;
 use sccg_serve::{ComparisonService, LruCache, QueryEvent};
@@ -267,21 +267,9 @@ fn serve_queries(
 ) {
     loop {
         match reader.recv_timeout(shared.config.poll_interval) {
-            // Anything other than a query — an unexpected-but-valid kind (a
-            // late duplicate ack, say) or an undecodable body — poisons only
-            // that message and is skipped.
             PopTimeout::Item(frame) => {
-                if let Ok(Message::Query {
-                    request_id,
-                    streaming,
-                    spec,
-                }) = Message::of_frame(&frame)
-                {
-                    if serve_one_query(client_id, request_id, streaming, &spec, writer, shared)
-                        .is_err()
-                    {
-                        return; // writer gone: the connection is dead
-                    }
+                if serve_frame(client_id, &frame, writer, shared).is_err() {
+                    return; // writer gone: the connection is dead
                 }
             }
             PopTimeout::TimedOut => {
@@ -292,6 +280,30 @@ fn serve_queries(
             }
             PopTimeout::Closed => return,
         }
+    }
+}
+
+/// Dispatches one decoded frame. Anything other than a query or a stats
+/// probe — an unexpected-but-valid kind (a late duplicate ack, say) or an
+/// undecodable body — poisons only that message and is skipped. An error
+/// means the writer is gone.
+fn serve_frame(
+    client_id: u64,
+    frame: &crate::frame::Frame,
+    writer: &NonBlockingWriter,
+    shared: &ServerShared,
+) -> Result<(), crate::conn::WriterClosed> {
+    match Message::of_frame(frame) {
+        Ok(Message::Query {
+            request_id,
+            streaming,
+            spec,
+        }) => serve_one_query(client_id, request_id, streaming, &spec, writer, shared),
+        Ok(Message::StatsRequest) => {
+            let stats = WireStats::of_stats(&shared.service.stats());
+            writer.send(Message::Stats { stats }.to_frame())
+        }
+        _ => Ok(()),
     }
 }
 

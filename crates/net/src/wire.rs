@@ -432,6 +432,145 @@ impl WireResponse {
     }
 }
 
+/// A [`sccg_serve::ServiceStats`] snapshot as it travels on the wire,
+/// scheduler placement counters included. The pager hit rate travels as its
+/// IEEE-754 bit pattern so the remote reading of the fleet's telemetry is
+/// bit-identical to the in-process one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireStats {
+    /// Requests accepted by the service.
+    pub submitted: u64,
+    /// Sharded queries run to completion.
+    pub completed: u64,
+    /// Requests answered from the response cache.
+    pub cache_hits: u64,
+    /// Shards computed by any backend.
+    pub backend_batches: u64,
+    /// Queries executing at snapshot time.
+    pub in_flight: u64,
+    /// High-water mark of concurrent queries.
+    pub peak_in_flight: u64,
+    /// Responses held by the cache.
+    pub cache_entries: u64,
+    /// Shards computed per engine, by pool index.
+    pub shards_per_engine: Vec<u64>,
+    /// Decoded tiles resident across disk-backed slides.
+    pub resident_tiles: u64,
+    /// `f64::to_bits` of the pager hit rate.
+    pub pager_hit_rate_bits: u64,
+    /// Bytes of slide files on disk.
+    pub bytes_on_disk: u64,
+    /// Faults coalesced into another engine's in-progress read.
+    pub coalesced_faults: u64,
+    /// Telemetry name of the placement policy.
+    pub policy: String,
+    /// Dispatches whose disk-backed tiles were all resident.
+    pub affinity_hits: u64,
+    /// Dispatches that still had to fault a tile in.
+    pub affinity_misses: u64,
+    /// Disk reads issued by the background prefetcher.
+    pub prefetch_issued: u64,
+    /// Prefetches still resident when their shard dispatched.
+    pub prefetch_used: u64,
+    /// Prefetches evicted (or orphaned) before their shard dispatched.
+    pub prefetch_wasted: u64,
+    /// Resident disk-backed tiles encountered at dispatch.
+    pub faults_avoided: u64,
+}
+
+impl WireStats {
+    /// Captures an in-process stats snapshot bit-for-bit.
+    pub fn of_stats(stats: &sccg_serve::ServiceStats) -> Self {
+        WireStats {
+            submitted: stats.submitted,
+            completed: stats.completed,
+            cache_hits: stats.cache_hits,
+            backend_batches: stats.backend_batches,
+            in_flight: stats.in_flight as u64,
+            peak_in_flight: stats.peak_in_flight as u64,
+            cache_entries: stats.cache_entries as u64,
+            shards_per_engine: stats.shards_per_engine.clone(),
+            resident_tiles: stats.resident_tiles as u64,
+            pager_hit_rate_bits: stats.pager_hit_rate.to_bits(),
+            bytes_on_disk: stats.bytes_on_disk,
+            coalesced_faults: stats.coalesced_faults,
+            policy: stats.scheduler.policy.clone(),
+            affinity_hits: stats.scheduler.affinity_hits,
+            affinity_misses: stats.scheduler.affinity_misses,
+            prefetch_issued: stats.scheduler.prefetch_issued,
+            prefetch_used: stats.scheduler.prefetch_used,
+            prefetch_wasted: stats.scheduler.prefetch_wasted,
+            faults_avoided: stats.scheduler.faults_avoided,
+        }
+    }
+
+    /// The pager hit rate as a float again.
+    pub fn pager_hit_rate(&self) -> f64 {
+        f64::from_bits(self.pager_hit_rate_bits)
+    }
+
+    fn encode(&self, w: &mut BodyWriter) {
+        w.u64(self.submitted);
+        w.u64(self.completed);
+        w.u64(self.cache_hits);
+        w.u64(self.backend_batches);
+        w.u64(self.in_flight);
+        w.u64(self.peak_in_flight);
+        w.u64(self.cache_entries);
+        w.u32(self.shards_per_engine.len() as u32);
+        for &shards in &self.shards_per_engine {
+            w.u64(shards);
+        }
+        w.u64(self.resident_tiles);
+        w.u64(self.pager_hit_rate_bits);
+        w.u64(self.bytes_on_disk);
+        w.u64(self.coalesced_faults);
+        w.str(&self.policy);
+        w.u64(self.affinity_hits);
+        w.u64(self.affinity_misses);
+        w.u64(self.prefetch_issued);
+        w.u64(self.prefetch_used);
+        w.u64(self.prefetch_wasted);
+        w.u64(self.faults_avoided);
+    }
+
+    fn decode(r: &mut BodyReader<'_>) -> Result<Self, WireDecodeError> {
+        let submitted = r.u64("stats.submitted")?;
+        let completed = r.u64("stats.completed")?;
+        let cache_hits = r.u64("stats.cache_hits")?;
+        let backend_batches = r.u64("stats.backend_batches")?;
+        let in_flight = r.u64("stats.in_flight")?;
+        let peak_in_flight = r.u64("stats.peak_in_flight")?;
+        let cache_entries = r.u64("stats.cache_entries")?;
+        let engines = r.u32("stats.engine_count")? as usize;
+        let mut shards_per_engine = Vec::with_capacity(engines.min(1 << 16));
+        for _ in 0..engines {
+            shards_per_engine.push(r.u64("stats.shards_per_engine")?);
+        }
+        Ok(WireStats {
+            submitted,
+            completed,
+            cache_hits,
+            backend_batches,
+            in_flight,
+            peak_in_flight,
+            cache_entries,
+            shards_per_engine,
+            resident_tiles: r.u64("stats.resident_tiles")?,
+            pager_hit_rate_bits: r.u64("stats.pager_hit_rate_bits")?,
+            bytes_on_disk: r.u64("stats.bytes_on_disk")?,
+            coalesced_faults: r.u64("stats.coalesced_faults")?,
+            policy: r.str("stats.policy")?,
+            affinity_hits: r.u64("stats.affinity_hits")?,
+            affinity_misses: r.u64("stats.affinity_misses")?,
+            prefetch_issued: r.u64("stats.prefetch_issued")?,
+            prefetch_used: r.u64("stats.prefetch_used")?,
+            prefetch_wasted: r.u64("stats.prefetch_wasted")?,
+            faults_avoided: r.u64("stats.faults_avoided")?,
+        })
+    }
+}
+
 /// A query failure as it travels on the wire: a coded [`SccgError`] plus its
 /// rendered detail, reconstructible on the client.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -581,6 +720,16 @@ pub enum Message {
         /// The coded failure.
         failure: WireFailure,
     },
+    /// Client → server: asks for the service's telemetry snapshot. Served
+    /// between queries (a connection's queries are serial), so it needs no
+    /// request id.
+    StatsRequest,
+    /// Server → client: the telemetry snapshot, scheduler placement
+    /// counters included.
+    Stats {
+        /// The snapshot.
+        stats: WireStats,
+    },
 }
 
 impl Message {
@@ -669,6 +818,11 @@ impl Message {
                 w.u64(failure.c);
                 w.str(&failure.detail);
                 FrameKind::Error
+            }
+            Message::StatsRequest => FrameKind::StatsRequest,
+            Message::Stats { stats } => {
+                stats.encode(&mut w);
+                FrameKind::Stats
             }
         };
         Frame { kind, body: w.buf }
@@ -791,6 +945,10 @@ impl Message {
                     detail: r.str("error.detail")?,
                 },
             },
+            FrameKind::StatsRequest => Message::StatsRequest,
+            FrameKind::Stats => Message::Stats {
+                stats: WireStats::decode(&mut r)?,
+            },
         })
     }
 }
@@ -862,6 +1020,54 @@ mod tests {
                 bound: 4,
             }),
         });
+        roundtrip(Message::StatsRequest);
+        roundtrip(Message::Stats {
+            stats: sample_stats(),
+        });
+    }
+
+    fn sample_stats() -> WireStats {
+        WireStats {
+            submitted: 12,
+            completed: 10,
+            cache_hits: 2,
+            backend_batches: 80,
+            in_flight: 1,
+            peak_in_flight: 4,
+            cache_entries: 7,
+            shards_per_engine: vec![30, 25, 25],
+            resident_tiles: 6,
+            // A rate with no short decimal rendering: bit-identity would
+            // fail under any text round-trip.
+            pager_hit_rate_bits: f64::from_bits(0x3FE5_5555_5555_5555).to_bits(),
+            bytes_on_disk: 4096,
+            coalesced_faults: 3,
+            policy: "residency-aware".into(),
+            affinity_hits: 40,
+            affinity_misses: 9,
+            prefetch_issued: 24,
+            prefetch_used: 20,
+            prefetch_wasted: 4,
+            faults_avoided: 55,
+        }
+    }
+
+    #[test]
+    fn truncated_stats_bodies_fail_without_panicking() {
+        let frame = Message::Stats {
+            stats: sample_stats(),
+        }
+        .to_frame();
+        for cut in 0..frame.body.len() {
+            let truncated = Frame {
+                kind: frame.kind,
+                body: frame.body[..cut].to_vec(),
+            };
+            assert!(
+                Message::of_frame(&truncated).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
     }
 
     #[test]

@@ -110,6 +110,19 @@ fn blocking_mode_is_the_one_frame_degenerate_case() {
         without_cache_flag(blocking.response),
         "both modes resolve the identical response"
     );
+
+    // The stats probe rides the same connection, bit-identical to the
+    // in-process snapshot (nothing runs between the capture points: this
+    // client's queries are done and the service is otherwise idle).
+    let remote = client.stats().expect("stats probe resolves");
+    let local = sccg_net::wire::WireStats::of_stats(&service.stats());
+    assert_eq!(remote, local, "wire stats match the in-process snapshot");
+    assert_eq!(remote.submitted, 2);
+    assert_eq!(remote.cache_hits, 1, "the streamed repeat hit the cache");
+    assert_eq!(
+        remote.policy, "residency-aware",
+        "the default placement policy travels by name"
+    );
 }
 
 /// Raw-socket probe: a duplicated request (the client retry case) is

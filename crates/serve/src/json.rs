@@ -95,10 +95,14 @@ pub fn stats_to_json(stats: &ServiceStats) -> String {
         .iter()
         .map(|n| n.to_string())
         .collect();
+    let scheduler = &stats.scheduler;
     format!(
         "{{\"submitted\":{},\"completed\":{},\"cache_hits\":{},\"backend_batches\":{},\
          \"in_flight\":{},\"peak_in_flight\":{},\"cache_entries\":{},\"shards_per_engine\":[{}],\
-         \"resident_tiles\":{},\"pager_hit_rate\":{},\"bytes_on_disk\":{}}}",
+         \"resident_tiles\":{},\"pager_hit_rate\":{},\"bytes_on_disk\":{},\
+         \"coalesced_faults\":{},\"scheduler\":{{\"policy\":{},\"affinity_hits\":{},\
+         \"affinity_misses\":{},\"prefetch_issued\":{},\"prefetch_used\":{},\
+         \"prefetch_wasted\":{},\"faults_avoided\":{}}}}}",
         stats.submitted,
         stats.completed,
         stats.cache_hits,
@@ -110,6 +114,14 @@ pub fn stats_to_json(stats: &ServiceStats) -> String {
         stats.resident_tiles,
         json_f64(stats.pager_hit_rate),
         stats.bytes_on_disk,
+        stats.coalesced_faults,
+        json_string(&scheduler.policy),
+        scheduler.affinity_hits,
+        scheduler.affinity_misses,
+        scheduler.prefetch_issued,
+        scheduler.prefetch_used,
+        scheduler.prefetch_wasted,
+        scheduler.faults_avoided,
     )
 }
 

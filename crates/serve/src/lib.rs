@@ -51,24 +51,27 @@
 pub mod cache;
 pub mod json;
 pub mod request;
+pub mod scheduler;
 pub mod service;
 pub mod store;
 
 pub use cache::LruCache;
 pub use request::{QueryPriority, QueryRequest, TileSelection};
+pub use scheduler::{PlacementPolicy, SchedulerStats};
 pub use service::{
     ComparisonService, QueryEvent, QueryHandle, QueryResponse, ServiceConfig, ServiceStats,
     StreamingHandle, TileReport,
 };
-pub use store::{SlideId, SlideInfo, SlideStore, StorageStats, TileId};
+pub use store::{SlideId, SlideInfo, SlideStore, StorageStats, TileId, TileResidency};
 
 /// Convenient re-exports for application code.
 pub mod prelude {
     pub use crate::cache::LruCache;
     pub use crate::request::{QueryPriority, QueryRequest, TileSelection};
+    pub use crate::scheduler::{PlacementPolicy, SchedulerStats};
     pub use crate::service::{
         ComparisonService, QueryEvent, QueryHandle, QueryResponse, ServiceConfig, ServiceStats,
         StreamingHandle, TileReport,
     };
-    pub use crate::store::{SlideId, SlideInfo, SlideStore, StorageStats, TileId};
+    pub use crate::store::{SlideId, SlideInfo, SlideStore, StorageStats, TileId, TileResidency};
 }

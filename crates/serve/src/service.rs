@@ -37,20 +37,20 @@
 
 use crate::cache::{config_fingerprint, CacheKey, LruCache};
 use crate::request::{QueryPriority, QueryRequest, TileSelection};
+use crate::scheduler::{
+    run_prefetch, JobQueue, PlacementPolicy, ProgressNotify, SchedulerStats, ShardJob, Worker,
+};
 use crate::store::{SlideId, SlideStore, TileId};
 use crossbeam::channel::{bounded, Receiver, Sender};
-use sccg::pipeline::exec::{register_waker, Executor};
+use sccg::pipeline::exec::Executor;
 use sccg::pixelbox::{AggregationDevice, PixelBoxConfig, SplitConfig, SplitController, SplitTrace};
 use sccg::sync::lock;
 use sccg::{CrossComparison, EngineConfig, JaccardAccumulator, JaccardSummary, SccgError};
 use sccg_gpu_sim::{Device, DeviceConfig};
 use serde::Serialize;
-use std::collections::VecDeque;
-use std::future::Future;
-use std::pin::Pin;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
-use std::task::{Context, Poll, Waker};
 
 // This module deliberately uses `std::sync` primitives rather than the
 // `parking_lot` used elsewhere in the workspace: the admission semaphore
@@ -95,6 +95,11 @@ pub struct ServiceConfig {
     /// still make progress — a worker task waiting for a shard holds no
     /// thread — but at most `executor_threads` shards compute at once.
     pub executor_threads: usize,
+    /// Placement policy the scheduler dispatches shards with (see
+    /// [`crate::scheduler`]). Placement never changes response contents —
+    /// only where and when shards run — so switching policies is always
+    /// semantically safe.
+    pub placement: PlacementPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -115,6 +120,7 @@ impl Default for ServiceConfig {
             max_in_flight: 4,
             cache_capacity: 64,
             executor_threads: 0,
+            placement: PlacementPolicy::default(),
         }
     }
 }
@@ -160,6 +166,12 @@ impl ServiceConfig {
     /// engine).
     pub fn with_executor_threads(mut self, executor_threads: usize) -> Self {
         self.executor_threads = executor_threads;
+        self
+    }
+
+    /// Returns a copy with a different placement policy.
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
         self
     }
 }
@@ -247,6 +259,11 @@ pub struct ServiceStats {
     pub pager_hit_rate: f64,
     /// Total bytes of slide files the store keeps on disk.
     pub bytes_on_disk: u64,
+    /// Disk faults the single-flight pager coalesced into another engine's
+    /// in-progress read of the same tile (zero for an in-memory store).
+    pub coalesced_faults: u64,
+    /// Placement decisions of the scheduler layer (see [`crate::scheduler`]).
+    pub scheduler: SchedulerStats,
 }
 
 /// One progressive event of a streaming query (see
@@ -338,145 +355,51 @@ impl StreamingHandle {
 
 /// One tile's computed partial: the public report plus the exact accumulator
 /// needed for bit-identical merging.
-struct TilePartial {
-    report: TileReport,
-    accumulator: JaccardAccumulator,
+pub(crate) struct TilePartial {
+    pub(crate) report: TileReport,
+    pub(crate) accumulator: JaccardAccumulator,
 }
 
 /// Echoed request metadata carried through to the response.
-struct QueryMeta {
-    first: SlideId,
-    second: SlideId,
-    priority: QueryPriority,
-    device: Option<AggregationDevice>,
+pub(crate) struct QueryMeta {
+    pub(crate) first: SlideId,
+    pub(crate) second: SlideId,
+    pub(crate) priority: QueryPriority,
+    pub(crate) device: Option<AggregationDevice>,
 }
 
-/// Shared state of one in-flight query.
-struct QueryState {
-    key: CacheKey,
-    meta: QueryMeta,
+/// Shared state of one in-flight query. `pub(crate)` because the scheduler
+/// layer reads it for placement (residency, affinity, progress) — the
+/// fields' invariants are still maintained exclusively here.
+pub(crate) struct QueryState {
+    pub(crate) key: CacheKey,
+    pub(crate) meta: QueryMeta,
     /// The registry shards fault their tiles from at compute time — never
     /// snapshotted up front, so a disk-backed slide's memory footprint
     /// during a query is its pager's residency bound, not the slide.
-    store: SlideStore,
-    pixelbox: PixelBoxConfig,
-    partials: Mutex<Vec<Option<TilePartial>>>,
-    remaining: AtomicUsize,
+    pub(crate) store: SlideStore,
+    pub(crate) pixelbox: PixelBoxConfig,
+    pub(crate) partials: Mutex<Vec<Option<TilePartial>>>,
+    pub(crate) remaining: AtomicUsize,
     /// First shard failure, if any: a typed storage error from faulting a
     /// tile in, or [`SccgError::Internal`] for a panic in a backend. The
     /// query fails with it instead of wedging the service.
-    failure: Mutex<Option<SccgError>>,
-    responder: Sender<Result<QueryResponse, SccgError>>,
+    pub(crate) failure: Mutex<Option<SccgError>>,
+    pub(crate) responder: Sender<Result<QueryResponse, SccgError>>,
     /// Streaming subscriber: per-tile events pushed as shards complete (the
     /// PR 4 aggregator seam). The channel is sized `shards + 1`, so workers
     /// never block on a slow stream consumer — a lagging client backs up in
     /// its own transport, not in the engine pool.
-    stream: Option<Sender<QueryEvent>>,
-}
-
-/// One unit of engine work: a single tile of a query. Carries only the tile
-/// *index* — the worker faults both slides' records in through the store
-/// (the pager, for disk-backed slides) when the shard actually runs.
-struct ShardJob {
-    query: Arc<QueryState>,
-    /// Index into the query's merge-ordered tile list.
-    position: usize,
-    /// Original tile index (reported to the caller).
-    tile_index: usize,
-    /// Device restriction copied from the request.
-    device: Option<AggregationDevice>,
-}
-
-impl ShardJob {
-    fn eligible(&self, worker_device: AggregationDevice) -> bool {
-        self.device.is_none_or(|d| d == worker_device)
-    }
-}
-
-/// Priority-laned job queue shared by every worker task. Workers await
-/// [`JobQueue::pop`]: an idle worker is a suspended future on the waker
-/// list — it holds no OS thread and is re-polled when a shard arrives or the
-/// queue closes.
-struct JobQueue {
-    state: Mutex<QueueState>,
-}
-
-struct QueueState {
-    /// One FIFO lane per [`QueryPriority`], most urgent first.
-    lanes: [VecDeque<ShardJob>; 3],
-    closed: bool,
-    /// Worker tasks waiting for an eligible shard. Eligibility differs per
-    /// worker, so every push wakes all of them to re-scan.
-    wakers: Vec<Waker>,
-}
-
-impl JobQueue {
-    fn new() -> Self {
-        JobQueue {
-            state: Mutex::new(QueueState {
-                lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
-                closed: false,
-                wakers: Vec::new(),
-            }),
-        }
-    }
-
-    fn push(&self, job: ShardJob, lane: usize) {
-        let wakers = {
-            let mut state = lock(&self.state);
-            state.lanes[lane].push_back(job);
-            std::mem::take(&mut state.wakers)
-        };
-        for waker in wakers {
-            waker.wake();
-        }
-    }
-
-    /// Resolves to the most urgent job `worker_device` may serve, suspending
-    /// while none is available. Resolves to `None` once the queue is closed
-    /// and no eligible work remains (pending work is drained before
-    /// shutdown).
-    fn pop(&self, worker_device: AggregationDevice) -> PopJob<'_> {
-        PopJob {
-            queue: self,
-            device: worker_device,
-        }
-    }
-
-    fn close(&self) {
-        let wakers = {
-            let mut state = lock(&self.state);
-            state.closed = true;
-            std::mem::take(&mut state.wakers)
-        };
-        for waker in wakers {
-            waker.wake();
-        }
-    }
-}
-
-/// Future returned by [`JobQueue::pop`].
-struct PopJob<'a> {
-    queue: &'a JobQueue,
-    device: AggregationDevice,
-}
-
-impl Future for PopJob<'_> {
-    type Output = Option<ShardJob>;
-
-    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-        let mut state = lock(&self.queue.state);
-        for lane in state.lanes.iter_mut() {
-            if let Some(pos) = lane.iter().position(|job| job.eligible(self.device)) {
-                return Poll::Ready(lane.remove(pos));
-            }
-        }
-        if state.closed {
-            return Poll::Ready(None);
-        }
-        register_waker(&mut state.wakers, cx.waker());
-        Poll::Pending
-    }
+    pub(crate) stream: Option<Sender<QueryEvent>>,
+    /// Tile indices the background prefetcher faulted in for this query and
+    /// compute has not consumed yet (the scheduler settles each into
+    /// `prefetch_used`/`prefetch_wasted` at dispatch; leftovers are wasted).
+    pub(crate) prefetched: Mutex<HashSet<usize>>,
+    /// Wakes the query's prefetcher as compute progresses.
+    pub(crate) progress: ProgressNotify,
+    /// Total shards the query was split into (`remaining` counts down from
+    /// it; the difference is the prefetcher's progress measure).
+    pub(crate) shard_total: usize,
 }
 
 /// Counting semaphore bounding in-flight queries, tracking the high-water
@@ -565,6 +488,16 @@ struct ServiceInner {
 
 impl ServiceInner {
     fn finalize(&self, query: &QueryState) {
+        // Prefetched tiles compute never consumed (e.g. the query failed
+        // early) are settled as wasted, so the prefetch ledger always
+        // balances: issued = used + wasted once all queries resolve.
+        let leftover = std::mem::take(&mut *lock(&query.prefetched)).len() as u64;
+        if leftover > 0 {
+            self.queue
+                .counters()
+                .prefetch_wasted
+                .fetch_add(leftover, Ordering::Relaxed);
+        }
         // A query with a failed shard resolves to an error; the admission
         // slot is still returned so the service stays serviceable.
         if let Some(error) = lock(&query.failure).take() {
@@ -716,7 +649,7 @@ impl ComparisonService {
             .any(|e| e.device == AggregationDevice::Hybrid)
             .then(|| Arc::new(SplitController::new(config.split)));
         let inner = Arc::new(ServiceInner {
-            queue: JobQueue::new(),
+            queue: JobQueue::new(config.placement),
             admission: Admission::new(config.max_in_flight),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             counters: Counters {
@@ -816,6 +749,8 @@ impl ComparisonService {
             resident_tiles: storage.resident_tiles,
             pager_hit_rate: storage.pager_hit_rate,
             bytes_on_disk: storage.bytes_on_disk,
+            coalesced_faults: storage.coalesced_faults,
+            scheduler: self.inner.queue.stats(),
         }
     }
 
@@ -936,15 +871,42 @@ impl ComparisonService {
             failure: Mutex::new(None),
             responder: tx,
             stream,
+            prefetched: Mutex::new(HashSet::new()),
+            progress: ProgressNotify::new(),
+            shard_total: shard_count,
         });
+        // The placement policy may reorder which shard is *enqueued* first
+        // (resident tiles ahead of cold ones); each shard's `position` still
+        // names its slot in the merge-ordered response, so the enqueue order
+        // cannot change the result.
+        let mut shards: Vec<(usize, usize)> = prepared.indices.into_iter().enumerate().collect();
+        self.inner.queue.place(&query, &mut shards);
+        // Spawn the query's background prefetcher (when the policy wants
+        // one and some slide actually pages from disk) *before* the shards,
+        // so it is runnable as soon as compute starts. It stays within the
+        // smallest residency bound of the query's disk-backed slides — the
+        // window within which prefetched tiles can all be resident at once.
+        let pages_from_disk = [request.first, request.second]
+            .iter()
+            .any(|&slide| self.store.residency_snapshot(slide).is_some());
+        if self.inner.queue.wants_prefetch() && shard_count > 0 && pages_from_disk {
+            let window = self.store.residency_bound().unwrap_or(1).max(1);
+            self.executor.spawn(run_prefetch(
+                Arc::clone(&query),
+                shards.iter().map(|&(_, tile)| tile).collect(),
+                self.inner.queue.counters(),
+                window,
+            ));
+        }
         let lane = request.priority.lane();
-        for (position, tile_index) in prepared.indices.into_iter().enumerate() {
+        for (position, tile_index) in shards {
             self.inner.queue.push(
                 ShardJob {
                     query: Arc::clone(&query),
                     position,
                     tile_index,
                     device: request.device,
+                    bypassed: 0,
                 },
                 lane,
             );
@@ -1041,23 +1003,34 @@ impl Drop for ComparisonService {
 /// slot is returned and the worker task survives to serve the next shard —
 /// one poisoned input must not wedge the whole service.
 async fn worker_task(index: usize, engine: CrossComparison, inner: Arc<ServiceInner>) {
-    let worker_device = engine.config().device;
+    let worker = Worker {
+        device: engine.config().device,
+        index,
+    };
     let backend_name = engine.backend().name();
-    while let Some(job) = inner.queue.pop(worker_device).await {
+    while let Some(job) = inner.queue.pop(worker).await {
         let query = &job.query;
+        // Tagged fetches record which engine faulted each tile, feeding the
+        // residency-aware policy's affinity tie-break.
         let faulted = query
             .store
-            .tile(TileId {
-                slide: query.meta.first,
-                index: job.tile_index,
-            })
+            .tile_tagged(
+                TileId {
+                    slide: query.meta.first,
+                    index: job.tile_index,
+                },
+                Some(index),
+            )
             .and_then(|first| {
                 query
                     .store
-                    .tile(TileId {
-                        slide: query.meta.second,
-                        index: job.tile_index,
-                    })
+                    .tile_tagged(
+                        TileId {
+                            slide: query.meta.second,
+                            index: job.tile_index,
+                        },
+                        Some(index),
+                    )
                     .map(|second| (first, second))
             });
         let computed = faulted.map(|(first, second)| {
@@ -1123,6 +1096,9 @@ async fn worker_task(index: usize, engine: CrossComparison, inner: Arc<ServiceIn
         if job.query.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             inner.finalize(&job.query);
         }
+        // Wake the query's prefetcher: compute advanced, so its window
+        // shifted (and on the last shard it learns to exit).
+        job.query.progress.notify();
     }
 }
 

@@ -15,8 +15,11 @@
 //!   the index at open and serves verified single-tile reads.
 //! * [`pager`] — [`TileStorage`], a bounded LRU of resident decoded tiles
 //!   over a [`SlideFile`]. Peak memory is O(residency bound × tile),
-//!   independent of slide size; [`PagerStats`] reports hits, misses, hit
-//!   rate and peak residency.
+//!   independent of slide size; [`PagerStats`] reports hits, misses,
+//!   coalesced (single-flight) faults, hit rate and peak residency. The
+//!   pager also exposes the scheduler-facing locality surface: recency-
+//!   neutral residency probes ([`ResidencySnapshot`]), per-tile fault
+//!   affinity, and a never-evicting [`TileStorage::prefetch`].
 //!
 //! Failure semantics: a corrupt or truncated tile block fails *that tile's*
 //! reads with [`sccg::SccgError::Storage`] — queries over other tiles, and
@@ -32,4 +35,4 @@ pub use format::{
     decode_tile, encode_tile, fnv1a_64, SlideFile, SlideFileWriter, TileIndexEntry, FORMAT_VERSION,
     HEADER_MAGIC, TRAILER_MAGIC,
 };
-pub use pager::{PagerStats, TileStorage};
+pub use pager::{PagerStats, ResidencySnapshot, TileStorage};

@@ -10,6 +10,25 @@
 //! the out-of-core discipline the paper's pipeline applies to its buffers
 //! (§4.1), applied to storage.
 //!
+//! Three properties matter to the scheduler sitting above this pager:
+//!
+//! * **Single-flight faults** — concurrent misses of one tile coalesce: the
+//!   first miss reads and decodes the block, every other caller waits on
+//!   the in-flight fault and shares the result (counted in
+//!   [`PagerStats::coalesced_faults`]). One tile is never decoded twice
+//!   concurrently.
+//! * **Residency visibility** — [`TileStorage::is_resident`] and
+//!   [`TileStorage::residency_snapshot`] expose which tiles are decoded
+//!   *without* touching recency, so a placement policy can order work
+//!   against the resident set without perturbing eviction.
+//! * **Fault affinity** — the pager remembers which engine last faulted
+//!   each tile ([`TileStorage::last_faulter`]), giving the scheduler a
+//!   cheap signal for which worker's activity pulled the data in.
+//!
+//! [`TileStorage::prefetch`] faults a tile in *only into free capacity*:
+//! it never evicts, so a prefetcher running ahead of compute cannot push
+//! out tiles the current queries still need.
+//!
 //! Failure containment is inherited from the format layer: a corrupt or
 //! truncated tile fails *its own* fetch with [`sccg::SccgError::Storage`]
 //! and is never cached, so other tiles keep paging normally and a later
@@ -20,8 +39,12 @@ use sccg::collections::LruCache;
 use sccg::sync::lock;
 use sccg::SccgError;
 use sccg_geometry::text::PolygonRecord;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// Sentinel in the affinity table for "no engine has faulted this tile".
+const NO_AFFINITY: usize = usize::MAX;
 
 /// Counters describing a pager's behaviour since creation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,6 +53,10 @@ pub struct PagerStats {
     pub hits: u64,
     /// Fetches that had to read and decode a block from disk.
     pub misses: u64,
+    /// Fetches that joined another caller's in-flight disk read instead of
+    /// issuing their own (single-flight coalescing). Not counted as hits or
+    /// misses: the read they shared is the one miss.
+    pub coalesced_faults: u64,
     /// `hits / (hits + misses)`, or 0.0 before the first fetch.
     pub hit_rate: f64,
     /// Decoded tiles currently resident.
@@ -42,15 +69,56 @@ pub struct PagerStats {
     pub bytes_on_disk: u64,
 }
 
+/// A point-in-time view of which tiles a pager holds decoded, indexable
+/// without locks. Taken once per placement decision ([`TileStorage::
+/// residency_snapshot`]) so ordering a query's shards costs one pass over
+/// the resident set, not one lock acquisition per shard probe.
+#[derive(Debug, Clone)]
+pub struct ResidencySnapshot {
+    resident: Vec<bool>,
+    count: usize,
+}
+
+impl ResidencySnapshot {
+    /// Whether `tile` was resident when the snapshot was taken.
+    /// Out-of-range indices are simply not resident.
+    pub fn is_resident(&self, tile: usize) -> bool {
+        self.resident.get(tile).copied().unwrap_or(false)
+    }
+
+    /// Number of resident tiles in the snapshot.
+    pub fn resident_count(&self) -> usize {
+        self.count
+    }
+
+    /// Number of tiles in the backing slide.
+    pub fn tile_count(&self) -> usize {
+        self.resident.len()
+    }
+}
+
+/// One in-flight disk fault: the owner publishes the read's outcome here
+/// and every coalesced waiter blocks on `ready` until it lands.
+#[derive(Debug, Default)]
+struct FaultSlot {
+    result: Mutex<Option<Result<Arc<Vec<PolygonRecord>>, SccgError>>>,
+    ready: Condvar,
+}
+
 /// A paged view of one on-disk slide: fetches fault tiles in on demand and
 /// keep at most `residency_bound` of them decoded in memory.
 #[derive(Debug)]
 pub struct TileStorage {
     file: SlideFile,
     resident: Mutex<LruCache<usize, Arc<Vec<PolygonRecord>>>>,
+    /// Tiles with a disk read in flight, for single-flight coalescing.
+    in_flight: Mutex<HashMap<usize, Arc<FaultSlot>>>,
+    /// Which engine last faulted each tile in (`NO_AFFINITY` = none yet).
+    affinity: Vec<AtomicUsize>,
     residency_bound: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    coalesced: AtomicU64,
     peak_resident: AtomicU64,
 }
 
@@ -60,12 +128,18 @@ impl TileStorage {
     /// can hold nothing can serve nothing).
     pub fn new(file: SlideFile, residency_bound: usize) -> Self {
         let residency_bound = residency_bound.max(1);
+        let affinity = (0..file.tile_count())
+            .map(|_| AtomicUsize::new(NO_AFFINITY))
+            .collect();
         TileStorage {
             file,
             resident: Mutex::new(LruCache::new(residency_bound)),
+            in_flight: Mutex::new(HashMap::new()),
+            affinity,
             residency_bound,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
             peak_resident: AtomicU64::new(0),
         }
     }
@@ -95,32 +169,195 @@ impl TileStorage {
         &self.file
     }
 
+    /// Whether `tile` is currently resident, without touching recency —
+    /// probing residency must not change what gets evicted.
+    pub fn is_resident(&self, tile: usize) -> bool {
+        lock(&self.resident).contains(&tile)
+    }
+
+    /// A point-in-time residency view over every tile, taken in one pass
+    /// under the cache lock. Recency-neutral like [`TileStorage::is_resident`].
+    pub fn residency_snapshot(&self) -> ResidencySnapshot {
+        let resident = lock(&self.resident);
+        let flags: Vec<bool> = (0..self.file.tile_count())
+            .map(|tile| resident.contains(&tile))
+            .collect();
+        let count = flags.iter().filter(|&&r| r).count();
+        ResidencySnapshot {
+            resident: flags,
+            count,
+        }
+    }
+
+    /// The engine that last faulted `tile` in (as tagged through
+    /// [`TileStorage::fetch_tagged`]), or `None` if the tile has never been
+    /// fault-tagged or the index is out of range.
+    pub fn last_faulter(&self, tile: usize) -> Option<usize> {
+        let engine = self.affinity.get(tile)?.load(Ordering::Relaxed);
+        (engine != NO_AFFINITY).then_some(engine)
+    }
+
     /// Returns the tile's decoded records, faulting them in from disk on a
-    /// miss. Shared `Arc`s mean concurrent shards of the same tile decode
-    /// once and an eviction never invalidates records a query still holds.
+    /// miss. Shared `Arc`s mean an eviction never invalidates records a
+    /// query still holds, and concurrent misses of one tile are
+    /// *single-flight*: one caller reads and decodes, the rest wait on the
+    /// in-flight fault and share the result.
     ///
     /// # Errors
     ///
     /// [`SccgError::Storage`] for an out-of-range index or a corrupt,
-    /// truncated or unreadable block. Failed fetches are not cached.
+    /// truncated or unreadable block. Failed fetches are not cached, and
+    /// coalesced waiters of a failed fault receive the owner's error.
     pub fn fetch(&self, tile: usize) -> Result<Arc<Vec<PolygonRecord>>, SccgError> {
+        self.fetch_tagged(tile, None)
+    }
+
+    /// Like [`TileStorage::fetch`], additionally recording `engine` as the
+    /// tile's last faulter when this call performs the disk read — the
+    /// affinity signal [`TileStorage::last_faulter`] reports.
+    pub fn fetch_tagged(
+        &self,
+        tile: usize,
+        engine: Option<usize>,
+    ) -> Result<Arc<Vec<PolygonRecord>>, SccgError> {
         if let Some(records) = lock(&self.resident).get(&tile) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(records);
         }
-        // Read outside the cache lock: a slow or failing disk read must not
-        // stall hits on other tiles. Two concurrent misses of one tile may
-        // both decode it; the second insert simply refreshes the entry.
-        let records = Arc::new(self.file.read_tile(tile)?);
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let resident_now = {
-            let mut resident = lock(&self.resident);
-            resident.insert(tile, Arc::clone(&records));
-            resident.len() as u64
+        let (slot, owner) = self.join_or_own(tile);
+        if !owner {
+            // Another caller's disk read is in flight: wait for it to
+            // publish instead of decoding the same block twice.
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            return Self::await_fault(&slot);
+        }
+        // This call owns the fault. The resident set may have gained the
+        // tile between the miss above and slot insertion (a prior fault
+        // published and retired); re-checking here makes "one concurrent
+        // miss, one disk read" exact rather than probabilistic.
+        if let Some(records) = lock(&self.resident).get(&tile) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.publish(tile, &slot, Ok(Arc::clone(&records)));
+            return Ok(records);
+        }
+        // Read outside every lock: a slow or failing disk read must not
+        // stall hits on other tiles or faults of other tiles.
+        let outcome = self.file.read_tile(tile).map(Arc::new);
+        if let Ok(records) = &outcome {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            if let (Some(engine), Some(cell)) = (engine, self.affinity.get(tile)) {
+                cell.store(engine, Ordering::Relaxed);
+            }
+            let resident_now = {
+                let mut resident = lock(&self.resident);
+                resident.insert(tile, Arc::clone(records));
+                resident.len() as u64
+            };
+            self.peak_resident
+                .fetch_max(resident_now, Ordering::Relaxed);
+        }
+        self.publish(tile, &slot, outcome.clone());
+        outcome
+    }
+
+    /// Faults `tile` in *only if the pager has free capacity*: a prefetch
+    /// must warm the resident set, never churn it, so it refuses to evict.
+    /// Returns `Ok(true)` when this call performed a disk read, `Ok(false)`
+    /// when the tile was already resident, a fault for it was already in
+    /// flight, or the pager is full.
+    ///
+    /// The read is counted as a pager miss like any demand fault — prefetch
+    /// moves disk reads earlier, it must not hide them from the hit-rate
+    /// accounting.
+    ///
+    /// # Errors
+    ///
+    /// [`SccgError::Storage`] as for [`TileStorage::fetch`]; callers
+    /// treating prefetch as advisory may ignore it (the demand fetch will
+    /// surface the same error).
+    pub fn prefetch(&self, tile: usize) -> Result<bool, SccgError> {
+        {
+            let resident = lock(&self.resident);
+            if resident.contains(&tile) || resident.len() >= self.residency_bound {
+                return Ok(false);
+            }
+        }
+        let slot = {
+            let mut in_flight = lock(&self.in_flight);
+            if in_flight.contains_key(&tile) {
+                // A demand fetch is already reading it; adding a second
+                // waiter gains nothing.
+                return Ok(false);
+            }
+            let slot = Arc::new(FaultSlot::default());
+            in_flight.insert(tile, Arc::clone(&slot));
+            slot
         };
-        self.peak_resident
-            .fetch_max(resident_now, Ordering::Relaxed);
-        Ok(records)
+        let outcome = self.file.read_tile(tile).map(Arc::new);
+        if let Ok(records) = &outcome {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let resident_now = {
+                let mut resident = lock(&self.resident);
+                // Demand faults may have filled the pager meanwhile; a full
+                // pager means this prefetch arrived too late to help, and
+                // inserting anyway would evict a tile someone is using.
+                if resident.len() < self.residency_bound {
+                    resident.insert(tile, Arc::clone(records));
+                }
+                resident.len() as u64
+            };
+            self.peak_resident
+                .fetch_max(resident_now, Ordering::Relaxed);
+        }
+        let failed = outcome.as_ref().err().cloned();
+        self.publish(tile, &slot, outcome);
+        match failed {
+            Some(error) => Err(error),
+            None => Ok(true),
+        }
+    }
+
+    /// Takes or creates the fault slot for `tile`. Returns the slot and
+    /// whether this caller owns the read.
+    fn join_or_own(&self, tile: usize) -> (Arc<FaultSlot>, bool) {
+        let mut in_flight = lock(&self.in_flight);
+        match in_flight.get(&tile) {
+            Some(slot) => (Arc::clone(slot), false),
+            None => {
+                let slot = Arc::new(FaultSlot::default());
+                in_flight.insert(tile, Arc::clone(&slot));
+                (slot, true)
+            }
+        }
+    }
+
+    /// Owner side of a fault: publish the outcome, wake every waiter, and
+    /// retire the slot. Residency was already updated (if at all) before
+    /// this point, so a fetch racing the retirement finds the tile
+    /// resident.
+    fn publish(
+        &self,
+        tile: usize,
+        slot: &Arc<FaultSlot>,
+        outcome: Result<Arc<Vec<PolygonRecord>>, SccgError>,
+    ) {
+        *lock(&slot.result) = Some(outcome);
+        slot.ready.notify_all();
+        lock(&self.in_flight).remove(&tile);
+    }
+
+    /// Waiter side of a fault: block until the owner publishes.
+    fn await_fault(slot: &Arc<FaultSlot>) -> Result<Arc<Vec<PolygonRecord>>, SccgError> {
+        let mut result = lock(&slot.result);
+        loop {
+            if let Some(outcome) = result.as_ref() {
+                return outcome.clone();
+            }
+            result = slot
+                .ready
+                .wait(result)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
     }
 
     /// Current pager counters.
@@ -131,6 +368,7 @@ impl TileStorage {
         PagerStats {
             hits,
             misses,
+            coalesced_faults: self.coalesced.load(Ordering::Relaxed),
             hit_rate: if total == 0 {
                 0.0
             } else {
@@ -150,6 +388,7 @@ mod tests {
     use crate::format::SlideFileWriter;
     use sccg_geometry::text::parse_polygon_file;
     use std::path::PathBuf;
+    use std::sync::Barrier;
 
     fn temp_path(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("sccg-store-pager-tests");
@@ -207,6 +446,7 @@ mod tests {
         let stats = pager.stats();
         assert_eq!(stats.misses, 2);
         assert_eq!(stats.hits, 4);
+        assert_eq!(stats.coalesced_faults, 0);
         assert!((stats.hit_rate - 4.0 / 6.0).abs() < 1e-12);
         assert_eq!(stats.resident, 2);
         assert_eq!(stats.peak_resident, 2);
@@ -234,6 +474,120 @@ mod tests {
         }
         // Tile 0 has long been evicted; the held Arc still reads correctly.
         assert_eq!(held.as_ref(), &tile(0));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The single-flight satellite: many threads missing the same tile at
+    /// once must produce exactly one disk read — every other caller either
+    /// joined the in-flight fault (coalesced) or arrived after it published
+    /// (a resident hit). Before coalescing, each racing thread decoded the
+    /// block independently.
+    #[test]
+    fn concurrent_misses_of_one_tile_read_disk_once() {
+        const THREADS: usize = 8;
+        let (pager, path) = build("single-flight", 1, 2);
+        let pager = Arc::new(pager);
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let pager = Arc::clone(&pager);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    assert_eq!(pager.fetch(0).unwrap().as_ref(), &tile(0));
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("fetch thread");
+        }
+        let stats = pager.stats();
+        assert_eq!(
+            stats.misses, 1,
+            "exactly one disk read for {THREADS} racers"
+        );
+        assert_eq!(
+            stats.hits + stats.coalesced_faults,
+            (THREADS - 1) as u64,
+            "every other caller shared it: {stats:?}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Residency probes see the resident set without perturbing it: a
+    /// probed-but-unfetched tile must still be the one evicted.
+    #[test]
+    fn residency_probes_are_recency_neutral() {
+        let (pager, path) = build("probe", 4, 2);
+        pager.fetch(0).unwrap();
+        pager.fetch(1).unwrap();
+        for _ in 0..10 {
+            assert!(pager.is_resident(0));
+        }
+        let snapshot = pager.residency_snapshot();
+        assert!(snapshot.is_resident(0) && snapshot.is_resident(1));
+        assert!(!snapshot.is_resident(2) && !snapshot.is_resident(99));
+        assert_eq!(snapshot.resident_count(), 2);
+        assert_eq!(snapshot.tile_count(), 4);
+        // Tile 0 is LRU despite the probes: fetching 2 must evict it.
+        pager.fetch(2).unwrap();
+        assert!(!pager.is_resident(0));
+        assert!(pager.is_resident(1) && pager.is_resident(2));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Affinity remembers the tagged engine of the last *fault*, not of
+    /// hits, and untagged fetches leave it unchanged.
+    #[test]
+    fn affinity_tracks_the_last_faulting_engine() {
+        let (pager, path) = build("affinity", 3, 1);
+        assert_eq!(pager.last_faulter(0), None);
+        pager.fetch_tagged(0, Some(2)).unwrap();
+        assert_eq!(pager.last_faulter(0), Some(2));
+        // A hit by another engine does not steal the affinity.
+        pager.fetch_tagged(0, Some(1)).unwrap();
+        assert_eq!(pager.last_faulter(0), Some(2));
+        // Evict tile 0 (bound 1), then an untagged re-fault keeps the tag.
+        pager.fetch_tagged(1, Some(0)).unwrap();
+        pager.fetch(0).unwrap();
+        assert_eq!(pager.last_faulter(0), Some(2));
+        // A tagged re-fault by a different engine replaces it.
+        pager.fetch_tagged(2, None).unwrap();
+        pager.fetch_tagged(0, Some(1)).unwrap();
+        assert_eq!(pager.last_faulter(0), Some(1));
+        assert_eq!(pager.last_faulter(99), None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Prefetch fills free capacity only — it reads ahead but never evicts
+    /// what demand fetches made resident.
+    #[test]
+    fn prefetch_never_evicts() {
+        let (pager, path) = build("prefetch", 4, 2);
+        pager.fetch(0).unwrap();
+        assert!(pager.prefetch(1).unwrap(), "free slot: prefetch reads");
+        assert!(pager.is_resident(0) && pager.is_resident(1));
+        assert!(!pager.prefetch(1).unwrap(), "already resident: no read");
+        // Pager is full now: further prefetches refuse rather than evict.
+        assert!(!pager.prefetch(2).unwrap());
+        assert!(!pager.prefetch(3).unwrap());
+        assert!(pager.is_resident(0) && pager.is_resident(1));
+        let stats = pager.stats();
+        assert_eq!(stats.misses, 2, "the prefetch read counts as a miss");
+        // The prefetched tile serves a later demand fetch as a hit.
+        pager.fetch(1).unwrap();
+        assert_eq!(pager.stats().hits, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// A coalesced waiter of a failed fault receives the owner's typed
+    /// error, and nothing is cached.
+    #[test]
+    fn prefetch_out_of_range_is_typed() {
+        let (pager, path) = build("prefetch-err", 1, 2);
+        assert!(matches!(pager.prefetch(9), Err(SccgError::Storage { .. })));
+        assert_eq!(pager.stats().misses, 0, "failed reads are not misses");
+        assert!(pager.prefetch(0).unwrap());
         std::fs::remove_file(&path).unwrap();
     }
 }
