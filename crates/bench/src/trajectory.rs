@@ -88,12 +88,33 @@ pub struct LocalityMetrics {
     pub round_robin_pager_misses: u64,
 }
 
+/// Measured chaos-smoke metrics (`reproduce -- chaos`): a disk-backed wire
+/// workload run under a seeded fault plan, recording how much went wrong on
+/// purpose and that every query still resolved correctly or typed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosMetrics {
+    /// Queries driven across all wire clients (including the retried ones).
+    pub queries: u64,
+    /// Queries that resolved bit-identically to the fault-free twin.
+    pub completed: u64,
+    /// Shards handed back to survivors after injected engine kills.
+    pub redispatches: u64,
+    /// Engine kills the injector fired.
+    pub engine_kills: u64,
+    /// Connection resets the injector fired.
+    pub connection_resets: u64,
+    /// Tiles quarantined by the pager's circuit breaker.
+    pub quarantined_tiles: u64,
+    /// Sustained queries per second over the chaos run.
+    pub qps: f64,
+}
+
 /// One timestamped bench run. A `bench` run carries substrate rates and a
 /// dense-pixelization speedup; a `serve` run carries only [`ServeMetrics`],
-/// a `store` run only [`StoreMetrics`], and a `locality` run only
-/// [`LocalityMetrics`] (empty `substrates`, speedup 0) — the
-/// [gate](check_gate) knows to skip such entries when looking for the run
-/// to check.
+/// a `store` run only [`StoreMetrics`], a `locality` run only
+/// [`LocalityMetrics`], and a `chaos` run only [`ChaosMetrics`] (empty
+/// `substrates`, speedup 0) — the [gate](check_gate) knows to skip such
+/// entries when looking for the run to check.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrajectoryEntry {
     /// Free-form label (`pr5-baseline`, `bench`, `serve`, `store`, …).
@@ -110,6 +131,8 @@ pub struct TrajectoryEntry {
     pub store: Option<StoreMetrics>,
     /// Locality-scheduling metrics, when the run measured them.
     pub locality: Option<LocalityMetrics>,
+    /// Chaos-smoke metrics, when the run measured them.
+    pub chaos: Option<ChaosMetrics>,
 }
 
 /// Reads the trajectory file. A missing file is an empty trajectory; a
@@ -231,6 +254,26 @@ fn parse_entry(value: &Value) -> Result<TrajectoryEntry, String> {
             })
         }
     };
+    let chaos = match value.get("chaos") {
+        None | Some(Value::Null) => None,
+        Some(chaos) => {
+            let num = |key: &str| {
+                chaos
+                    .get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("\"chaos\" missing \"{key}\""))
+            };
+            Some(ChaosMetrics {
+                queries: num("queries")? as u64,
+                completed: num("completed")? as u64,
+                redispatches: num("redispatches")? as u64,
+                engine_kills: num("engine_kills")? as u64,
+                connection_resets: num("connection_resets")? as u64,
+                quarantined_tiles: num("quarantined_tiles")? as u64,
+                qps: num("qps")?,
+            })
+        }
+    };
     Ok(TrajectoryEntry {
         label,
         unix_seconds,
@@ -239,6 +282,7 @@ fn parse_entry(value: &Value) -> Result<TrajectoryEntry, String> {
         serve,
         store,
         locality,
+        chaos,
     })
 }
 
@@ -299,11 +343,26 @@ pub fn format_trajectory(entries: &[TrajectoryEntry]) -> String {
                 l.round_robin_pager_misses
             ),
         };
+        let chaos = match &entry.chaos {
+            None => String::new(),
+            Some(c) => format!(
+                ",\n      \"chaos\": {{\"queries\": {}, \"completed\": {}, \
+                 \"redispatches\": {}, \"engine_kills\": {}, \"connection_resets\": {}, \
+                 \"quarantined_tiles\": {}, \"qps\": {}}}",
+                c.queries,
+                c.completed,
+                c.redispatches,
+                c.engine_kills,
+                c.connection_resets,
+                c.quarantined_tiles,
+                c.qps
+            ),
+        };
         let _ = write!(
             out,
             "    {{\n      \"label\": \"{}\",\n      \"unix_seconds\": {},\n      \
              \"pixelize_dense_speedup\": {},\n      \"substrates\": [{substrates}\n      \
-             ]{serve}{store}{locality}\n    }}{}\n",
+             ]{serve}{store}{locality}{chaos}\n    }}{}\n",
             entry.label,
             entry.unix_seconds,
             entry.pixelize_dense_speedup,
@@ -583,6 +642,7 @@ mod tests {
             serve: None,
             store: None,
             locality: None,
+            chaos: None,
         }
     }
 
@@ -601,6 +661,7 @@ mod tests {
             }),
             store: None,
             locality: None,
+            chaos: None,
         }
     }
 
@@ -617,6 +678,7 @@ mod tests {
                 pager_hit_rate: 0.75,
             }),
             locality: None,
+            chaos: None,
         }
     }
 
@@ -634,6 +696,28 @@ mod tests {
                 prefetch_issued: 9,
                 residency_aware_pager_misses: ra_misses,
                 round_robin_pager_misses: rr_misses,
+            }),
+            chaos: None,
+        }
+    }
+
+    fn chaos_entry(completed: u64) -> TrajectoryEntry {
+        TrajectoryEntry {
+            label: "chaos".into(),
+            unix_seconds: 1_785_059_180,
+            substrates: Vec::new(),
+            pixelize_dense_speedup: 0.0,
+            serve: None,
+            store: None,
+            locality: None,
+            chaos: Some(ChaosMetrics {
+                queries: 24,
+                completed,
+                redispatches: 2,
+                engine_kills: 1,
+                connection_resets: 1,
+                quarantined_tiles: 1,
+                qps: 93.5,
             }),
         }
     }
@@ -747,6 +831,32 @@ mod tests {
         assert!(
             check_gate(&[locality_entry(40, 96)]).is_err(),
             "a trajectory with only locality entries has nothing to gate"
+        );
+    }
+
+    #[test]
+    fn chaos_entries_round_trip_and_never_trip_the_bench_gates() {
+        let entries = vec![entry("bench", &[("cpu", 1.0e6)], 600.0), chaos_entry(24)];
+        let text = format_trajectory(&entries);
+        let root = Value::parse(&text).unwrap();
+        let parsed: Vec<TrajectoryEntry> = root
+            .get("entries")
+            .and_then(Value::as_array)
+            .unwrap()
+            .iter()
+            .map(|e| parse_entry(e).unwrap())
+            .collect();
+        assert_eq!(parsed, entries, "chaos metrics survive the round trip");
+
+        // The regression this pins down: a trailing chaos-only entry (empty
+        // substrates, 0 speedup) is skipped by the gate, which still judges
+        // the bench entry before it — a chaos run in CI can never fail the
+        // throughput gates it carries no data for.
+        let lines = check_gate(&entries).unwrap();
+        assert_eq!(lines.len(), 2);
+        assert!(
+            check_gate(&[chaos_entry(24)]).is_err(),
+            "a trajectory with only chaos entries has nothing to gate"
         );
     }
 

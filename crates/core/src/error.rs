@@ -83,6 +83,14 @@ pub enum SccgError {
         /// Human-readable storage failure detail.
         detail: String,
     },
+    /// The query's per-request deadline expired before every shard
+    /// completed. Remaining shards are abandoned without computing; the
+    /// service stays healthy and the caller receives this typed error
+    /// through the blocking, streaming, and wire paths alike.
+    DeadlineExceeded {
+        /// The deadline the request carried, in milliseconds.
+        deadline_ms: u64,
+    },
 }
 
 impl fmt::Display for SccgError {
@@ -112,6 +120,9 @@ impl fmt::Display for SccgError {
             SccgError::InvalidRequest { detail } => write!(f, "invalid request: {detail}"),
             SccgError::Internal { detail } => write!(f, "internal service failure: {detail}"),
             SccgError::Storage { detail } => write!(f, "slide storage failure: {detail}"),
+            SccgError::DeadlineExceeded { deadline_ms } => {
+                write!(f, "query deadline of {deadline_ms} ms exceeded")
+            }
         }
     }
 }
@@ -156,6 +167,7 @@ mod tests {
             SccgError::Storage {
                 detail: "tile 3: checksum mismatch".into(),
             },
+            SccgError::DeadlineExceeded { deadline_ms: 250 },
         ];
         for error in variants {
             assert!(!error.to_string().is_empty(), "{error:?}");

@@ -1,0 +1,550 @@
+//! Deterministic fault injection for end-to-end failure containment tests.
+//!
+//! Production systems degrade gracefully only if their failure paths are
+//! *exercised*, and failure paths are only testable when failures are
+//! reproducible. This module provides that harness: a [`FaultPlan`] is a
+//! seeded, serializable schedule of injection points — storage read/write
+//! I/O errors, slow reads with configured latency, engine-worker kills,
+//! tile-decode corruption, connection resets — and a [`FaultInjector`] is
+//! the plan armed with atomic trigger counters, threaded as an optional
+//! `Arc<FaultInjector>` through the storage, serving, and wire layers.
+//!
+//! Design constraints:
+//!
+//! * **Zero cost when absent.** Every hook site holds an
+//!   `Option<Arc<FaultInjector>>`; the `None` branch is a single pointer
+//!   test, so production configurations pay nothing.
+//! * **Deterministic.** Triggers count occurrences (the Nth read of tile T,
+//!   the Kth write operation, the next M shards of engine E), never wall
+//!   clocks or thread timing, so a chaos run replays bit-identically.
+//! * **Virtual latency.** Injected slow reads *account* their configured
+//!   latency in an atomic nanosecond counter ([`FaultInjector::
+//!   virtual_delay_nanos`]) instead of sleeping, so timing-sensitive tests
+//!   assert the delay was charged without adding wall-clock time.
+//! * **Serializable.** A plan round-trips through a compact `key=value`
+//!   text form ([`FaultPlan::to_text`] / [`FaultPlan::parse`]) so chaos
+//!   schedules can be logged alongside the run they shaped.
+
+use crate::error::SccgError;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A read fault scheduled against one tile: the tile's next `times` read
+/// attempts fail with a typed [`SccgError::Storage`] before touching disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadFault {
+    /// Tile index the fault targets.
+    pub tile: u64,
+    /// How many consecutive read attempts fail before reads succeed again.
+    pub times: u64,
+}
+
+/// A slow read scheduled against one tile: every read of the tile charges
+/// `latency_nanos` of *virtual* latency (an atomic counter, never a sleep).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowRead {
+    /// Tile index the latency applies to.
+    pub tile: u64,
+    /// Virtual latency charged per read, in nanoseconds.
+    pub latency_nanos: u64,
+}
+
+/// An engine-worker kill: the engine's next `times` popped shards are
+/// treated as if the worker crashed mid-shard (the supervisor records the
+/// failure and the shard is re-dispatched).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineKill {
+    /// Engine index in the service's pool.
+    pub engine: u64,
+    /// How many consecutive shards die on this engine.
+    pub times: u64,
+}
+
+/// A connection reset: the connection serving client `client` is dropped
+/// abruptly once it has sent `after_frames` frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectionReset {
+    /// Server-assigned client id the reset targets.
+    pub client: u64,
+    /// Number of frames the server sends before the connection drops.
+    pub after_frames: u64,
+}
+
+/// A seeded, serializable schedule of fault-injection points.
+///
+/// The plan itself is inert data; arm it with [`FaultInjector::new`] to get
+/// the triggerable form the storage/serve/net layers consult. The `seed`
+/// drives any derived pseudo-random choice (currently the byte position
+/// flipped when corrupting a tile block), so the same plan corrupts the
+/// same byte every run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct FaultPlan {
+    /// Seed for derived pseudo-random choices (corruption byte position).
+    pub seed: u64,
+    /// Scheduled per-tile read failures.
+    pub read_faults: Vec<ReadFault>,
+    /// Scheduled per-tile virtual slow reads.
+    pub slow_reads: Vec<SlowRead>,
+    /// Tiles whose on-disk block bytes are corrupted on every read (the
+    /// per-block checksum then fails, exercising containment + quarantine).
+    pub corrupt_tiles: Vec<u64>,
+    /// Zero-based indices of write operations that fail (each streamed tile
+    /// append, the footer/trailer write, and the final atomic rename are
+    /// one operation each).
+    pub write_fail_ops: Vec<u64>,
+    /// Scheduled engine-worker kills.
+    pub engine_kills: Vec<EngineKill>,
+    /// Scheduled connection resets.
+    pub connection_resets: Vec<ConnectionReset>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Schedules the next `times` reads of `tile` to fail.
+    pub fn fail_read(mut self, tile: u64, times: u64) -> Self {
+        self.read_faults.push(ReadFault { tile, times });
+        self
+    }
+
+    /// Schedules every read of `tile` to charge `latency_nanos` of virtual
+    /// latency.
+    pub fn slow_read(mut self, tile: u64, latency_nanos: u64) -> Self {
+        self.slow_reads.push(SlowRead {
+            tile,
+            latency_nanos,
+        });
+        self
+    }
+
+    /// Schedules `tile`'s block bytes to be corrupted on every read.
+    pub fn corrupt_tile(mut self, tile: u64) -> Self {
+        self.corrupt_tiles.push(tile);
+        self
+    }
+
+    /// Schedules the `op`-th write operation (zero-based, per injector) to
+    /// fail with a typed storage error.
+    pub fn fail_write_op(mut self, op: u64) -> Self {
+        self.write_fail_ops.push(op);
+        self
+    }
+
+    /// Schedules the next `times` shards popped by `engine` to die as if
+    /// the worker crashed mid-shard.
+    pub fn kill_engine(mut self, engine: u64, times: u64) -> Self {
+        self.engine_kills.push(EngineKill { engine, times });
+        self
+    }
+
+    /// Schedules the connection serving `client` to drop after it has sent
+    /// `after_frames` frames.
+    pub fn reset_connection(mut self, client: u64, after_frames: u64) -> Self {
+        self.connection_resets.push(ConnectionReset {
+            client,
+            after_frames,
+        });
+        self
+    }
+
+    /// Serializes the plan to its compact `key=value` text form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "seed={}", self.seed);
+        for f in &self.read_faults {
+            let _ = writeln!(out, "fail-read={}x{}", f.tile, f.times);
+        }
+        for s in &self.slow_reads {
+            let _ = writeln!(out, "slow-read={}@{}", s.tile, s.latency_nanos);
+        }
+        for &tile in &self.corrupt_tiles {
+            let _ = writeln!(out, "corrupt-tile={tile}");
+        }
+        for &op in &self.write_fail_ops {
+            let _ = writeln!(out, "fail-write-op={op}");
+        }
+        for k in &self.engine_kills {
+            let _ = writeln!(out, "kill-engine={}x{}", k.engine, k.times);
+        }
+        for r in &self.connection_resets {
+            let _ = writeln!(out, "reset-connection={}@{}", r.client, r.after_frames);
+        }
+        out
+    }
+
+    /// Parses the text form produced by [`FaultPlan::to_text`]. Blank lines
+    /// and `#` comments are ignored; any other malformed line is an error.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::default();
+        for (number, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: missing '='", number + 1))?;
+            let bad = |what: &str| format!("line {}: bad {what} \"{value}\"", number + 1);
+            let pair = |sep: char| -> Result<(u64, u64), String> {
+                let (a, b) = value.split_once(sep).ok_or_else(|| bad("pair"))?;
+                Ok((
+                    a.parse().map_err(|_| bad("number"))?,
+                    b.parse().map_err(|_| bad("number"))?,
+                ))
+            };
+            match key {
+                "seed" => plan.seed = value.parse().map_err(|_| bad("seed"))?,
+                "fail-read" => {
+                    let (tile, times) = pair('x')?;
+                    plan.read_faults.push(ReadFault { tile, times });
+                }
+                "slow-read" => {
+                    let (tile, latency_nanos) = pair('@')?;
+                    plan.slow_reads.push(SlowRead {
+                        tile,
+                        latency_nanos,
+                    });
+                }
+                "corrupt-tile" => plan
+                    .corrupt_tiles
+                    .push(value.parse().map_err(|_| bad("tile"))?),
+                "fail-write-op" => plan
+                    .write_fail_ops
+                    .push(value.parse().map_err(|_| bad("op"))?),
+                "kill-engine" => {
+                    let (engine, times) = pair('x')?;
+                    plan.engine_kills.push(EngineKill { engine, times });
+                }
+                "reset-connection" => {
+                    let (client, after_frames) = pair('@')?;
+                    plan.connection_resets.push(ConnectionReset {
+                        client,
+                        after_frames,
+                    });
+                }
+                other => return Err(format!("line {}: unknown key \"{other}\"", number + 1)),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// Counters of faults the injector actually fired, for assertions and
+/// telemetry.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct FaultStats {
+    /// Read attempts failed by schedule.
+    pub read_errors: u64,
+    /// Reads that were charged virtual latency.
+    pub slow_reads: u64,
+    /// Tile blocks corrupted before checksum verification.
+    pub corruptions: u64,
+    /// Write operations failed by schedule.
+    pub write_errors: u64,
+    /// Shards killed on their engine worker.
+    pub engine_kills: u64,
+    /// Connections dropped by schedule.
+    pub connection_resets: u64,
+}
+
+/// A [`FaultPlan`] armed with atomic trigger state.
+///
+/// One injector instance is shared (`Arc`) by every layer participating in
+/// a chaos run, so occurrence counts are global: "the 3rd write operation"
+/// means the 3rd across the whole run, not per call site.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    read_attempts: Mutex<HashMap<u64, u64>>,
+    write_ops: AtomicU64,
+    kills_left: Mutex<HashMap<u64, u64>>,
+    virtual_delay_nanos: AtomicU64,
+    read_errors: AtomicU64,
+    slow_reads: AtomicU64,
+    corruptions: AtomicU64,
+    write_errors: AtomicU64,
+    engine_kills: AtomicU64,
+    connection_resets: Mutex<HashMap<u64, bool>>,
+    resets_fired: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Arms `plan` with fresh trigger counters.
+    pub fn new(plan: FaultPlan) -> Self {
+        let kills_left = plan
+            .engine_kills
+            .iter()
+            .map(|k| (k.engine, k.times))
+            .collect();
+        FaultInjector {
+            plan,
+            read_attempts: Mutex::new(HashMap::new()),
+            write_ops: AtomicU64::new(0),
+            kills_left: Mutex::new(kills_left),
+            virtual_delay_nanos: AtomicU64::new(0),
+            read_errors: AtomicU64::new(0),
+            slow_reads: AtomicU64::new(0),
+            corruptions: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            engine_kills: AtomicU64::new(0),
+            connection_resets: Mutex::new(HashMap::new()),
+            resets_fired: AtomicU64::new(0),
+        }
+    }
+
+    /// The plan this injector was armed with.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Storage read hook: called before tile `tile`'s block is read from
+    /// disk. Charges any scheduled virtual latency, then fails the read if
+    /// a scheduled read fault for this tile has attempts remaining.
+    pub fn on_tile_read(&self, tile: u64) -> Result<(), SccgError> {
+        if let Some(slow) = self.plan.slow_reads.iter().find(|s| s.tile == tile) {
+            self.virtual_delay_nanos
+                .fetch_add(slow.latency_nanos, Ordering::Relaxed);
+            self.slow_reads.fetch_add(1, Ordering::Relaxed);
+        }
+        let scheduled: u64 = self
+            .plan
+            .read_faults
+            .iter()
+            .filter(|f| f.tile == tile)
+            .map(|f| f.times)
+            .sum();
+        if scheduled > 0 {
+            let mut attempts = crate::sync::lock(&self.read_attempts);
+            let seen = attempts.entry(tile).or_insert(0);
+            if *seen < scheduled {
+                *seen += 1;
+                drop(attempts);
+                self.read_errors.fetch_add(1, Ordering::Relaxed);
+                return Err(SccgError::Storage {
+                    detail: format!("injected read error for tile {tile}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Storage corruption hook: called with tile `tile`'s raw block bytes
+    /// after the disk read and before checksum verification. Flips one
+    /// seed-chosen byte when the tile is scheduled for corruption; returns
+    /// whether the bytes were touched.
+    pub fn corrupt_tile_bytes(&self, tile: u64, bytes: &mut [u8]) -> bool {
+        if bytes.is_empty() || !self.plan.corrupt_tiles.contains(&tile) {
+            return false;
+        }
+        let position = (splitmix64(self.plan.seed ^ tile) % bytes.len() as u64) as usize;
+        bytes[position] ^= 0x5a;
+        self.corruptions.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Storage write hook: called once per write operation (tile append,
+    /// footer/trailer write, atomic rename). Fails when the operation's
+    /// global index is scheduled in `write_fail_ops`.
+    pub fn on_write(&self) -> Result<(), SccgError> {
+        let op = self.write_ops.fetch_add(1, Ordering::Relaxed);
+        if self.plan.write_fail_ops.contains(&op) {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(SccgError::Storage {
+                detail: format!("injected write error at operation {op}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Engine hook: called by engine `engine`'s worker for each popped
+    /// shard. Returns `true` when the worker should die on this shard (a
+    /// scheduled kill was consumed).
+    pub fn kill_engine_now(&self, engine: u64) -> bool {
+        let mut left = crate::sync::lock(&self.kills_left);
+        match left.get_mut(&engine) {
+            Some(times) if *times > 0 => {
+                *times -= 1;
+                drop(left);
+                self.engine_kills.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Wire hook: called by the server before sending a frame on `client`'s
+    /// connection, with the number of frames already sent. Returns `true`
+    /// exactly once per scheduled reset, when the frame count reaches the
+    /// scheduled threshold.
+    pub fn reset_connection_now(&self, client: u64, frames_sent: u64) -> bool {
+        let Some(reset) = self
+            .plan
+            .connection_resets
+            .iter()
+            .find(|r| r.client == client)
+        else {
+            return false;
+        };
+        if frames_sent < reset.after_frames {
+            return false;
+        }
+        let mut fired = crate::sync::lock(&self.connection_resets);
+        if *fired.entry(client).or_insert(false) {
+            return false;
+        }
+        fired.insert(client, true);
+        drop(fired);
+        self.resets_fired.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Total virtual latency charged by slow reads so far, in nanoseconds.
+    pub fn virtual_delay_nanos(&self) -> u64 {
+        self.virtual_delay_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of every fault fired so far.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            read_errors: self.read_errors.load(Ordering::Relaxed),
+            slow_reads: self.slow_reads.load(Ordering::Relaxed),
+            corruptions: self.corruptions.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+            engine_kills: self.engine_kills.load(Ordering::Relaxed),
+            connection_resets: self.resets_fired.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// SplitMix64 — the seed scrambler used for derived choices (corruption
+/// byte position). Deterministic, dependency-free, well distributed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chaos_plan() -> FaultPlan {
+        FaultPlan::new(42)
+            .fail_read(3, 2)
+            .slow_read(5, 1_500_000)
+            .corrupt_tile(7)
+            .fail_write_op(4)
+            .kill_engine(0, 2)
+            .reset_connection(1, 4)
+    }
+
+    #[test]
+    fn plan_round_trips_through_text() {
+        let plan = chaos_plan();
+        let text = plan.to_text();
+        assert_eq!(FaultPlan::parse(&text).unwrap(), plan);
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::default());
+        assert_eq!(
+            FaultPlan::parse("# comment\n\nseed=9\n").unwrap(),
+            FaultPlan::new(9)
+        );
+        assert!(FaultPlan::parse("nonsense").is_err());
+        assert!(FaultPlan::parse("kill-engine=1").is_err());
+        assert!(FaultPlan::parse("unknown-key=3").is_err());
+    }
+
+    #[test]
+    fn read_faults_fire_exactly_the_scheduled_number_of_times() {
+        let injector = FaultInjector::new(FaultPlan::new(1).fail_read(3, 2));
+        assert!(injector.on_tile_read(3).is_err());
+        assert!(injector.on_tile_read(3).is_err());
+        assert!(injector.on_tile_read(3).is_ok(), "schedule exhausted");
+        assert!(injector.on_tile_read(4).is_ok(), "other tiles unaffected");
+        assert_eq!(injector.stats().read_errors, 2);
+    }
+
+    #[test]
+    fn slow_reads_charge_virtual_latency_without_failing() {
+        let injector = FaultInjector::new(FaultPlan::new(1).slow_read(5, 1_000));
+        assert!(injector.on_tile_read(5).is_ok());
+        assert!(injector.on_tile_read(5).is_ok());
+        assert_eq!(injector.virtual_delay_nanos(), 2_000);
+        assert_eq!(injector.stats().slow_reads, 2);
+        assert!(injector.on_tile_read(6).is_ok());
+        assert_eq!(injector.virtual_delay_nanos(), 2_000);
+    }
+
+    #[test]
+    fn corruption_flips_one_seeded_byte_deterministically() {
+        let injector = FaultInjector::new(FaultPlan::new(42).corrupt_tile(7));
+        let original = vec![0u8; 64];
+        let mut first = original.clone();
+        let mut second = original.clone();
+        assert!(injector.corrupt_tile_bytes(7, &mut first));
+        assert!(injector.corrupt_tile_bytes(7, &mut second));
+        assert_eq!(first, second, "same seed corrupts the same byte");
+        assert_eq!(
+            first.iter().zip(&original).filter(|(a, b)| a != b).count(),
+            1
+        );
+        let mut untouched = original.clone();
+        assert!(!injector.corrupt_tile_bytes(8, &mut untouched));
+        assert_eq!(untouched, original);
+        assert!(!injector.corrupt_tile_bytes(7, &mut []));
+    }
+
+    #[test]
+    fn write_ops_fail_at_their_scheduled_global_index() {
+        let injector = FaultInjector::new(FaultPlan::new(1).fail_write_op(2));
+        assert!(injector.on_write().is_ok()); // op 0
+        assert!(injector.on_write().is_ok()); // op 1
+        assert!(injector.on_write().is_err()); // op 2
+        assert!(injector.on_write().is_ok()); // op 3
+        assert_eq!(injector.stats().write_errors, 1);
+    }
+
+    #[test]
+    fn engine_kills_consume_their_budget() {
+        let injector = FaultInjector::new(FaultPlan::new(1).kill_engine(0, 2));
+        assert!(injector.kill_engine_now(0));
+        assert!(injector.kill_engine_now(0));
+        assert!(!injector.kill_engine_now(0), "budget exhausted");
+        assert!(!injector.kill_engine_now(1), "other engines unaffected");
+        assert_eq!(injector.stats().engine_kills, 2);
+    }
+
+    #[test]
+    fn connection_reset_fires_once_at_the_frame_threshold() {
+        let injector = FaultInjector::new(FaultPlan::new(1).reset_connection(1, 4));
+        assert!(!injector.reset_connection_now(1, 3));
+        assert!(injector.reset_connection_now(1, 4));
+        assert!(
+            !injector.reset_connection_now(1, 5),
+            "a reset fires exactly once"
+        );
+        assert!(!injector.reset_connection_now(2, 10));
+        assert_eq!(injector.stats().connection_resets, 1);
+    }
+
+    #[test]
+    fn an_empty_plan_injects_nothing() {
+        let injector = FaultInjector::new(FaultPlan::default());
+        assert!(injector.on_tile_read(0).is_ok());
+        assert!(injector.on_write().is_ok());
+        assert!(!injector.kill_engine_now(0));
+        assert!(!injector.reset_connection_now(0, 100));
+        assert_eq!(injector.stats(), FaultStats::default());
+        assert_eq!(injector.virtual_delay_nanos(), 0);
+    }
+}

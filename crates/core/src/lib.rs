@@ -47,6 +47,7 @@
 pub mod collections;
 pub mod engine;
 pub mod error;
+pub mod faults;
 pub mod jaccard;
 pub mod parallel;
 pub mod pipeline;
@@ -56,6 +57,7 @@ pub mod sync;
 pub use collections::LruCache;
 pub use engine::{CrossComparison, CrossComparisonReport, EngineConfig};
 pub use error::SccgError;
+pub use faults::{FaultInjector, FaultPlan, FaultStats};
 pub use jaccard::{JaccardAccumulator, JaccardSummary};
 pub use parallel::WorkerPool;
 

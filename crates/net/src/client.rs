@@ -11,6 +11,12 @@
 //! 3. once acked, consume `Tile` frames (streaming mode) until the terminal
 //!    `Summary`/`Error` frame, reassembling the tile list by position so the
 //!    result is field-for-field (and bit-for-bit) the in-process response.
+//!
+//! Failure is typed: a query deadline caps the total retry budget and
+//! surfaces as [`WireError::DeadlineExceeded`] whether the server reported
+//! it (wire code 12) or the client detected it locally, and a connection
+//! that dies after the ack is [`WireError::ResetMidStream`] — retryable on
+//! a fresh connection — rather than a generic disconnect.
 
 use crate::conn::{NonBlockingReader, NonBlockingWriter, PopTimeout};
 use crate::wire::{Message, WireRequestSpec, WireResponse, WireStats, WireTile};
@@ -34,6 +40,26 @@ pub enum WireError {
         /// Send attempts made (1 initial + retries).
         attempts: u32,
     },
+    /// The query's deadline expired — reported by the server (wire code 12)
+    /// or detected locally when the retry/wait budget ran past it. Both
+    /// sides surface as this one variant, so callers see a single typed
+    /// outcome regardless of which end noticed first.
+    DeadlineExceeded {
+        /// The request whose deadline expired.
+        request_id: u64,
+        /// The deadline the query carried, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The connection was reset after the query was acknowledged, while
+    /// (possibly partial) results were in flight — distinct from
+    /// [`WireError::Disconnected`], which means the exchange never got that
+    /// far. A retry on a fresh connection is safe: the query is idempotent.
+    ResetMidStream {
+        /// The request whose stream was cut.
+        request_id: u64,
+        /// Tile frames that had already arrived when the reset hit.
+        tiles_received: usize,
+    },
     /// The peer violated the protocol (bad frame, inconsistent response).
     Protocol(String),
     /// The server executed the query and reported a failure.
@@ -51,6 +77,21 @@ impl fmt::Display for WireError {
             } => write!(
                 f,
                 "request {request_id} unanswered after {attempts} attempts"
+            ),
+            WireError::DeadlineExceeded {
+                request_id,
+                deadline_ms,
+            } => write!(
+                f,
+                "request {request_id} missed its {deadline_ms} ms deadline"
+            ),
+            WireError::ResetMidStream {
+                request_id,
+                tiles_received,
+            } => write!(
+                f,
+                "connection reset mid-stream on request {request_id} \
+                 after {tiles_received} tile frames"
             ),
             WireError::Protocol(detail) => write!(f, "protocol violation: {detail}"),
             WireError::Remote(error) => write!(f, "server error: {error}"),
@@ -270,14 +311,26 @@ impl WireClient {
     /// Phase 1: send (and re-send with backoff) until the server
     /// acknowledges the request. A response frame for this request counts as
     /// an implicit ack and is stashed for phase 2.
-    fn send_until_acked(&mut self, request_id: u64, query: &Message) -> Result<u32, WireError> {
+    ///
+    /// When the query carries a deadline (`expiry`), the total retry budget
+    /// is capped by it: the first send always goes out (so the server gets
+    /// to report its own typed expiry through the wire), but no re-send is
+    /// scheduled past the deadline — expiry surfaces as
+    /// [`WireError::DeadlineExceeded`] instead of burning the full retry
+    /// ladder against a query the server would refuse anyway.
+    fn send_until_acked(
+        &mut self,
+        request_id: u64,
+        query: &Message,
+        expiry: Option<(Instant, u64)>,
+    ) -> Result<u32, WireError> {
         let mut attempts: u32 = 0;
         loop {
             self.writer
                 .send(query.to_frame())
                 .map_err(|_| WireError::Disconnected)?;
             attempts += 1;
-            let deadline = Instant::now() + self.config.ack_timeout;
+            let deadline = cap_instant(Instant::now() + self.config.ack_timeout, expiry);
             loop {
                 let left = match deadline.checked_duration_since(Instant::now()) {
                     Some(left) if !left.is_zero() => left,
@@ -311,7 +364,16 @@ impl WireClient {
                     attempts,
                 });
             }
-            std::thread::sleep(backoff_delay(&self.config, attempts - 1));
+            let backoff = backoff_delay(&self.config, attempts - 1);
+            if let Some((at, deadline_ms)) = expiry {
+                if Instant::now() + backoff >= at {
+                    return Err(WireError::DeadlineExceeded {
+                        request_id,
+                        deadline_ms,
+                    });
+                }
+            }
+            std::thread::sleep(backoff);
         }
     }
 
@@ -328,19 +390,40 @@ impl WireClient {
             streaming,
             spec: spec.clone(),
         };
-        self.send_until_acked(request_id, &query)?;
+        // The deadline clock starts at submission; the expiry instant caps
+        // both the ack retries and the response wait below.
+        let expiry = spec
+            .deadline_ms
+            .map(|ms| (Instant::now() + Duration::from_millis(ms), ms));
+        self.send_until_acked(request_id, &query, expiry)?;
 
-        // Phase 2: consume tiles until the terminal frame.
+        // Phase 2: consume tiles until the terminal frame. The wait is
+        // bounded by the response timeout, or — when the query carries a
+        // deadline — by the deadline plus one ack window of grace, giving
+        // the server's own typed expiry frame time to arrive first (either
+        // way the caller sees the same `DeadlineExceeded` variant).
+        let graced = expiry.map(|(at, ms)| (at + self.config.ack_timeout, ms));
+        let response_cap = Instant::now() + self.config.response_timeout;
+        let deadline = cap_instant(response_cap, graced);
         let mut tiles: Vec<(u64, WireTile)> = Vec::new();
-        let deadline = Instant::now() + self.config.response_timeout;
         loop {
-            let left =
-                deadline
-                    .checked_duration_since(Instant::now())
-                    .ok_or(WireError::Timeout {
-                        request_id,
-                        attempts: 1,
-                    })?;
+            let left = match deadline.checked_duration_since(Instant::now()) {
+                Some(left) if !left.is_zero() => left,
+                _ => {
+                    return Err(match graced {
+                        Some((at, deadline_ms)) if at <= response_cap => {
+                            WireError::DeadlineExceeded {
+                                request_id,
+                                deadline_ms,
+                            }
+                        }
+                        _ => WireError::Timeout {
+                            request_id,
+                            attempts: 1,
+                        },
+                    })
+                }
+            };
             match self.next_message(left.min(Duration::from_millis(100))) {
                 PopTimeout::Item(message) => match message? {
                     Message::Tile {
@@ -369,15 +452,39 @@ impl WireClient {
                         request_id: rid,
                         failure,
                     } if rid == request_id => {
-                        return Err(WireError::Remote(failure.to_error()));
+                        return Err(match failure.to_error() {
+                            SccgError::DeadlineExceeded { deadline_ms } => {
+                                WireError::DeadlineExceeded {
+                                    request_id,
+                                    deadline_ms,
+                                }
+                            }
+                            error => WireError::Remote(error),
+                        });
                     }
                     // Stale frames of earlier requests, duplicate acks.
                     _ => {}
                 },
                 PopTimeout::TimedOut => {}
-                PopTimeout::Closed => return Err(WireError::Disconnected),
+                // The request was acked, so the exchange was mid-result when
+                // the socket died: that is a reset, not a failure to connect.
+                PopTimeout::Closed => {
+                    return Err(WireError::ResetMidStream {
+                        request_id,
+                        tiles_received: tiles.len(),
+                    })
+                }
             }
         }
+    }
+}
+
+/// Caps `deadline` by an optional expiry instant (the `u64` rides along as
+/// the deadline's millisecond value for error reporting).
+fn cap_instant(deadline: Instant, expiry: Option<(Instant, u64)>) -> Instant {
+    match expiry {
+        Some((at, _)) => deadline.min(at),
+        None => deadline,
     }
 }
 
@@ -431,6 +538,33 @@ mod tests {
         // Astronomical retry counts must not overflow.
         assert_eq!(backoff_delay(&config, 63), Duration::from_millis(400));
         assert_eq!(backoff_delay(&config, u32::MAX), Duration::from_millis(400));
+    }
+
+    #[test]
+    fn cap_instant_takes_the_earlier_bound_and_ignores_none() {
+        let now = Instant::now();
+        let late = now + Duration::from_secs(60);
+        let early = now + Duration::from_secs(1);
+        assert_eq!(cap_instant(late, None), late);
+        assert_eq!(cap_instant(late, Some((early, 1_000))), early);
+        assert_eq!(cap_instant(early, Some((late, 60_000))), early);
+    }
+
+    #[test]
+    fn failure_variants_render_distinct_messages() {
+        let deadline = WireError::DeadlineExceeded {
+            request_id: 7,
+            deadline_ms: 250,
+        };
+        assert_eq!(deadline.to_string(), "request 7 missed its 250 ms deadline");
+        let reset = WireError::ResetMidStream {
+            request_id: 9,
+            tiles_received: 3,
+        };
+        assert_eq!(
+            reset.to_string(),
+            "connection reset mid-stream on request 9 after 3 tile frames"
+        );
     }
 
     #[test]

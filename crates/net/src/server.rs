@@ -22,12 +22,13 @@
 //! finish its in-flight query, flush and close the writers, join all
 //! threads. [`WireServer::drop`] performs the same drain.
 
-use crate::conn::{NonBlockingReader, NonBlockingWriter, PopTimeout};
+use crate::conn::{NonBlockingReader, NonBlockingWriter, PopTimeout, WriterClosed};
 use crate::frame::Frame;
 use crate::wire::{Message, WireFailure, WireResponse, WireStats, WireTile};
 use sccg::sync::lock;
-use sccg::SccgError;
+use sccg::{FaultInjector, SccgError};
 use sccg_serve::{ComparisonService, LruCache, QueryEvent};
+use std::cell::Cell;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -52,6 +53,13 @@ pub struct NetConfig {
     pub route_cache: usize,
     /// How often parked dispatchers re-check the drain flag.
     pub poll_interval: Duration,
+    /// Optional fault injector consulted before every post-handshake frame
+    /// a connection sends: a scheduled [`ConnectionReset`] for this client
+    /// at the current frame count drops the connection abruptly. `None`
+    /// (the default) injects nothing.
+    ///
+    /// [`ConnectionReset`]: sccg::faults::ConnectionReset
+    pub faults: Option<Arc<FaultInjector>>,
 }
 
 impl Default for NetConfig {
@@ -61,6 +69,7 @@ impl Default for NetConfig {
             recv_hwm: 64,
             route_cache: 128,
             poll_interval: Duration::from_millis(20),
+            faults: None,
         }
     }
 }
@@ -83,6 +92,13 @@ impl NetConfig {
         self.route_cache = route_cache;
         self
     }
+
+    /// Returns a copy that consults `faults` before every frame each
+    /// connection sends (chaos harness hook — see [`NetConfig::faults`]).
+    pub fn with_faults(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
 }
 
 /// Routing state of one `(client_id, request_id)`.
@@ -94,6 +110,29 @@ enum RouteState {
     /// with the tile list inline, so the replay is self-contained even for
     /// originally-streamed queries).
     Done(Frame),
+}
+
+/// The sending half of one connection, with the chaos hook in front: every
+/// post-handshake frame is counted, and a [`FaultInjector`] reset scheduled
+/// for this client at the current count kills the connection instead of
+/// sending — the peer observes an abrupt close mid-exchange.
+struct ConnSender<'a> {
+    writer: &'a NonBlockingWriter,
+    faults: Option<&'a Arc<FaultInjector>>,
+    client_id: u64,
+    frames_sent: Cell<u64>,
+}
+
+impl ConnSender<'_> {
+    fn send(&self, frame: Frame) -> Result<(), WriterClosed> {
+        if let Some(injector) = self.faults {
+            if injector.reset_connection_now(self.client_id, self.frames_sent.get()) {
+                return Err(WriterClosed);
+            }
+        }
+        self.frames_sent.set(self.frames_sent.get() + 1);
+        self.writer.send(frame)
+    }
 }
 
 struct ServerShared {
@@ -215,7 +254,13 @@ fn dispatch_connection(stream: TcpStream, shared: Arc<ServerShared>) {
     };
 
     if let Some(client_id) = handshake(&reader, &writer, &shared) {
-        serve_queries(client_id, &reader, &writer, &shared);
+        let sender = ConnSender {
+            writer: &writer,
+            faults: shared.config.faults.as_ref(),
+            client_id,
+            frames_sent: Cell::new(0),
+        };
+        serve_queries(&reader, &sender, &shared);
     }
     // Graceful teardown either way: drain + flush the send buffer, then
     // release the read half.
@@ -259,17 +304,12 @@ fn handshake(
     }
 }
 
-fn serve_queries(
-    client_id: u64,
-    reader: &NonBlockingReader,
-    writer: &NonBlockingWriter,
-    shared: &ServerShared,
-) {
+fn serve_queries(reader: &NonBlockingReader, sender: &ConnSender<'_>, shared: &ServerShared) {
     loop {
         match reader.recv_timeout(shared.config.poll_interval) {
             PopTimeout::Item(frame) => {
-                if serve_frame(client_id, &frame, writer, shared).is_err() {
-                    return; // writer gone: the connection is dead
+                if serve_frame(&frame, sender, shared).is_err() {
+                    return; // writer gone (or reset injected): connection dead
                 }
             }
             PopTimeout::TimedOut => {
@@ -288,20 +328,19 @@ fn serve_queries(
 /// undecodable body — poisons only that message and is skipped. An error
 /// means the writer is gone.
 fn serve_frame(
-    client_id: u64,
     frame: &crate::frame::Frame,
-    writer: &NonBlockingWriter,
+    sender: &ConnSender<'_>,
     shared: &ServerShared,
-) -> Result<(), crate::conn::WriterClosed> {
+) -> Result<(), WriterClosed> {
     match Message::of_frame(frame) {
         Ok(Message::Query {
             request_id,
             streaming,
             spec,
-        }) => serve_one_query(client_id, request_id, streaming, &spec, writer, shared),
+        }) => serve_one_query(request_id, streaming, &spec, sender, shared),
         Ok(Message::StatsRequest) => {
             let stats = WireStats::of_stats(&shared.service.stats());
-            writer.send(Message::Stats { stats }.to_frame())
+            sender.send(Message::Stats { stats }.to_frame())
         }
         _ => Ok(()),
     }
@@ -309,20 +348,19 @@ fn serve_frame(
 
 /// Handles one query frame end to end. An error means the writer is gone.
 fn serve_one_query(
-    client_id: u64,
     request_id: u64,
     streaming: bool,
     spec: &crate::wire::WireRequestSpec,
-    writer: &NonBlockingWriter,
+    sender: &ConnSender<'_>,
     shared: &ServerShared,
-) -> Result<(), crate::conn::WriterClosed> {
-    let key = (client_id, request_id);
+) -> Result<(), WriterClosed> {
+    let key = (sender.client_id, request_id);
 
     // Retry idempotency: duplicates never recompute.
     if let Some(route) = lock(&shared.routes).get(&key) {
-        writer.send(Message::Ack { request_id }.to_frame())?;
+        sender.send(Message::Ack { request_id }.to_frame())?;
         if let RouteState::Done(terminal) = route.as_ref() {
-            writer.send(terminal.clone())?;
+            sender.send(terminal.clone())?;
         }
         return Ok(());
     }
@@ -330,7 +368,7 @@ fn serve_one_query(
 
     // Ack before admission: a query parked on the admission semaphore is
     // *accepted*, and must not look lost to the client's retry timer.
-    writer.send(Message::Ack { request_id }.to_frame())?;
+    sender.send(Message::Ack { request_id }.to_frame())?;
 
     let handle = match shared.service.submit_streaming(spec.to_request()) {
         Ok(handle) => handle,
@@ -341,7 +379,7 @@ fn serve_one_query(
             }
             .to_frame();
             lock(&shared.routes).insert(key, Arc::new(RouteState::Done(terminal.clone())));
-            writer.send(terminal)?;
+            sender.send(terminal)?;
             return Ok(());
         }
     };
@@ -353,7 +391,7 @@ fn serve_one_query(
         match handle.next_event() {
             Some(QueryEvent::Tile { position, report }) => {
                 if streaming {
-                    writer.send(
+                    sender.send(
                         Message::Tile {
                             request_id,
                             position: position as u64,
@@ -407,6 +445,6 @@ fn serve_one_query(
         }
     };
     lock(&shared.routes).insert(key, Arc::new(RouteState::Done(stored)));
-    writer.send(live)?;
+    sender.send(live)?;
     Ok(())
 }

@@ -247,6 +247,10 @@ pub struct WireRequestSpec {
     pub variant: Option<Variant>,
     /// Scheduling priority.
     pub priority: QueryPriority,
+    /// Per-query deadline in milliseconds, measured from server-side
+    /// submission; `None` never expires. Expiry fails the query with
+    /// [`SccgError::DeadlineExceeded`] (wire code 12).
+    pub deadline_ms: Option<u64>,
 }
 
 impl WireRequestSpec {
@@ -259,6 +263,7 @@ impl WireRequestSpec {
             device: None,
             variant: None,
             priority: QueryPriority::default(),
+            deadline_ms: None,
         }
     }
 
@@ -276,6 +281,9 @@ impl WireRequestSpec {
         }
         if let Some(variant) = self.variant {
             request = request.variant(variant);
+        }
+        if let Some(ms) = self.deadline_ms {
+            request = request.with_deadline(std::time::Duration::from_millis(ms));
         }
         request.priority(self.priority)
     }
@@ -608,6 +616,9 @@ impl WireFailure {
             SccgError::InvalidRequest { detail } => (9, 0, 0, 0, detail.clone()),
             SccgError::Internal { detail } => (10, 0, 0, 0, detail.clone()),
             SccgError::Storage { detail } => (11, 0, 0, 0, detail.clone()),
+            SccgError::DeadlineExceeded { deadline_ms } => {
+                (12, *deadline_ms, 0, 0, error.to_string())
+            }
             // `SccgError` is non_exhaustive: future variants travel as their
             // rendered detail.
             _ => (0, 0, 0, 0, error.to_string()),
@@ -655,6 +666,9 @@ impl WireFailure {
             },
             11 => SccgError::Storage {
                 detail: self.detail.clone(),
+            },
+            12 => SccgError::DeadlineExceeded {
+                deadline_ms: self.a,
             },
             _ => SccgError::Internal {
                 detail: self.detail.clone(),
@@ -769,6 +783,13 @@ impl Message {
                 w.u8(opt_device_tag(spec.device));
                 w.u8(variant_tag(spec.variant));
                 w.u8(priority_tag(spec.priority));
+                match spec.deadline_ms {
+                    None => w.u8(0),
+                    Some(ms) => {
+                        w.u8(1);
+                        w.u64(ms);
+                    }
+                }
                 FrameKind::Query
             }
             Message::Ack { request_id } => {
@@ -879,6 +900,16 @@ impl Message {
                 let device = opt_device_of_tag(r.u8("query.device")?, "query.device")?;
                 let variant = variant_of_tag(r.u8("query.variant")?, "query.variant")?;
                 let priority = priority_of_tag(r.u8("query.priority")?, "query.priority")?;
+                let deadline_ms = match r.u8("query.deadline_tag")? {
+                    0 => None,
+                    1 => Some(r.u64("query.deadline_ms")?),
+                    other => {
+                        return Err(WireDecodeError::BadTag {
+                            field: "query.deadline_tag",
+                            value: u64::from(other),
+                        })
+                    }
+                };
                 Message::Query {
                     request_id,
                     streaming,
@@ -889,6 +920,7 @@ impl Message {
                         device,
                         variant,
                         priority,
+                        deadline_ms,
                     },
                 }
             }
@@ -991,6 +1023,7 @@ mod tests {
                 device: Some(AggregationDevice::Hybrid),
                 variant: Some(Variant::NoSep),
                 priority: QueryPriority::High,
+                deadline_ms: Some(2_500),
             },
         });
         roundtrip(Message::Ack { request_id: 17 });
@@ -1129,6 +1162,7 @@ mod tests {
             SccgError::Storage {
                 detail: "tile 3: block checksum mismatch".into(),
             },
+            SccgError::DeadlineExceeded { deadline_ms: 250 },
         ];
         for error in cases {
             let reconstructed = WireFailure::of_error(&error).to_error();
@@ -1170,6 +1204,7 @@ mod tests {
                 device: None,
                 variant: None,
                 priority: QueryPriority::Normal,
+                deadline_ms: Some(100),
             },
         }
         .to_frame();

@@ -293,3 +293,97 @@ fn loadgen_drives_concurrent_clients_and_reports_latency() {
         );
     }
 }
+
+#[test]
+fn injected_connection_reset_surfaces_typed_and_a_fresh_client_retries() {
+    use sccg::{FaultInjector, FaultPlan};
+
+    let (service, first, second) = service(4, 47);
+    let baseline = service
+        .submit(QueryRequest::new(first, second))
+        .unwrap()
+        .wait()
+        .unwrap();
+    let baseline = WireResponse::of_response(&baseline);
+
+    // The server assigns client ids from 1; the first connection is client
+    // 1. Its connection drops after 2 post-handshake frames: the ack plus
+    // one tile — squarely mid-stream.
+    let injector = Arc::new(FaultInjector::new(FaultPlan::new(3).reset_connection(1, 2)));
+    let server = WireServer::start(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        NetConfig::default().with_faults(Arc::clone(&injector)),
+    )
+    .expect("server starts");
+
+    let mut victim =
+        WireClient::connect(server.local_addr(), ClientConfig::default()).expect("connects");
+    assert_eq!(victim.client_id(), 1);
+    let err = victim
+        .query_streaming(&WireRequestSpec::new(first, second), |_, _| {})
+        .expect_err("the stream is cut after one tile");
+    match err {
+        WireError::ResetMidStream {
+            request_id,
+            tiles_received,
+        } => {
+            assert_eq!(request_id, 1);
+            assert!(
+                tiles_received <= 1,
+                "at most the one pre-reset tile arrived, got {tiles_received}"
+            );
+        }
+        other => panic!("expected ResetMidStream, got {other:?}"),
+    }
+    assert_eq!(injector.stats().connection_resets, 1);
+
+    // The reset is retryable: a fresh connection (a new client id, so no
+    // scheduled fault) replays the query and gets the bit-identical result.
+    let mut retry =
+        WireClient::connect(server.local_addr(), ClientConfig::default()).expect("reconnects");
+    let outcome = retry
+        .query_streaming(&WireRequestSpec::new(first, second), |_, _| {})
+        .expect("retry on a fresh connection succeeds");
+    assert_eq!(
+        without_cache_flag(outcome.response),
+        without_cache_flag(baseline),
+        "the retried response is bit-identical"
+    );
+}
+
+#[test]
+fn wire_deadline_round_trips_as_the_typed_error() {
+    let (service, first, second) = service(3, 48);
+    let server = WireServer::start(Arc::clone(&service), "127.0.0.1:0", NetConfig::default())
+        .expect("server starts");
+    let mut client =
+        WireClient::connect(server.local_addr(), ClientConfig::default()).expect("connects");
+
+    // A zero deadline is already expired when the first worker pops a
+    // shard: the server answers with wire error code 12, which the client
+    // surfaces as the dedicated variant (not a generic Remote error).
+    let mut spec = WireRequestSpec::new(first, second);
+    spec.deadline_ms = Some(0);
+    let err = client
+        .query_blocking(&spec)
+        .expect_err("deadline already expired");
+    match err {
+        WireError::DeadlineExceeded {
+            request_id,
+            deadline_ms,
+        } => {
+            assert_eq!(request_id, 1);
+            assert_eq!(deadline_ms, 0);
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+
+    // The connection survives; a deadline the query easily meets works.
+    let mut relaxed = WireRequestSpec::new(first, second);
+    relaxed.deadline_ms = Some(60_000);
+    let outcome = client
+        .query_blocking(&relaxed)
+        .expect("a generous deadline resolves normally");
+    assert_eq!(outcome.response.tiles.len(), 3);
+}

@@ -9,6 +9,7 @@
 //! the Rust field names, and non-finite floats render as `null`.
 
 use crate::service::{QueryResponse, ServiceStats, TileReport};
+use crate::supervisor::EngineHealth;
 use sccg::pixelbox::SplitTrace;
 use sccg::JaccardSummary;
 use std::fmt::Write as _;
@@ -88,6 +89,20 @@ pub fn response_to_json(response: &QueryResponse) -> String {
     )
 }
 
+fn engine_json(health: &EngineHealth) -> String {
+    format!(
+        "{{\"engine\":{},\"device\":{},\"alive\":{},\"consecutive_failures\":{},\
+         \"total_failures\":{},\"redispatched_shards\":{},\"revivals\":{}}}",
+        health.engine,
+        json_string(&health.device),
+        health.alive,
+        health.consecutive_failures,
+        health.total_failures,
+        health.redispatched_shards,
+        health.revivals,
+    )
+}
+
 /// Renders a [`ServiceStats`] snapshot as a JSON object.
 pub fn stats_to_json(stats: &ServiceStats) -> String {
     let shards: Vec<String> = stats
@@ -95,10 +110,12 @@ pub fn stats_to_json(stats: &ServiceStats) -> String {
         .iter()
         .map(|n| n.to_string())
         .collect();
+    let engines: Vec<String> = stats.engines.iter().map(engine_json).collect();
     let scheduler = &stats.scheduler;
     format!(
         "{{\"submitted\":{},\"completed\":{},\"cache_hits\":{},\"backend_batches\":{},\
          \"in_flight\":{},\"peak_in_flight\":{},\"cache_entries\":{},\"shards_per_engine\":[{}],\
+         \"redispatches\":{},\"engines\":[{}],\
          \"resident_tiles\":{},\"pager_hit_rate\":{},\"bytes_on_disk\":{},\
          \"coalesced_faults\":{},\"scheduler\":{{\"policy\":{},\"affinity_hits\":{},\
          \"affinity_misses\":{},\"prefetch_issued\":{},\"prefetch_used\":{},\
@@ -111,6 +128,8 @@ pub fn stats_to_json(stats: &ServiceStats) -> String {
         stats.peak_in_flight,
         stats.cache_entries,
         shards.join(","),
+        stats.redispatches,
+        engines.join(","),
         stats.resident_tiles,
         json_f64(stats.pager_hit_rate),
         stats.bytes_on_disk,
@@ -182,5 +201,23 @@ mod tests {
     #[test]
     fn empty_trace_renders_an_empty_array() {
         assert_eq!(split_trace_to_json(&SplitTrace::default()), "[]");
+    }
+
+    #[test]
+    fn engine_health_renders_every_field() {
+        let health = EngineHealth {
+            engine: 2,
+            device: "Gpu".to_string(),
+            alive: false,
+            consecutive_failures: 3,
+            total_failures: 7,
+            redispatched_shards: 4,
+            revivals: 1,
+        };
+        assert_eq!(
+            engine_json(&health),
+            "{\"engine\":2,\"device\":\"Gpu\",\"alive\":false,\"consecutive_failures\":3,\
+             \"total_failures\":7,\"redispatched_shards\":4,\"revivals\":1}"
+        );
     }
 }

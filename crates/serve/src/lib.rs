@@ -54,6 +54,7 @@ pub mod request;
 pub mod scheduler;
 pub mod service;
 pub mod store;
+pub mod supervisor;
 
 pub use cache::LruCache;
 pub use request::{QueryPriority, QueryRequest, TileSelection};
@@ -63,6 +64,7 @@ pub use service::{
     StreamingHandle, TileReport,
 };
 pub use store::{SlideId, SlideInfo, SlideStore, StorageStats, TileId, TileResidency};
+pub use supervisor::EngineHealth;
 
 /// Convenient re-exports for application code.
 pub mod prelude {
@@ -74,4 +76,5 @@ pub mod prelude {
         StreamingHandle, TileReport,
     };
     pub use crate::store::{SlideId, SlideInfo, SlideStore, StorageStats, TileId, TileResidency};
+    pub use crate::supervisor::EngineHealth;
 }

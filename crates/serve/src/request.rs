@@ -4,6 +4,7 @@
 use crate::store::SlideId;
 use sccg::pixelbox::{AggregationDevice, Variant};
 use serde::Serialize;
+use std::time::Duration;
 
 /// Which tiles of the slide pair a query covers.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize)]
@@ -75,6 +76,11 @@ pub struct QueryRequest {
     pub variant: Option<Variant>,
     /// Scheduling priority.
     pub priority: QueryPriority,
+    /// Per-query deadline, measured from submission. When it expires before
+    /// every shard completed, the query fails with
+    /// [`sccg::SccgError::DeadlineExceeded`] instead of occupying engines
+    /// further; `None` (the default) never expires.
+    pub deadline: Option<Duration>,
 }
 
 impl QueryRequest {
@@ -88,6 +94,7 @@ impl QueryRequest {
             device: None,
             variant: None,
             priority: QueryPriority::default(),
+            deadline: None,
         }
     }
 
@@ -115,6 +122,15 @@ impl QueryRequest {
         self.priority = priority;
         self
     }
+
+    /// Bounds the query's total latency: if `deadline` elapses (measured
+    /// from submission) before every shard completed, the query fails with
+    /// [`sccg::SccgError::DeadlineExceeded`] and its remaining shards are
+    /// abandoned without computing.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -127,11 +143,13 @@ mod tests {
             .tiles(vec![2, 0, 1])
             .on_device(AggregationDevice::Cpu)
             .variant(Variant::NoSep)
-            .priority(QueryPriority::Low);
+            .priority(QueryPriority::Low)
+            .with_deadline(Duration::from_millis(250));
         assert_eq!(request.tiles, TileSelection::Tiles(vec![2, 0, 1]));
         assert_eq!(request.device, Some(AggregationDevice::Cpu));
         assert_eq!(request.variant, Some(Variant::NoSep));
         assert_eq!(request.priority, QueryPriority::Low);
+        assert_eq!(request.deadline, Some(Duration::from_millis(250)));
     }
 
     #[test]

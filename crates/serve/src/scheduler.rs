@@ -31,6 +31,7 @@
 
 use crate::service::QueryState;
 use crate::store::{TileId, TileResidency};
+use crate::supervisor::Supervisor;
 use sccg::pipeline::exec::register_waker;
 use sccg::pixelbox::AggregationDevice;
 use sccg::sync::lock;
@@ -345,6 +346,9 @@ pub(crate) struct JobQueue {
     policy: Box<dyn Placement>,
     kind: PlacementPolicy,
     counters: Arc<SchedulerCounters>,
+    /// Engine liveness: a dead engine's pop parks instead of taking work
+    /// (and is lazily revived there once its cooldown elapses).
+    supervisor: Arc<Supervisor>,
 }
 
 struct QueueState {
@@ -357,7 +361,7 @@ struct QueueState {
 }
 
 impl JobQueue {
-    pub(crate) fn new(kind: PlacementPolicy) -> Self {
+    pub(crate) fn new(kind: PlacementPolicy, supervisor: Arc<Supervisor>) -> Self {
         let policy: Box<dyn Placement> = match kind {
             PlacementPolicy::RoundRobin => Box::new(RoundRobin),
             PlacementPolicy::ResidencyAware => Box::new(ResidencyAware),
@@ -371,7 +375,30 @@ impl JobQueue {
             policy,
             kind,
             counters: Arc::new(SchedulerCounters::default()),
+            supervisor,
         }
+    }
+
+    /// Removes and returns every queued shard no live engine is eligible
+    /// for. Called after an engine death: shards pinned to a device the
+    /// surviving pool cannot serve would otherwise sit in the lanes forever,
+    /// leaving their queries' merge barriers waiting — the caller fails each
+    /// drained shard with a typed error instead.
+    pub(crate) fn drain_ineligible(&self) -> Vec<ShardJob> {
+        let mut state = lock(&self.state);
+        let mut orphaned = Vec::new();
+        for lane in state.lanes.iter_mut() {
+            let mut kept = VecDeque::with_capacity(lane.len());
+            while let Some(job) = lane.pop_front() {
+                if self.supervisor.live_eligible_exists(job.device) {
+                    kept.push_back(job);
+                } else {
+                    orphaned.push(job);
+                }
+            }
+            *lane = kept;
+        }
+        orphaned
     }
 
     /// Whether queries dispatched through this queue should get a
@@ -440,6 +467,20 @@ impl Future for PopJob<'_> {
     type Output = Option<ShardJob>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // A dead engine parks instead of popping: the shards it would have
+        // taken go to survivors. Each poll (the queue wakes all parked
+        // workers on every push) re-checks liveness, which is where a
+        // cooled-down engine revives.
+        if !self.queue.supervisor.may_pop(self.worker.index) {
+            let mut state = lock(&self.queue.state);
+            if state.closed {
+                // Shutdown must terminate dead workers too, or the
+                // executor's drain would wait on them forever.
+                return Poll::Ready(None);
+            }
+            register_waker(&mut state.wakers, cx.waker());
+            return Poll::Pending;
+        }
         let mut state = lock(&self.queue.state);
         for lane in state.lanes.iter_mut() {
             if let Some(pos) = self.queue.policy.select(lane, &self.worker) {
@@ -579,6 +620,21 @@ mod tests {
         }
     }
 
+    /// A queue whose supervisor considers every engine alive (large
+    /// threshold, irrelevant cooldown) — supervision is exercised in the
+    /// service-level fault tests, not here.
+    fn open_queue(kind: PlacementPolicy) -> JobQueue {
+        let devices = [AggregationDevice::Gpu, AggregationDevice::Cpu];
+        JobQueue::new(
+            kind,
+            Arc::new(Supervisor::new(
+                &devices,
+                u32::MAX,
+                std::time::Duration::from_secs(3600),
+            )),
+        )
+    }
+
     fn test_query(
         store: SlideStore,
         first: SlideId,
@@ -610,6 +666,7 @@ mod tests {
             prefetched: Mutex::new(HashSet::new()),
             progress: ProgressNotify::new(),
             shard_total: shards,
+            deadline: None,
         })
     }
 
@@ -638,7 +695,7 @@ mod tests {
     #[test]
     fn cpu_job_behind_gpu_jobs_is_not_starved() {
         for kind in [PlacementPolicy::RoundRobin, PlacementPolicy::ResidencyAware] {
-            let queue = JobQueue::new(kind);
+            let queue = open_queue(kind);
             let gpu_worker = Worker {
                 device: AggregationDevice::Gpu,
                 index: 0,
@@ -702,7 +759,7 @@ mod tests {
                 .unwrap();
         }
 
-        let queue = JobQueue::new(PlacementPolicy::ResidencyAware);
+        let queue = open_queue(PlacementPolicy::ResidencyAware);
         let worker = Worker {
             device: AggregationDevice::Cpu,
             index: 0,
@@ -739,7 +796,7 @@ mod tests {
     #[test]
     fn close_drains_then_resolves_none() {
         for kind in [PlacementPolicy::RoundRobin, PlacementPolicy::ResidencyAware] {
-            let queue = JobQueue::new(kind);
+            let queue = open_queue(kind);
             let worker = Worker {
                 device: AggregationDevice::Cpu,
                 index: 0,

@@ -41,16 +41,20 @@ use crate::scheduler::{
     run_prefetch, JobQueue, PlacementPolicy, ProgressNotify, SchedulerStats, ShardJob, Worker,
 };
 use crate::store::{SlideId, SlideStore, TileId};
+use crate::supervisor::{EngineHealth, Supervisor};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use sccg::pipeline::exec::Executor;
 use sccg::pixelbox::{AggregationDevice, PixelBoxConfig, SplitConfig, SplitController, SplitTrace};
 use sccg::sync::lock;
-use sccg::{CrossComparison, EngineConfig, JaccardAccumulator, JaccardSummary, SccgError};
+use sccg::{
+    CrossComparison, EngineConfig, FaultInjector, JaccardAccumulator, JaccardSummary, SccgError,
+};
 use sccg_gpu_sim::{Device, DeviceConfig};
 use serde::Serialize;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 // This module deliberately uses `std::sync` primitives rather than the
 // `parking_lot` used elsewhere in the workspace: the admission semaphore
@@ -100,6 +104,19 @@ pub struct ServiceConfig {
     /// only where and when shards run — so switching policies is always
     /// semantically safe.
     pub placement: PlacementPolicy,
+    /// Consecutive failures (worker panics or injected kills) after which
+    /// the supervisor marks an engine dead (at least 1; see
+    /// [`crate::supervisor`]).
+    pub failure_threshold: u32,
+    /// How long a dead engine stays out of the pool before the supervisor
+    /// revives it (checked lazily on queue activity — the executor has no
+    /// timers).
+    pub revival_cooldown: Duration,
+    /// Optional deterministic fault injector threaded through the engine
+    /// workers (and, by the caller, usually through the store and the wire
+    /// layer too). `None` — the default — injects nothing and costs
+    /// nothing.
+    pub faults: Option<Arc<FaultInjector>>,
 }
 
 impl Default for ServiceConfig {
@@ -121,6 +138,9 @@ impl Default for ServiceConfig {
             cache_capacity: 64,
             executor_threads: 0,
             placement: PlacementPolicy::default(),
+            failure_threshold: 3,
+            revival_cooldown: Duration::from_secs(5),
+            faults: None,
         }
     }
 }
@@ -172,6 +192,26 @@ impl ServiceConfig {
     /// Returns a copy with a different placement policy.
     pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
         self.placement = placement;
+        self
+    }
+
+    /// Returns a copy with a different engine-death threshold (consecutive
+    /// failures; clamped to at least 1 at service construction).
+    pub fn with_failure_threshold(mut self, failure_threshold: u32) -> Self {
+        self.failure_threshold = failure_threshold;
+        self
+    }
+
+    /// Returns a copy with a different revival cooldown for dead engines.
+    pub fn with_revival_cooldown(mut self, revival_cooldown: Duration) -> Self {
+        self.revival_cooldown = revival_cooldown;
+        self
+    }
+
+    /// Returns a copy armed with a deterministic fault injector (see
+    /// [`sccg::FaultPlan`]): engine workers consult it for injected kills.
+    pub fn with_faults(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = Some(faults);
         self
     }
 }
@@ -264,6 +304,11 @@ pub struct ServiceStats {
     pub coalesced_faults: u64,
     /// Placement decisions of the scheduler layer (see [`crate::scheduler`]).
     pub scheduler: SchedulerStats,
+    /// Shards abandoned by a dying engine and re-dispatched to survivors.
+    pub redispatches: u64,
+    /// Per-engine supervision health, by pool index (see
+    /// [`crate::supervisor`]).
+    pub engines: Vec<EngineHealth>,
 }
 
 /// One progressive event of a streaming query (see
@@ -400,6 +445,11 @@ pub(crate) struct QueryState {
     /// Total shards the query was split into (`remaining` counts down from
     /// it; the difference is the prefetcher's progress measure).
     pub(crate) shard_total: usize,
+    /// The absolute deadline computed at submission from
+    /// [`QueryRequest::with_deadline`], paired with the requested duration
+    /// in milliseconds (echoed in the typed error). Workers check it when
+    /// they pop a shard of this query; `None` never expires.
+    pub(crate) deadline: Option<(Instant, u64)>,
 }
 
 /// Counting semaphore bounding in-flight queries, tracking the high-water
@@ -484,9 +534,61 @@ struct ServiceInner {
     admission: Admission,
     cache: Mutex<LruCache<CacheKey, QueryResponse>>,
     counters: Counters,
+    supervisor: Arc<Supervisor>,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl ServiceInner {
+    /// Settles one shard as finished (computed, failed, or abandoned):
+    /// decrements the merge barrier, finalizes the query on its last shard,
+    /// and advances the prefetcher. Every path a popped shard can take must
+    /// end here exactly once — or be re-queued — or the barrier hangs.
+    fn settle_shard(&self, query: &Arc<QueryState>) {
+        if query.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.finalize(query);
+        }
+        query.progress.notify();
+    }
+
+    /// Disposes of a shard a dying engine abandoned: re-queued to the
+    /// surviving eligible engines when any exist (the merge slot is
+    /// position-pinned, so the response stays bit-identical), failed typed
+    /// otherwise — never silently dropped, which would hang the barrier.
+    fn redispatch_or_fail(&self, engine: usize, job: ShardJob) {
+        if self.supervisor.live_eligible_exists(job.device) {
+            self.supervisor.note_redispatch(engine);
+            let lane = job.query.meta.priority.lane();
+            self.queue.push(job, lane);
+            return;
+        }
+        let error = match job.device {
+            Some(device) => SccgError::NoEligibleEngine { device },
+            None => SccgError::Internal {
+                detail: format!(
+                    "tile {}: no live engine left to re-dispatch the shard to",
+                    job.tile_index
+                ),
+            },
+        };
+        lock(&job.query.failure).get_or_insert(error);
+        self.settle_shard(&job.query);
+    }
+
+    /// After an engine death: queued shards no surviving engine is eligible
+    /// for would wait in the lanes forever. Fail each typed so their
+    /// queries resolve instead of hanging.
+    fn sweep_orphaned_shards(&self) {
+        for job in self.queue.drain_ineligible() {
+            let error = match job.device {
+                Some(device) => SccgError::NoEligibleEngine { device },
+                None => SccgError::Internal {
+                    detail: format!("tile {}: no live engine left in the pool", job.tile_index),
+                },
+            };
+            lock(&job.query.failure).get_or_insert(error);
+            self.settle_shard(&job.query);
+        }
+    }
     fn finalize(&self, query: &QueryState) {
         // Prefetched tiles compute never consumed (e.g. the query failed
         // early) are settled as wasted, so the prefetch ledger always
@@ -648,8 +750,14 @@ impl ComparisonService {
             .iter()
             .any(|e| e.device == AggregationDevice::Hybrid)
             .then(|| Arc::new(SplitController::new(config.split)));
+        let devices: Vec<AggregationDevice> = config.engines.iter().map(|e| e.device).collect();
+        let supervisor = Arc::new(Supervisor::new(
+            &devices,
+            config.failure_threshold,
+            config.revival_cooldown,
+        ));
         let inner = Arc::new(ServiceInner {
-            queue: JobQueue::new(config.placement),
+            queue: JobQueue::new(config.placement, Arc::clone(&supervisor)),
             admission: Admission::new(config.max_in_flight),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             counters: Counters {
@@ -661,6 +769,8 @@ impl ComparisonService {
                     .map(|_| AtomicU64::new(0))
                     .collect(),
             },
+            supervisor,
+            faults: config.faults.clone(),
         });
 
         let threads = if config.executor_threads == 0 {
@@ -751,6 +861,8 @@ impl ComparisonService {
             bytes_on_disk: storage.bytes_on_disk,
             coalesced_faults: storage.coalesced_faults,
             scheduler: self.inner.queue.stats(),
+            redispatches: self.inner.supervisor.redispatches(),
+            engines: self.inner.supervisor.health(),
         }
     }
 
@@ -856,6 +968,11 @@ impl ComparisonService {
     ) -> Receiver<Result<QueryResponse, SccgError>> {
         let shard_count = prepared.indices.len();
         let (tx, rx) = bounded(1);
+        // The deadline clock starts at launch: shards popped after it
+        // expired are abandoned without computing.
+        let deadline = request
+            .deadline
+            .map(|d| (Instant::now() + d, d.as_millis() as u64));
         let query = Arc::new(QueryState {
             key: prepared.key,
             meta: QueryMeta {
@@ -874,6 +991,7 @@ impl ComparisonService {
             prefetched: Mutex::new(HashSet::new()),
             progress: ProgressNotify::new(),
             shard_total: shard_count,
+            deadline,
         });
         // The placement policy may reorder which shard is *enqueued* first
         // (resident tiles ahead of cold ones); each shard's `position` still
@@ -910,6 +1028,13 @@ impl ComparisonService {
                 },
                 lane,
             );
+        }
+        // A query launched while every eligible engine is dead must not
+        // wait on a barrier nobody will serve. The pushes above already
+        // woke parked workers (which is where an elapsed revival cooldown
+        // takes effect); anything still ineligible now is failed typed.
+        if !self.inner.supervisor.live_eligible_exists(request.device) {
+            self.inner.sweep_orphaned_shards();
         }
         rx
     }
@@ -1009,6 +1134,29 @@ async fn worker_task(index: usize, engine: CrossComparison, inner: Arc<ServiceIn
     };
     let backend_name = engine.backend().name();
     while let Some(job) = inner.queue.pop(worker).await {
+        // Deadline first: a shard popped after its query's deadline expired
+        // is abandoned without computing — the query fails typed instead of
+        // occupying engines it can no longer benefit from.
+        if let Some((at, deadline_ms)) = job.query.deadline {
+            if Instant::now() >= at {
+                lock(&job.query.failure).get_or_insert(SccgError::DeadlineExceeded { deadline_ms });
+                inner.settle_shard(&job.query);
+                continue;
+            }
+        }
+        // An injected kill simulates this worker dying mid-shard: the
+        // supervisor is told, and the shard in hand is re-dispatched to
+        // survivors (or failed typed) rather than dropped — dropping it
+        // would leave the query's merge barrier counting down forever.
+        if let Some(injector) = &inner.faults {
+            if injector.kill_engine_now(index as u64) {
+                if inner.supervisor.record_failure(index) {
+                    inner.sweep_orphaned_shards();
+                }
+                inner.redispatch_or_fail(index, job);
+                continue;
+            }
+        }
         let query = &job.query;
         // Tagged fetches record which engine faulted each tile, feeding the
         // residency-aware policy's affinity tie-break.
@@ -1041,6 +1189,7 @@ async fn worker_task(index: usize, engine: CrossComparison, inner: Arc<ServiceIn
 
         match computed {
             Ok(Ok(report)) => {
+                inner.supervisor.record_success(index);
                 // Only successfully computed shards count as backend work
                 // (the cache tests diff these counters).
                 inner
@@ -1078,6 +1227,13 @@ async fn worker_task(index: usize, engine: CrossComparison, inner: Arc<ServiceIn
                 lock(&job.query.partials)[job.position] = Some(partial);
             }
             Ok(Err(payload)) => {
+                // A panic is charged to this engine: repeated panics kill
+                // it (and orphan-sweep the queue), but the panicking query
+                // still fails typed — the input provoked the panic, so
+                // re-running the shard elsewhere would only spread it.
+                if inner.supervisor.record_failure(index) {
+                    inner.sweep_orphaned_shards();
+                }
                 let detail = payload
                     .downcast_ref::<&str>()
                     .map(|s| s.to_string())
@@ -1089,16 +1245,15 @@ async fn worker_task(index: usize, engine: CrossComparison, inner: Arc<ServiceIn
             }
             Err(error) => {
                 // The tile could not be faulted in (typically a storage
-                // fault); the query fails with the typed error itself.
+                // fault); the query fails with the typed error itself. Not
+                // charged to the engine — the tile is sick, not the worker.
                 lock(&job.query.failure).get_or_insert(error);
             }
         }
-        if job.query.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            inner.finalize(&job.query);
-        }
-        // Wake the query's prefetcher: compute advanced, so its window
-        // shifted (and on the last shard it learns to exit).
-        job.query.progress.notify();
+        // Settle the shard: decrement the merge barrier, finalize on the
+        // last one, and wake the query's prefetcher (its window shifted,
+        // and on the last shard it learns to exit).
+        inner.settle_shard(&job.query);
     }
 }
 

@@ -25,7 +25,18 @@
 //!   query is bounded regardless of slide size.
 //! * A corrupt or truncated tile fails *its own* reads with
 //!   [`SccgError::Storage`]; other tiles, other slides and the process stay
-//!   healthy.
+//!   healthy. A tile that keeps failing is quarantined by the pager's
+//!   circuit breaker ([`sccg_store::QUARANTINE_THRESHOLD`]) so queries fail
+//!   fast instead of re-reading a sick block forever.
+//!
+//! # Crash safety
+//!
+//! Streaming registration writes through a temp file and publishes the
+//! final slide file with one atomic rename ([`SlideFileWriter`]), so a
+//! crash — or an injected write error — at *any* point leaves either the
+//! complete file or nothing. Orphaned `*.partial` temp files from a
+//! previous crashed process are swept at startup by the spilling
+//! constructors (and on demand by [`SlideStore::recover`]).
 //!
 //! A store without a spill directory behaves exactly as before: everything
 //! in memory, and the streaming registration degrades to an in-memory
@@ -33,11 +44,11 @@
 
 use parking_lot::Mutex;
 use sccg::pipeline::exec::{channel, Executor};
-use sccg::SccgError;
+use sccg::{FaultInjector, SccgError};
 use sccg_geometry::text::{parse_polygon_file, PolygonRecord};
-use sccg_store::{PagerStats, ResidencySnapshot, SlideFileWriter, TileStorage};
+use sccg_store::{recover_dir, PagerStats, ResidencySnapshot, SlideFileWriter, TileStorage};
 use serde::Serialize;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -152,6 +163,9 @@ pub struct StorageStats {
     pub pager_hit_rate: f64,
     /// Total bytes of slide files on disk.
     pub bytes_on_disk: u64,
+    /// Tiles currently quarantined by their pager's circuit breaker after
+    /// repeated failed reads.
+    pub quarantined_tiles: usize,
 }
 
 impl StorageStats {
@@ -163,6 +177,7 @@ impl StorageStats {
         self.pager_misses += stats.misses;
         self.coalesced_faults += stats.coalesced_faults;
         self.bytes_on_disk += stats.bytes_on_disk;
+        self.quarantined_tiles += stats.quarantined_tiles;
     }
 }
 
@@ -175,6 +190,9 @@ struct SpillState {
     /// pipeline's event-driven executor, not a dedicated thread per call).
     executor: Executor,
     next_file: AtomicU64,
+    /// Fault-injection hook threaded into every slide file this store
+    /// writes or reads; `None` in production (zero-cost no-op).
+    faults: Option<Arc<FaultInjector>>,
 }
 
 /// Registry of parsed slide data, shared between callers and a
@@ -214,10 +232,31 @@ impl SlideStore {
     ///
     /// [`SccgError::Storage`] if the spill directory cannot be created.
     pub fn with_spill(dir: impl Into<PathBuf>, residency_bound: usize) -> Result<Self, SccgError> {
+        SlideStore::with_spill_and_faults(dir, residency_bound, None)
+    }
+
+    /// Like [`SlideStore::with_spill`], additionally threading a
+    /// [`FaultInjector`] into every slide file the store writes or reads —
+    /// the fault-injection seam the chaos harness drives. Production code
+    /// passes `None` (via [`SlideStore::with_spill`]) and pays nothing.
+    ///
+    /// Both spilling constructors sweep orphaned partial files left under
+    /// `dir` by a previous crashed process (see [`SlideStore::recover`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SccgError::Storage`] if the spill directory cannot be created or
+    /// the recovery sweep cannot read it.
+    pub fn with_spill_and_faults(
+        dir: impl Into<PathBuf>,
+        residency_bound: usize,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Result<Self, SccgError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir).map_err(|e| SccgError::Storage {
             detail: format!("create spill directory {}: {e}", dir.display()),
         })?;
+        SlideStore::recover(&dir)?;
         Ok(SlideStore {
             inner: Arc::new(Mutex::new(Vec::new())),
             spill: Some(Arc::new(SpillState {
@@ -225,8 +264,22 @@ impl SlideStore {
                 residency_bound: residency_bound.max(1),
                 executor: Executor::new(1),
                 next_file: AtomicU64::new(0),
+                faults,
             })),
         })
+    }
+
+    /// Removes orphaned partial slide files (`*.sccgt.partial`) left under
+    /// `dir` by a crashed writer, returning the removed paths. Completed
+    /// slide files are never touched; a missing directory is an empty
+    /// sweep, not an error.
+    ///
+    /// # Errors
+    ///
+    /// [`SccgError::Storage`] if the directory cannot be read or an orphan
+    /// cannot be removed.
+    pub fn recover(dir: impl AsRef<Path>) -> Result<Vec<PathBuf>, SccgError> {
+        recover_dir(dir.as_ref())
     }
 
     /// The per-slide residency bound, when the store spills to disk.
@@ -299,7 +352,7 @@ impl SlideStore {
 
         let file_id = spill.next_file.fetch_add(1, Ordering::Relaxed);
         let path = spill.dir.join(format!("slide-{file_id:06}.sccgt"));
-        let mut writer = SlideFileWriter::create(&path)?;
+        let mut writer = SlideFileWriter::create_with_faults(&path, spill.faults.clone())?;
         // The streaming seam: a bounded channel keeps at most a couple of
         // parsed tiles in flight between this thread and the writer task.
         let (tile_tx, tile_rx) = channel::<Vec<PolygonRecord>>(2);
@@ -341,6 +394,9 @@ impl SlideStore {
 
         let failure = parse_error.or(written.as_ref().err().cloned());
         if let Some(error) = failure {
+            // A write failure never published the final file (the writer
+            // cleans its own partial on drop); a parse failure after a
+            // clean finish leaves a renamed-but-unwanted file to delete.
             let _ = std::fs::remove_file(&path);
             return Err(error);
         }

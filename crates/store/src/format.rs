@@ -44,13 +44,13 @@
 //! ([`crate::TileStorage`]) amortizes behind its LRU.
 
 use sccg::sync::lock;
-use sccg::SccgError;
+use sccg::{FaultInjector, SccgError};
 use sccg_geometry::text::PolygonRecord;
 use sccg_geometry::{Point, RectilinearPolygon};
 use std::fs::File;
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Magic bytes opening every slide file.
 pub const HEADER_MAGIC: &[u8; 8] = b"SCCGTILE";
@@ -58,6 +58,11 @@ pub const HEADER_MAGIC: &[u8; 8] = b"SCCGTILE";
 pub const TRAILER_MAGIC: &[u8; 8] = b"SCCGINDX";
 /// Format version stamped into (and required from) the header.
 pub const FORMAT_VERSION: u32 = 1;
+/// Suffix of the temporary file a [`SlideFileWriter`] streams into before
+/// the atomic rename in [`finish`](SlideFileWriter::finish). A file with
+/// this suffix is by definition an incomplete slide: a crash mid-write
+/// leaves one behind, and [`recover_dir`] removes it at startup.
+pub const PARTIAL_SUFFIX: &str = ".partial";
 
 const HEADER_BYTES: u64 = 16;
 const TRAILER_BYTES: u64 = 24;
@@ -96,6 +101,40 @@ fn storage_error(detail: impl Into<String>) -> SccgError {
 
 fn io_error(context: &str, path: &Path, err: std::io::Error) -> SccgError {
     storage_error(format!("{context} {}: {err}", path.display()))
+}
+
+/// The temporary path a writer streams into before the atomic rename to
+/// `path`: the final name with [`PARTIAL_SUFFIX`] appended.
+pub fn partial_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(PARTIAL_SUFFIX);
+    PathBuf::from(name)
+}
+
+/// Startup recovery scan: removes every orphaned `*.partial` file under
+/// `dir` (incomplete slides left behind by a crash mid-registration) and
+/// returns the paths it removed. A missing directory is an empty scan, not
+/// an error, so recovery can run before the first registration ever
+/// happens.
+pub fn recover_dir(dir: &Path) -> Result<Vec<PathBuf>, SccgError> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(err) => return Err(io_error("scan", dir, err)),
+    };
+    let mut removed = Vec::new();
+    for entry in entries {
+        let path = entry.map_err(|e| io_error("scan", dir, e))?.path();
+        let is_partial = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with(PARTIAL_SUFFIX));
+        if is_partial {
+            std::fs::remove_file(&path).map_err(|e| io_error("remove partial", &path, e))?;
+            removed.push(path);
+        }
+    }
+    Ok(removed)
 }
 
 /// Encodes one tile's records as a columnar block (see the module docs).
@@ -208,41 +247,85 @@ pub fn decode_tile(bytes: &[u8]) -> Result<Vec<PolygonRecord>, SccgError> {
 /// [`finish`](SlideFileWriter::finish). Nothing but the footer index (28
 /// bytes per tile) is retained in memory, so registration of an
 /// arbitrarily large slide runs in O(largest tile), not O(slide).
+///
+/// **Crash safety.** The writer never touches the final path until the
+/// slide is complete: all writes stream into `<path>.partial`, and
+/// `finish` flushes, then atomically renames the partial onto `path`. A
+/// crash, a write error, or dropping the writer without finishing leaves
+/// *no* file at the final path — only a `.partial` that the drop removes
+/// (or, after a hard crash, [`recover_dir`] removes at startup). Readers
+/// therefore only ever see complete, validated slides.
 #[derive(Debug)]
 pub struct SlideFileWriter {
-    file: BufWriter<File>,
+    file: Option<BufWriter<File>>,
     path: PathBuf,
+    partial: PathBuf,
     index: Vec<TileIndexEntry>,
     offset: u64,
+    faults: Option<Arc<FaultInjector>>,
+    completed: bool,
 }
 
 impl SlideFileWriter {
-    /// Creates (truncating) the slide file at `path` and writes the header.
+    /// Creates the slide writer for `path`, streaming into `<path>.partial`
+    /// until [`finish`](SlideFileWriter::finish) renames it into place.
     pub fn create(path: impl Into<PathBuf>) -> Result<Self, SccgError> {
+        Self::create_with_faults(path, None)
+    }
+
+    /// [`create`](SlideFileWriter::create) with an optional fault injector:
+    /// every write operation (header, each tile append, the footer/trailer
+    /// flush, the final rename) consults the injector first, so a scheduled
+    /// write error can strike at any point of a streaming registration.
+    pub fn create_with_faults(
+        path: impl Into<PathBuf>,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Result<Self, SccgError> {
         let path = path.into();
-        let file = File::create(&path).map_err(|e| io_error("create", &path, e))?;
+        let partial = partial_path(&path);
+        let mut writer = SlideFileWriter {
+            file: None,
+            path,
+            partial,
+            index: Vec::new(),
+            offset: HEADER_BYTES,
+            faults,
+            completed: false,
+        };
+        writer.write_op()?;
+        let file =
+            File::create(&writer.partial).map_err(|e| io_error("create", &writer.partial, e))?;
         let mut file = BufWriter::new(file);
         let mut header = Vec::with_capacity(HEADER_BYTES as usize);
         header.extend_from_slice(HEADER_MAGIC);
         header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
         header.extend_from_slice(&0u32.to_le_bytes());
         file.write_all(&header)
-            .map_err(|e| io_error("write header of", &path, e))?;
-        Ok(SlideFileWriter {
-            file,
-            path,
-            index: Vec::new(),
-            offset: HEADER_BYTES,
-        })
+            .map_err(|e| io_error("write header of", &writer.partial, e))?;
+        writer.file = Some(file);
+        Ok(writer)
+    }
+
+    fn write_op(&self) -> Result<(), SccgError> {
+        match &self.faults {
+            Some(injector) => injector.on_write(),
+            None => Ok(()),
+        }
+    }
+
+    fn file_mut(&mut self) -> &mut BufWriter<File> {
+        self.file.as_mut().expect("writer file open until finish")
     }
 
     /// Encodes `records` as the next tile's block, appends it and indexes
     /// it. Returns the tile's index within the slide.
     pub fn append_tile(&mut self, records: &[PolygonRecord]) -> Result<usize, SccgError> {
+        self.write_op()?;
         let block = encode_tile(records);
-        self.file
+        let partial = self.partial.clone();
+        self.file_mut()
             .write_all(&block)
-            .map_err(|e| io_error("append tile block to", &self.path, e))?;
+            .map_err(|e| io_error("append tile block to", &partial, e))?;
         let entry = TileIndexEntry {
             offset: self.offset,
             len: block.len() as u64,
@@ -259,9 +342,12 @@ impl SlideFileWriter {
         self.index.len()
     }
 
-    /// Writes the footer index and trailer, flushes, and reopens the file
-    /// for reading as a [`SlideFile`].
+    /// Writes the footer index and trailer, flushes, atomically renames the
+    /// partial file onto the final path, and reopens it for reading as a
+    /// [`SlideFile`]. On any error the final path is left untouched (it
+    /// does not exist) and the partial is removed when the writer drops.
     pub fn finish(mut self) -> Result<SlideFile, SccgError> {
+        self.write_op()?;
         let footer_offset = self.offset;
         let mut footer = Vec::with_capacity(4 + self.index.len() * INDEX_ENTRY_BYTES);
         footer.extend_from_slice(&(self.index.len() as u32).to_le_bytes());
@@ -272,21 +358,40 @@ impl SlideFileWriter {
             footer.extend_from_slice(&entry.checksum.to_le_bytes());
         }
         let footer_checksum = fnv1a_64(&footer);
-        self.file
+        let partial = self.partial.clone();
+        self.file_mut()
             .write_all(&footer)
-            .map_err(|e| io_error("write footer of", &self.path, e))?;
+            .map_err(|e| io_error("write footer of", &partial, e))?;
         let mut trailer = Vec::with_capacity(TRAILER_BYTES as usize);
         trailer.extend_from_slice(&footer_offset.to_le_bytes());
         trailer.extend_from_slice(&footer_checksum.to_le_bytes());
         trailer.extend_from_slice(TRAILER_MAGIC);
-        self.file
+        self.file_mut()
             .write_all(&trailer)
-            .map_err(|e| io_error("write trailer of", &self.path, e))?;
-        self.file
+            .map_err(|e| io_error("write trailer of", &partial, e))?;
+        self.file_mut()
             .flush()
-            .map_err(|e| io_error("flush", &self.path, e))?;
-        drop(self.file);
-        SlideFile::open(&self.path)
+            .map_err(|e| io_error("flush", &partial, e))?;
+        drop(self.file.take());
+        // The atomic commit point: before the rename a reader sees no file
+        // at the final path, after it a complete validated slide.
+        self.write_op()?;
+        std::fs::rename(&self.partial, &self.path)
+            .map_err(|e| io_error("rename partial onto", &self.path, e))?;
+        self.completed = true;
+        let mut file = SlideFile::open(&self.path)?;
+        file.faults = self.faults.clone();
+        Ok(file)
+    }
+}
+
+impl Drop for SlideFileWriter {
+    fn drop(&mut self) {
+        if !self.completed {
+            // Close the handle first so the remove succeeds everywhere.
+            drop(self.file.take());
+            let _ = std::fs::remove_file(&self.partial);
+        }
     }
 }
 
@@ -302,6 +407,7 @@ pub struct SlideFile {
     path: PathBuf,
     index: Vec<TileIndexEntry>,
     file_bytes: u64,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl SlideFile {
@@ -376,7 +482,16 @@ impl SlideFile {
             path,
             index,
             file_bytes,
+            faults: None,
         })
+    }
+
+    /// Attaches a fault injector: subsequent [`SlideFile::read_tile`]
+    /// calls consult it for scheduled read errors, virtual slow reads,
+    /// and block corruption. A `None`-free production file pays one
+    /// pointer test per read.
+    pub fn set_faults(&mut self, faults: Option<Arc<FaultInjector>>) {
+        self.faults = faults;
     }
 
     fn parse_footer(
@@ -462,6 +577,9 @@ impl SlideFile {
                 self.index.len()
             ))
         })?;
+        if let Some(injector) = &self.faults {
+            injector.on_tile_read(tile as u64)?;
+        }
         let mut block = vec![0u8; entry.len as usize];
         {
             let mut file = lock(&self.file);
@@ -469,6 +587,9 @@ impl SlideFile {
                 .map_err(|e| io_error("seek block of", &self.path, e))?;
             file.read_exact(&mut block)
                 .map_err(|e| io_error("read block of", &self.path, e))?;
+        }
+        if let Some(injector) = &self.faults {
+            injector.corrupt_tile_bytes(tile as u64, &mut block);
         }
         if fnv1a_64(&block) != entry.checksum {
             return Err(storage_error(format!(
@@ -627,6 +748,108 @@ mod tests {
             SlideFile::open(&path),
             Err(SccgError::Storage { .. })
         ));
+    }
+
+    #[test]
+    fn writer_streams_into_a_partial_and_renames_atomically() {
+        let path = temp_path("atomic-rename");
+        let partial = partial_path(&path);
+        let _ = std::fs::remove_file(&path);
+        let mut writer = SlideFileWriter::create(&path).unwrap();
+        writer.append_tile(&sample_tiles()[0]).unwrap();
+        assert!(partial.exists(), "writes stream into the partial");
+        assert!(!path.exists(), "the final path appears only at finish");
+        let file = writer.finish().unwrap();
+        assert!(path.exists());
+        assert!(!partial.exists(), "the partial was renamed away");
+        assert_eq!(file.tile_count(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn dropping_an_unfinished_writer_removes_the_partial() {
+        let path = temp_path("abandoned");
+        let partial = partial_path(&path);
+        let _ = std::fs::remove_file(&path);
+        let mut writer = SlideFileWriter::create(&path).unwrap();
+        writer.append_tile(&sample_tiles()[0]).unwrap();
+        assert!(partial.exists());
+        drop(writer);
+        assert!(!partial.exists(), "drop cleans up the partial");
+        assert!(!path.exists(), "the final path was never created");
+    }
+
+    #[test]
+    fn recover_dir_removes_orphaned_partials_only() {
+        let dir = std::env::temp_dir().join(format!("sccg-recover-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let orphan = dir.join("slide-000003.sccgt.partial");
+        let keep = dir.join("slide-000001.sccgt");
+        std::fs::write(&orphan, b"half a slide").unwrap();
+        std::fs::write(&keep, b"not actually scanned for validity").unwrap();
+        let removed = recover_dir(&dir).unwrap();
+        assert_eq!(removed, vec![orphan.clone()]);
+        assert!(!orphan.exists());
+        assert!(keep.exists(), "complete slides are untouched");
+        assert_eq!(recover_dir(&dir).unwrap(), Vec::<PathBuf>::new());
+        std::fs::remove_dir_all(&dir).unwrap();
+        // A directory that does not exist yet is an empty scan.
+        assert_eq!(recover_dir(&dir).unwrap(), Vec::<PathBuf>::new());
+    }
+
+    #[test]
+    fn injected_write_errors_fail_the_writer_and_leave_nothing_behind() {
+        use sccg::FaultPlan;
+        // Op 0 is the header write, ops 1..=3 the tile appends, op 4 the
+        // footer/trailer flush, op 5 the rename — fail each in turn.
+        for op in 0..=5u64 {
+            let path = temp_path(&format!("write-fault-{op}"));
+            let partial = partial_path(&path);
+            let _ = std::fs::remove_file(&path);
+            let injector = Arc::new(FaultInjector::new(FaultPlan::new(1).fail_write_op(op)));
+            let result = (|| -> Result<SlideFile, SccgError> {
+                let mut writer = SlideFileWriter::create_with_faults(&path, Some(injector))?;
+                for tile in sample_tiles() {
+                    writer.append_tile(&tile)?;
+                }
+                writer.finish()
+            })();
+            let err = result.expect_err("the scheduled write fault must surface");
+            assert!(matches!(err, SccgError::Storage { .. }), "{err:?}");
+            assert!(!path.exists(), "op {op}: final path must not exist");
+            assert!(!partial.exists(), "op {op}: partial must be cleaned up");
+        }
+    }
+
+    #[test]
+    fn injected_read_faults_and_corruption_surface_as_typed_errors() {
+        use sccg::{FaultInjector, FaultPlan};
+        let (path, tiles) = write_sample("injected-reads");
+        let plan = FaultPlan::new(42)
+            .fail_read(0, 1)
+            .slow_read(2, 1_000)
+            .corrupt_tile(2);
+        let injector = Arc::new(FaultInjector::new(plan));
+        let mut file = SlideFile::open(&path).unwrap();
+        file.set_faults(Some(Arc::clone(&injector)));
+        // Tile 0: one scheduled read error, then reads recover.
+        let err = file.read_tile(0).unwrap_err();
+        assert!(
+            matches!(&err, SccgError::Storage { detail } if detail.contains("injected")),
+            "{err:?}"
+        );
+        assert_eq!(&file.read_tile(0).unwrap(), &tiles[0]);
+        // Tile 2: corruption flips a block byte, so the checksum fails and
+        // the slow-read latency is charged virtually (no wall clock).
+        let err = file.read_tile(2).unwrap_err();
+        assert!(
+            matches!(&err, SccgError::Storage { detail } if detail.contains("checksum")),
+            "{err:?}"
+        );
+        assert!(injector.virtual_delay_nanos() >= 1_000);
+        // Tile 1 is untouched by the whole schedule.
+        assert_eq!(&file.read_tile(1).unwrap(), &tiles[1]);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

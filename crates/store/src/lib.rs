@@ -23,7 +23,17 @@
 //!
 //! Failure semantics: a corrupt or truncated tile block fails *that tile's*
 //! reads with [`sccg::SccgError::Storage`] — queries over other tiles, and
-//! the process, are unaffected.
+//! the process, are unaffected. A per-tile circuit breaker
+//! ([`pager::QUARANTINE_THRESHOLD`]) quarantines tiles that fail reads
+//! repeatedly instead of re-reading a known-bad block on every query.
+//! Writers are crash-safe: [`SlideFileWriter`] streams into a
+//! `.partial` temp file and publishes the final path with one atomic
+//! rename, so an interrupted registration never leaves a half-written
+//! slide where a reader could open it — [`recover_dir`] sweeps orphaned
+//! partials at startup. An optional [`sccg::FaultInjector`] can be armed
+//! on both reads ([`SlideFile::set_faults`]) and writes
+//! ([`SlideFileWriter::create_with_faults`]) for deterministic failure
+//! testing; when absent, the hooks are a no-op.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,7 +42,7 @@ pub mod format;
 pub mod pager;
 
 pub use format::{
-    decode_tile, encode_tile, fnv1a_64, SlideFile, SlideFileWriter, TileIndexEntry, FORMAT_VERSION,
-    HEADER_MAGIC, TRAILER_MAGIC,
+    decode_tile, encode_tile, fnv1a_64, partial_path, recover_dir, SlideFile, SlideFileWriter,
+    TileIndexEntry, FORMAT_VERSION, HEADER_MAGIC, PARTIAL_SUFFIX, TRAILER_MAGIC,
 };
-pub use pager::{PagerStats, ResidencySnapshot, TileStorage};
+pub use pager::{PagerStats, ResidencySnapshot, TileStorage, QUARANTINE_THRESHOLD};

@@ -32,7 +32,12 @@
 //! Failure containment is inherited from the format layer: a corrupt or
 //! truncated tile fails *its own* fetch with [`sccg::SccgError::Storage`]
 //! and is never cached, so other tiles keep paging normally and a later
-//! fetch of a repaired tile retries the disk read.
+//! fetch of a repaired tile retries the disk read. A per-tile **circuit
+//! breaker** bounds how often that retry happens: after
+//! [`QUARANTINE_THRESHOLD`] *consecutive* failed reads, the tile is
+//! quarantined and further fetches fail fast with a typed error instead of
+//! re-reading a block known to be bad on every query that touches it. One
+//! successful read (a repaired tile) closes the breaker again.
 
 use crate::format::SlideFile;
 use sccg::collections::LruCache;
@@ -40,11 +45,17 @@ use sccg::sync::lock;
 use sccg::SccgError;
 use sccg_geometry::text::PolygonRecord;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 /// Sentinel in the affinity table for "no engine has faulted this tile".
 const NO_AFFINITY: usize = usize::MAX;
+
+/// Consecutive failed disk reads of one tile after which its circuit
+/// breaker opens: further fetches fail fast without touching the disk until
+/// a successful read resets the count. Three strikes distinguishes a
+/// persistently bad block from a transient I/O hiccup.
+pub const QUARANTINE_THRESHOLD: u32 = 3;
 
 /// Counters describing a pager's behaviour since creation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,6 +78,9 @@ pub struct PagerStats {
     pub residency_bound: usize,
     /// Size of the backing slide file in bytes.
     pub bytes_on_disk: u64,
+    /// Tiles whose circuit breaker is currently open (at least
+    /// [`QUARANTINE_THRESHOLD`] consecutive failed reads, no success since).
+    pub quarantined_tiles: usize,
 }
 
 /// A point-in-time view of which tiles a pager holds decoded, indexable
@@ -115,6 +129,9 @@ pub struct TileStorage {
     in_flight: Mutex<HashMap<usize, Arc<FaultSlot>>>,
     /// Which engine last faulted each tile in (`NO_AFFINITY` = none yet).
     affinity: Vec<AtomicUsize>,
+    /// Consecutive failed disk reads per tile; at `QUARANTINE_THRESHOLD`
+    /// the tile's circuit breaker is open and fetches fail fast.
+    failures: Vec<AtomicU32>,
     residency_bound: usize,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -131,11 +148,13 @@ impl TileStorage {
         let affinity = (0..file.tile_count())
             .map(|_| AtomicUsize::new(NO_AFFINITY))
             .collect();
+        let failures = (0..file.tile_count()).map(|_| AtomicU32::new(0)).collect();
         TileStorage {
             file,
             resident: Mutex::new(LruCache::new(residency_bound)),
             in_flight: Mutex::new(HashMap::new()),
             affinity,
+            failures,
             residency_bound,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -197,6 +216,39 @@ impl TileStorage {
         (engine != NO_AFFINITY).then_some(engine)
     }
 
+    /// Whether `tile`'s circuit breaker is open: at least
+    /// [`QUARANTINE_THRESHOLD`] consecutive disk reads of it failed and
+    /// none has succeeded since. Fetches of a quarantined tile fail fast
+    /// without disk I/O; out-of-range indices are never quarantined (they
+    /// fail typed on their own).
+    pub fn is_quarantined(&self, tile: usize) -> bool {
+        self.failures
+            .get(tile)
+            .is_some_and(|count| count.load(Ordering::Relaxed) >= QUARANTINE_THRESHOLD)
+    }
+
+    /// Records the outcome of a disk read of `tile` against its circuit
+    /// breaker: success closes it, failure moves it one strike closer to
+    /// quarantine.
+    fn record_read_outcome(&self, tile: usize, ok: bool) {
+        if let Some(count) = self.failures.get(tile) {
+            if ok {
+                count.store(0, Ordering::Relaxed);
+            } else {
+                count.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The fail-fast error a quarantined tile's fetch returns.
+    fn quarantine_error(tile: usize) -> SccgError {
+        SccgError::Storage {
+            detail: format!(
+                "tile {tile}: quarantined after {QUARANTINE_THRESHOLD} consecutive failed reads"
+            ),
+        }
+    }
+
     /// Returns the tile's decoded records, faulting them in from disk on a
     /// miss. Shared `Arc`s mean an eviction never invalidates records a
     /// query still holds, and concurrent misses of one tile are
@@ -224,6 +276,11 @@ impl TileStorage {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(records);
         }
+        if self.is_quarantined(tile) {
+            // Circuit breaker open: a block known to be bad is not re-read
+            // on every query that touches it.
+            return Err(Self::quarantine_error(tile));
+        }
         let (slot, owner) = self.join_or_own(tile);
         if !owner {
             // Another caller's disk read is in flight: wait for it to
@@ -243,6 +300,7 @@ impl TileStorage {
         // Read outside every lock: a slow or failing disk read must not
         // stall hits on other tiles or faults of other tiles.
         let outcome = self.file.read_tile(tile).map(Arc::new);
+        self.record_read_outcome(tile, outcome.is_ok());
         if let Ok(records) = &outcome {
             self.misses.fetch_add(1, Ordering::Relaxed);
             if let (Some(engine), Some(cell)) = (engine, self.affinity.get(tile)) {
@@ -276,6 +334,11 @@ impl TileStorage {
     /// treating prefetch as advisory may ignore it (the demand fetch will
     /// surface the same error).
     pub fn prefetch(&self, tile: usize) -> Result<bool, SccgError> {
+        if self.is_quarantined(tile) {
+            // Prefetch is advisory: warming a quarantined tile would only
+            // re-read a bad block, so skip it rather than error.
+            return Ok(false);
+        }
         {
             let resident = lock(&self.resident);
             if resident.contains(&tile) || resident.len() >= self.residency_bound {
@@ -294,6 +357,7 @@ impl TileStorage {
             slot
         };
         let outcome = self.file.read_tile(tile).map(Arc::new);
+        self.record_read_outcome(tile, outcome.is_ok());
         if let Ok(records) = &outcome {
             self.misses.fetch_add(1, Ordering::Relaxed);
             let resident_now = {
@@ -378,6 +442,11 @@ impl TileStorage {
             peak_resident: self.peak_resident.load(Ordering::Relaxed) as usize,
             residency_bound: self.residency_bound,
             bytes_on_disk: self.file.bytes_on_disk(),
+            quarantined_tiles: self
+                .failures
+                .iter()
+                .filter(|count| count.load(Ordering::Relaxed) >= QUARANTINE_THRESHOLD)
+                .count(),
         }
     }
 }
@@ -415,6 +484,23 @@ mod tests {
             writer.append_tile(&tile(i as u64)).unwrap();
         }
         (TileStorage::new(writer.finish().unwrap(), bound), path)
+    }
+
+    fn build_with_faults(
+        tag: &str,
+        tiles: usize,
+        bound: usize,
+        plan: sccg::FaultPlan,
+    ) -> (TileStorage, PathBuf, Arc<sccg::FaultInjector>) {
+        let path = temp_path(tag);
+        let mut writer = SlideFileWriter::create(&path).unwrap();
+        for i in 0..tiles {
+            writer.append_tile(&tile(i as u64)).unwrap();
+        }
+        let injector = Arc::new(sccg::FaultInjector::new(plan));
+        let mut file = writer.finish().unwrap();
+        file.set_faults(Some(Arc::clone(&injector)));
+        (TileStorage::new(file, bound), path, injector)
     }
 
     #[test]
@@ -577,6 +663,112 @@ mod tests {
         // The prefetched tile serves a later demand fetch as a hit.
         pager.fetch(1).unwrap();
         assert_eq!(pager.stats().hits, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The circuit breaker: `QUARANTINE_THRESHOLD` consecutive failed reads
+    /// open it — further fetches fail fast *without touching the disk* —
+    /// and prefetch skips the tile instead of erroring.
+    #[test]
+    fn repeated_read_failures_quarantine_the_tile() {
+        let plan = sccg::FaultPlan::new(7).fail_read(0, 100);
+        let (pager, path, injector) = build_with_faults("quarantine", 2, 2, plan);
+        for strike in 0..QUARANTINE_THRESHOLD {
+            assert!(!pager.is_quarantined(0), "strike {strike}");
+            let err = pager.fetch(0).unwrap_err();
+            assert!(
+                matches!(&err, SccgError::Storage { detail } if detail.contains("injected")),
+                "strike {strike}: {err:?}"
+            );
+        }
+        assert!(pager.is_quarantined(0));
+        assert_eq!(pager.stats().quarantined_tiles, 1);
+        // The breaker is open: the fetch fails fast and the disk (here the
+        // injector standing in front of it) is not consulted again.
+        let reads_before = injector.stats().read_errors;
+        let err = pager.fetch(0).unwrap_err();
+        assert!(
+            matches!(&err, SccgError::Storage { detail } if detail.contains("quarantined")),
+            "{err:?}"
+        );
+        assert_eq!(injector.stats().read_errors, reads_before);
+        assert!(!pager.prefetch(0).unwrap(), "prefetch skips quarantined");
+        assert_eq!(injector.stats().read_errors, reads_before);
+        // Healthy tiles keep paging normally.
+        assert_eq!(pager.fetch(1).unwrap().as_ref(), &tile(1));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// One successful read closes the breaker: failures below the threshold
+    /// never quarantine, and the consecutive count resets on success.
+    #[test]
+    fn a_successful_read_resets_the_breaker() {
+        let strikes = QUARANTINE_THRESHOLD as u64 - 1;
+        let plan = sccg::FaultPlan::new(7).fail_read(0, strikes);
+        let (pager, path, _injector) = build_with_faults("breaker-reset", 1, 1, plan);
+        for _ in 0..strikes {
+            pager.fetch(0).unwrap_err();
+        }
+        assert!(!pager.is_quarantined(0), "one strike short of quarantine");
+        assert_eq!(pager.fetch(0).unwrap().as_ref(), &tile(0));
+        assert_eq!(pager.stats().quarantined_tiles, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The fault-injection satellite for single-flight: a failing fetch
+    /// must not poison the slot. Racing threads each get either the typed
+    /// error (owner or coalesced waiter of a failed fault) or the decoded
+    /// tile, nobody hangs, and once the scheduled faults are consumed a
+    /// later fetch retries cleanly.
+    #[test]
+    fn failing_fetch_does_not_poison_the_single_flight_slot() {
+        const THREADS: usize = 8;
+        let strikes = QUARANTINE_THRESHOLD as u64 - 1;
+        let plan = sccg::FaultPlan::new(11).fail_read(0, strikes);
+        let (pager, path, injector) = build_with_faults("fault-flight", 1, 2, plan);
+        let pager = Arc::new(pager);
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let pager = Arc::clone(&pager);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    match pager.fetch(0) {
+                        Ok(records) => assert_eq!(records.as_ref(), &tile(0)),
+                        Err(SccgError::Storage { detail }) => {
+                            assert!(detail.contains("injected"), "{detail}")
+                        }
+                        Err(other) => panic!("unexpected error: {other:?}"),
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("fetch thread must not hang or panic");
+        }
+        // Whatever subset of the schedule the race consumed, the slot was
+        // retired on every failure, so retries make progress and succeed
+        // once the schedule drains — within `strikes` further attempts.
+        let mut retries = 0;
+        let records = loop {
+            match pager.fetch(0) {
+                Ok(records) => break records,
+                Err(SccgError::Storage { detail }) => {
+                    assert!(detail.contains("injected"), "{detail}");
+                    retries += 1;
+                    assert!(
+                        retries <= strikes,
+                        "slot poisoned: retries stopped draining"
+                    );
+                }
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+        };
+        assert_eq!(records.as_ref(), &tile(0));
+        assert!(pager.is_resident(0));
+        assert!(!pager.is_quarantined(0));
+        assert_eq!(injector.stats().read_errors, strikes);
         std::fs::remove_file(&path).unwrap();
     }
 
